@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks reproduce the paper's tables and figures on the synthetic
+workload.  A single session-scoped context is shared by all benchmark
+modules so that regimes evaluated by several experiments (the baseline,
+perfect-(17), re-optimization at threshold 32) are paid for once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale factor (default 0.4).
+* ``REPRO_BENCH_QUERY_LIMIT`` — optionally restrict the workload to the first
+  N queries for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The shared workload context used by every benchmark module."""
+    return build_context()
+
+
+def print_experiment(result) -> None:
+    """Print an experiment artifact (pytest -s shows it; captured otherwise)."""
+    print()
+    print(result.to_text())

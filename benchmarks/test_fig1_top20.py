@@ -1,0 +1,32 @@
+"""Figure 1: planning + execution time of the top-20 longest queries.
+
+Paper claim: perfect-(3) achieves no improvement for these queries, while
+perfect-(4) and re-optimization improve end-to-end latency substantially
+(~25-27%), and re-optimization realizes most of the benefit of perfect
+estimates.  Our engine reproduces the ordering (PostgreSQL slowest, perfect
+fastest, re-optimized close to perfect); the magnitudes differ because the
+substrate is a simulator (see EXPERIMENTS.md).
+"""
+
+from repro.bench.experiments import figure1
+
+from conftest import print_experiment
+
+
+def test_fig1_top20_longest_queries(benchmark, context):
+    result = benchmark.pedantic(figure1, args=(context,), rounds=1, iterations=1)
+    print_experiment(result)
+
+    totals = {row[0]: row[3] for row in result.rows}
+    execs = {row[0]: row[1] for row in result.rows}
+    # The baseline is the slowest; perfect estimates are the fastest.
+    assert totals["PostgreSQL"] == max(totals.values())
+    assert execs["Perfect"] == min(execs.values())
+    # Re-optimization lands between the baseline and perfect estimates and
+    # captures at least half of the achievable improvement in execution time.
+    assert execs["Perfect"] <= execs["Re-optimized"] < execs["PostgreSQL"]
+    achievable = execs["PostgreSQL"] - execs["Perfect"]
+    achieved = execs["PostgreSQL"] - execs["Re-optimized"]
+    assert achieved >= 0.5 * achievable
+    # Perfect-(4) is at least as good as perfect-(3) for the longest queries.
+    assert execs["Perfect-(4)"] <= execs["Perfect-(3)"] * 1.05

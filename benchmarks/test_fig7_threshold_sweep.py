@@ -1,0 +1,39 @@
+"""Figure 7: workload time vs re-optimization threshold (Q-error).
+
+Paper claims: (a) even a threshold of 2 only modestly increases planning time
+while cutting execution time; (b) the best execution time is around a
+threshold of a few tens (the paper picks 32); (c) very large thresholds
+converge back to the no-re-optimization baseline.
+"""
+
+from repro.bench.experiments import figure7
+
+from conftest import print_experiment
+
+THRESHOLDS = (2, 4, 8, 16, 32, 64, 128, 512, 2048, 16384)
+
+
+def test_fig7_threshold_sweep(benchmark, context):
+    result = benchmark.pedantic(
+        figure7, args=(context,), kwargs={"thresholds": THRESHOLDS}, rounds=1, iterations=1
+    )
+    print_experiment(result)
+
+    rows = {row[0]: row for row in result.rows}
+    pg_exec = rows["PG"][1]
+    perfect_exec = rows["Perfect"][1]
+    best_threshold_exec = min(rows[t][1] for t in THRESHOLDS)
+    exec_at_32 = rows[32][1]
+    exec_at_2 = rows[2][1]
+    exec_at_max = rows[16384][1]
+
+    # Re-optimization at moderate thresholds beats the baseline clearly and
+    # sits between the baseline and perfect estimates.
+    assert exec_at_32 < pg_exec * 0.7
+    assert exec_at_32 >= perfect_exec * 0.9
+    # A very aggressive threshold is not catastrophically worse than the best.
+    assert exec_at_2 <= best_threshold_exec * 1.6
+    # ... but it plans more (re-planning rounds are charged).
+    assert rows[2][2] >= rows[16384][2]
+    # A huge threshold approaches the no-re-optimization baseline.
+    assert exec_at_max >= 0.6 * pg_exec

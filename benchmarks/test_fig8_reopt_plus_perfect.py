@@ -1,0 +1,30 @@
+"""Figure 8: perfect-(n) with and without re-optimization.
+
+Paper claim: re-optimization keeps improving execution time on top of
+perfect-(n) until about n = 5, after which the residual estimation errors are
+too small for re-optimization to pay off (and it may add a small overhead).
+"""
+
+from repro.bench.experiments import figure8
+
+from conftest import print_experiment
+
+NS = (0, 1, 2, 3, 4, 5, 6, 8, 10, 13, 17)
+
+
+def test_fig8_perfect_n_with_and_without_reopt(benchmark, context):
+    result = benchmark.pedantic(
+        figure8, args=(context,), kwargs={"ns": NS}, rounds=1, iterations=1
+    )
+    print_experiment(result)
+
+    rows = {row[0]: row for row in result.rows}
+    # Re-optimization helps substantially when estimates are poor (small n)...
+    assert rows[0][2] < rows[0][1] * 0.75
+    assert rows[1][2] < rows[1][1] * 0.9
+    # ...and stops mattering once estimates are close to perfect: the
+    # difference at n=17 stays within a modest overhead factor.
+    assert rows[17][2] <= rows[17][1] * 1.5 + 0.5
+    # Both series improve overall from n=0 to n=17.
+    assert rows[17][1] < rows[0][1]
+    assert rows[17][2] < rows[0][2] * 1.2

@@ -1,0 +1,30 @@
+"""Table I: number of cardinality estimates on joins of N tables.
+
+Paper claim: the optimizer makes thousands of cardinality estimates across
+the workload, the vast majority of them for multi-table joins, with the count
+peaking at mid-sized joins.  Our enumeration reproduces the same hump-shaped
+profile (single-table estimates equal the number of table references; join
+estimates dominate).
+"""
+
+from repro.bench.experiments import table1
+
+from conftest import print_experiment
+
+
+def test_table1_estimate_counts(benchmark, context):
+    result = benchmark.pedantic(table1, args=(context,), rounds=1, iterations=1)
+    print_experiment(result)
+
+    sizes = result.column("tables_in_join")
+    counts = result.column("num_estimates")
+    by_size = dict(zip(sizes, counts))
+    # Single-table estimates equal the total number of table references.
+    expected_base = sum(q.num_tables for q in context.job_queries)
+    assert by_size[1] == expected_base
+    # Join estimates dominate base-table estimates.
+    join_estimates = sum(count for size, count in by_size.items() if size >= 2)
+    assert join_estimates > by_size[1]
+    # The distribution peaks strictly above single joins (hump shape).
+    peak_size = max(by_size, key=by_size.get)
+    assert peak_size >= 2

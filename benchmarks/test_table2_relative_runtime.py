@@ -1,0 +1,23 @@
+"""Table II: per-query runtime with default estimates relative to perfect-(17).
+
+Paper claim: most queries run within 2x of the perfect-estimate plan, but a
+minority (the ">5x" bucket) is dramatically slower and dominates the
+workload gap.  We assert the same bimodal structure.
+"""
+
+from repro.bench.experiments import table2
+
+from conftest import print_experiment
+
+
+def test_table2_relative_runtime(benchmark, context):
+    result = benchmark.pedantic(table2, args=(context,), rounds=1, iterations=1)
+    print_experiment(result)
+
+    counts = dict(zip(result.column("relative_runtime"), result.column("num_queries")))
+    total = sum(counts.values())
+    assert total == len(context.job_queries)
+    # A substantial fraction of queries is already near-optimal...
+    assert counts["0.8 - 1.2"] >= total * 0.25
+    # ...but a non-trivial tail is more than 5x slower than perfect.
+    assert counts["> 5.0"] >= 5

@@ -1,0 +1,25 @@
+"""Table III: number of workload queries with a given number of tables.
+
+The generated workload matches the paper's distribution exactly (113 queries,
+4 to 17 tables).
+"""
+
+from repro.bench.experiments import table3
+from repro.workloads.job import EXPECTED_TABLE_COUNTS
+
+from conftest import print_experiment
+
+
+def test_table3_query_size_distribution(benchmark, context):
+    result = benchmark.pedantic(table3, args=(context,), rounds=1, iterations=1)
+    print_experiment(result)
+
+    distribution = dict(zip(result.column("num_tables"), result.column("num_queries")))
+    if len(context.job_queries) == 113:
+        assert distribution == EXPECTED_TABLE_COUNTS
+        assert sum(distribution.values()) == 113
+    else:
+        # Quick runs restrict the workload; the distribution must still be a
+        # sub-multiset of the paper's Table III.
+        for tables, count in distribution.items():
+            assert count <= EXPECTED_TABLE_COUNTS[tables]

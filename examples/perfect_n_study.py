@@ -1,0 +1,48 @@
+"""Mini perfect-(n) study: how good must cardinality estimates be to matter?
+
+Reproduces the spirit of the paper's Figure 2 on a reduced workload slice so
+it finishes in well under a minute: the total execution time of the slice is
+reported for the default estimator and for perfect-(n) with growing n, plus
+the re-optimization scheme for comparison.
+
+Run with::
+
+    python examples/perfect_n_study.py
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import build_context, run_matrix, total_seconds
+from repro.bench.experiments import perfect_regime, postgres_regime, reoptimized_regime
+from repro.bench.reporting import format_table
+
+
+def main() -> None:
+    print("building the workload context (scale 0.25, first 40 queries)...")
+    context = build_context(scale=0.25, query_limit=40)
+    ns = [1, 2, 3, 4, 5, 8, 17]
+    regimes = [postgres_regime()] + [perfect_regime(context, n) for n in ns]
+    regimes.append(reoptimized_regime(context, threshold=32))
+
+    print(f"running {len(regimes)} regimes over {len(context.job_queries)} queries...")
+    matrix = run_matrix(context, regimes)
+
+    rows = []
+    for regime in regimes:
+        execution, planning = total_seconds(matrix[regime.name])
+        rows.append([regime.name, round(execution, 2), round(planning, 2)])
+    print()
+    print(format_table(["regime", "execute_s", "plan_s"], rows))
+
+    baseline = rows[0][1]
+    perfect = rows[len(ns)][1]
+    reopt = rows[-1][1]
+    print(
+        f"\nperfect estimates recover {100 * (baseline - perfect) / baseline:.0f}% of the "
+        f"baseline execution time; re-optimization recovers "
+        f"{100 * (baseline - reopt) / baseline:.0f}% without any estimator changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: a reproduction of "How I Learned to Stop Worrying and Love Re-optimization".
+
+The package bundles a complete in-memory analytic query engine (catalog,
+storage, SQL front-end, statistics, PostgreSQL-style optimizer, instrumented
+executor), the paper's re-optimization scheme and perfect-(n) oracles, a
+synthetic IMDB / Join-Order-Benchmark workload, and a benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Typical entry points:
+
+* :class:`repro.engine.Database` — the engine substrate.
+* :class:`repro.core.ReoptimizingSession` — run queries with automatic
+  re-optimization.
+* :func:`repro.workloads.build_imdb_database` /
+  :func:`repro.workloads.generate_job_workload` — the benchmark workload.
+* :mod:`repro.bench.experiments` — one function per paper table/figure.
+"""
+
+from repro.core import (
+    ReoptimizationPolicy,
+    ReoptimizationReport,
+    ReoptimizationSimulator,
+    ReoptimizingSession,
+    TrueCardinalityOracle,
+    q_error,
+)
+from repro.engine import Database, EngineSettings, QueryRun
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "EngineSettings",
+    "QueryRun",
+    "ReoptimizationPolicy",
+    "ReoptimizationReport",
+    "ReoptimizationSimulator",
+    "ReoptimizingSession",
+    "ReproError",
+    "TrueCardinalityOracle",
+    "__version__",
+    "q_error",
+]

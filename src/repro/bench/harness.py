@@ -1,0 +1,157 @@
+"""Workload harness: build the benchmark context and run regime matrices.
+
+The context bundles the loaded synthetic IMDB database, the 113-query
+workload, a shared true-cardinality oracle and a result cache.  The cache is
+keyed by ``(regime name, query name)`` so that the many experiments sharing a
+regime (PostgreSQL estimates appear in Figures 1, 2, 7, 9 and Tables II/VI)
+pay for each query exactly once per process.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.4) and the query set can be restricted with
+``REPRO_BENCH_QUERY_LIMIT`` for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench.regimes import QueryOutcome, Regime
+from repro.core.oracle import TrueCardinalityOracle
+from repro.engine.database import Database
+from repro.engine.settings import EngineSettings
+from repro.sql.binder import BoundQuery
+from repro.workloads.imdb import ImdbConfig, ImdbDataset, build_imdb_database
+from repro.workloads.job import JobQuery, JobWorkloadConfig, bind_workload, generate_job_workload
+
+DEFAULT_BENCH_SCALE = 0.3
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+QUERY_LIMIT_ENV_VAR = "REPRO_BENCH_QUERY_LIMIT"
+
+
+@dataclass
+class WorkloadContext:
+    """Everything an experiment needs to run."""
+
+    database: Database
+    dataset: ImdbDataset
+    job_queries: List[JobQuery]
+    bound_queries: Dict[str, BoundQuery]
+    oracle: TrueCardinalityOracle
+    outcome_cache: Dict[Tuple[str, str], QueryOutcome] = field(default_factory=dict)
+
+    def query(self, name: str) -> BoundQuery:
+        """Bound query by workload name (e.g. ``"q10c"``)."""
+        return self.bound_queries[name]
+
+    def query_names(self) -> List[str]:
+        """All workload query names, in workload order."""
+        return [q.name for q in self.job_queries]
+
+
+def env_scale(default: float = DEFAULT_BENCH_SCALE) -> float:
+    """Dataset scale factor from the environment (``REPRO_BENCH_SCALE``)."""
+    try:
+        return float(os.environ.get(SCALE_ENV_VAR, default))
+    except ValueError:
+        return default
+
+
+def env_query_limit() -> Optional[int]:
+    """Optional cap on workload size (``REPRO_BENCH_QUERY_LIMIT``)."""
+    value = os.environ.get(QUERY_LIMIT_ENV_VAR)
+    if not value:
+        return None
+    try:
+        return max(1, int(value))
+    except ValueError:
+        return None
+
+
+def build_context(
+    scale: Optional[float] = None,
+    seed: int = 42,
+    workload_seed: int = 7,
+    settings: Optional[EngineSettings] = None,
+    query_limit: Optional[int] = None,
+) -> WorkloadContext:
+    """Build a fully loaded workload context."""
+    scale = env_scale() if scale is None else scale
+    database, dataset = build_imdb_database(
+        ImdbConfig(scale=scale, seed=seed), settings=settings
+    )
+    job_queries = generate_job_workload(
+        dataset.vocabulary, JobWorkloadConfig(seed=workload_seed)
+    )
+    limit = env_query_limit() if query_limit is None else query_limit
+    if limit is not None:
+        job_queries = job_queries[:limit]
+    bound = bind_workload(database, job_queries)
+    bound_queries = {query.name: query for query in bound}
+    return WorkloadContext(
+        database=database,
+        dataset=dataset,
+        job_queries=job_queries,
+        bound_queries=bound_queries,
+        oracle=TrueCardinalityOracle(database),
+    )
+
+
+def run_query(
+    context: WorkloadContext, regime: Regime, query_name: str
+) -> QueryOutcome:
+    """Run one query under one regime, using the context's outcome cache."""
+    key = (regime.name, query_name)
+    cached = context.outcome_cache.get(key)
+    if cached is not None:
+        return cached
+    outcome = regime.run(context.database, context.query(query_name))
+    context.outcome_cache[key] = outcome
+    return outcome
+
+
+def run_workload(
+    context: WorkloadContext,
+    regime: Regime,
+    query_names: Optional[Sequence[str]] = None,
+    release_oracle_intermediates: bool = True,
+) -> List[QueryOutcome]:
+    """Run a set of queries (default: the whole workload) under one regime."""
+    names = list(query_names) if query_names is not None else context.query_names()
+    outcomes = []
+    for name in names:
+        outcomes.append(run_query(context, regime, name))
+        if release_oracle_intermediates:
+            context.oracle.release_intermediates(context.query(name))
+    return outcomes
+
+
+def run_matrix(
+    context: WorkloadContext,
+    regimes: Sequence[Regime],
+    query_names: Optional[Sequence[str]] = None,
+) -> Dict[str, List[QueryOutcome]]:
+    """Run several regimes over the same queries, query-outer for cache locality.
+
+    Running all regimes of one query back to back lets the oracle reuse its
+    grouped intermediates across the perfect-(n) sweep before they are
+    released, which is what makes the Figure 2 / Figure 8 sweeps tractable.
+    """
+    names = list(query_names) if query_names is not None else context.query_names()
+    results: Dict[str, List[QueryOutcome]] = {regime.name: [] for regime in regimes}
+    for name in names:
+        for regime in regimes:
+            results[regime.name].append(run_query(context, regime, name))
+        context.oracle.release_intermediates(context.query(name))
+    return results
+
+
+def total_seconds(outcomes: Iterable[QueryOutcome]) -> Tuple[float, float]:
+    """Sum ``(execution_seconds, planning_seconds)`` over outcomes."""
+    execution = 0.0
+    planning = 0.0
+    for outcome in outcomes:
+        execution += outcome.execution_seconds
+        planning += outcome.planning_seconds
+    return execution, planning

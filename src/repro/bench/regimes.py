@@ -1,0 +1,154 @@
+"""Estimation/execution regimes compared by the paper.
+
+A *regime* is a way of planning and executing one query:
+
+* ``postgres`` — the plain statistical estimator (the "PostgreSQL" bars);
+* ``perfect-(n)`` — true cardinalities injected for joins of at most ``n``
+  tables (perfect-(17) is "Perfect");
+* ``reoptimized`` — the paper's materialize-and-re-plan scheme, optionally on
+  top of perfect-(n) estimates (Figure 8);
+* ``midquery`` — the pipelined variant without materialization surcharge
+  (ablation).
+
+Regimes produce :class:`QueryOutcome` records with simulated planning and
+execution times, which the experiments aggregate into the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.midquery import MidQueryReoptimizer
+from repro.core.oracle import TrueCardinalityOracle
+from repro.core.reoptimizer import ReoptimizationSimulator
+from repro.core.triggers import ReoptimizationPolicy
+from repro.engine.database import Database
+from repro.optimizer.injection import CardinalityInjector
+from repro.sql.binder import BoundQuery
+
+
+@dataclass
+class QueryOutcome:
+    """Planning/execution accounting of one query under one regime."""
+
+    query_name: str
+    regime: str
+    planning_seconds: float
+    execution_seconds: float
+    rows: int
+    reoptimization_steps: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Planning plus execution."""
+        return self.planning_seconds + self.execution_seconds
+
+
+class Regime:
+    """Interface: run one bound query and account for it."""
+
+    name = "regime"
+
+    def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
+        """Execute ``query`` under this regime."""
+        raise NotImplementedError
+
+
+class PostgresRegime(Regime):
+    """Plain optimizer with its statistical estimates (the baseline)."""
+
+    name = "postgres"
+
+    def __init__(self, injector: Optional[CardinalityInjector] = None) -> None:
+        self._injector = injector
+
+    def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
+        run = database.run(query, injector=self._injector)
+        return QueryOutcome(
+            query_name=query.name or "",
+            regime=self.name,
+            planning_seconds=run.planning_seconds,
+            execution_seconds=run.execution_seconds,
+            rows=len(run.rows),
+        )
+
+
+class PerfectRegime(Regime):
+    """Perfect-(n): true cardinalities for joins of at most ``n`` tables."""
+
+    def __init__(self, oracle: TrueCardinalityOracle, max_tables: int) -> None:
+        self._oracle = oracle
+        self.max_tables = max_tables
+        self.name = f"perfect-{max_tables}"
+
+    def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
+        injector = self._oracle.perfect_injection(self.max_tables)
+        run = database.run(query, injector=injector)
+        return QueryOutcome(
+            query_name=query.name or "",
+            regime=self.name,
+            planning_seconds=run.planning_seconds,
+            execution_seconds=run.execution_seconds,
+            rows=len(run.rows),
+        )
+
+
+class ReoptimizedRegime(Regime):
+    """The paper's re-optimization scheme (optionally on top of perfect-(n))."""
+
+    def __init__(
+        self,
+        policy: Optional[ReoptimizationPolicy] = None,
+        oracle: Optional[TrueCardinalityOracle] = None,
+        perfect_tables: int = 0,
+        name: Optional[str] = None,
+    ) -> None:
+        self.policy = policy or ReoptimizationPolicy()
+        self._oracle = oracle
+        self.perfect_tables = perfect_tables
+        if name is not None:
+            self.name = name
+        elif perfect_tables > 0:
+            self.name = f"reopt+perfect-{perfect_tables}"
+        else:
+            self.name = f"reopt-{int(self.policy.threshold)}"
+
+    def _injector(self) -> Optional[CardinalityInjector]:
+        if self._oracle is not None and self.perfect_tables > 0:
+            return self._oracle.perfect_injection(self.perfect_tables)
+        return None
+
+    def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
+        simulator = ReoptimizationSimulator(database, self.policy)
+        report = simulator.reoptimize(query, injector=self._injector())
+        return QueryOutcome(
+            query_name=query.name or "",
+            regime=self.name,
+            planning_seconds=report.planning_seconds,
+            execution_seconds=report.execution_seconds,
+            rows=len(report.rows),
+            reoptimization_steps=len(report.steps),
+        )
+
+
+class MidQueryRegime(ReoptimizedRegime):
+    """Pipelined re-optimization without materialization surcharge (ablation)."""
+
+    def __init__(
+        self,
+        policy: Optional[ReoptimizationPolicy] = None,
+    ) -> None:
+        super().__init__(policy=policy, name="midquery")
+
+    def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
+        reoptimizer = MidQueryReoptimizer(database, self.policy)
+        report = reoptimizer.reoptimize(query)
+        return QueryOutcome(
+            query_name=query.name or "",
+            regime=self.name,
+            planning_seconds=report.planning_seconds,
+            execution_seconds=report.execution_seconds,
+            rows=len(report.rows),
+            reoptimization_steps=len(report.steps),
+        )

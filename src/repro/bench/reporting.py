@@ -1,0 +1,79 @@
+"""Plain-text rendering of experiment results.
+
+The paper's evaluation artifacts are bar charts, line plots and small tables.
+Offline and dependency-free, we render every artifact as an aligned text
+table (one row per bar / series point / bucket) so the benchmark output can
+be compared side by side with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell >= 100:
+            return f"{cell:.0f}"
+        if cell >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row."""
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-text note shown below the table."""
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        """Render the experiment as the text artifact printed by benchmarks."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Values of one column (for assertions in benchmarks and tests)."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> Optional[List[object]]:
+        """First row whose ``key_column`` equals ``key``."""
+        index = self.headers.index(key_column)
+        for row in self.rows:
+            if row[index] == key:
+                return row
+        return None

@@ -1,0 +1,14 @@
+"""Catalog subsystem: schemas, foreign keys and the table registry."""
+
+from repro.catalog.catalog import Catalog, CatalogEntry
+from repro.catalog.schema import ColumnDef, ColumnType, ForeignKey, TableSchema, make_schema
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "ColumnDef",
+    "ColumnType",
+    "ForeignKey",
+    "TableSchema",
+    "make_schema",
+]

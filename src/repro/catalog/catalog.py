@@ -1,0 +1,115 @@
+"""The catalog: a registry of table schemas, storage handles and statistics.
+
+The catalog is the single object the SQL binder, the optimizer and the
+executor share.  It maps table names to:
+
+* the :class:`~repro.catalog.schema.TableSchema`,
+* the storage object (a :class:`~repro.storage.table.Table`),
+* the per-table statistics produced by ANALYZE
+  (:class:`~repro.stats.column_stats.TableStats`), and
+* any secondary indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.catalog.schema import TableSchema
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.stats.column_stats import TableStats
+    from repro.storage.index import Index
+    from repro.storage.table import Table
+
+
+class CatalogEntry:
+    """Everything the engine knows about one table."""
+
+    def __init__(self, schema: TableSchema, table: "Table") -> None:
+        self.schema = schema
+        self.table = table
+        self.stats: Optional["TableStats"] = None
+        self.indexes: Dict[str, "Index"] = {}
+
+    def index_on(self, column: str) -> Optional["Index"]:
+        """Return an index whose key column is ``column``, if one exists."""
+        return self.indexes.get(column)
+
+
+class Catalog:
+    """Registry of tables known to a :class:`~repro.engine.database.Database`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def table_names(self) -> List[str]:
+        """Names of all registered tables, in registration order."""
+        return list(self._entries)
+
+    def register(self, schema: TableSchema, table: "Table") -> CatalogEntry:
+        """Register a table.
+
+        Raises:
+            CatalogError: if a table with the same name already exists.
+        """
+        if schema.name in self._entries:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        entry = CatalogEntry(schema, table)
+        self._entries[schema.name] = entry
+        return entry
+
+    def drop(self, name: str) -> None:
+        """Remove a table from the catalog.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        if name not in self._entries:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._entries[name]
+
+    def entry(self, name: str) -> CatalogEntry:
+        """Return the :class:`CatalogEntry` for ``name``.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def schema(self, name: str) -> TableSchema:
+        """Return the schema of table ``name``."""
+        return self.entry(name).schema
+
+    def table(self, name: str) -> "Table":
+        """Return the storage object of table ``name``."""
+        return self.entry(name).table
+
+    def stats(self, name: str) -> Optional["TableStats"]:
+        """Return ANALYZE statistics for ``name`` (``None`` before ANALYZE)."""
+        return self.entry(name).stats
+
+    def set_stats(self, name: str, stats: "TableStats") -> None:
+        """Attach ANALYZE statistics to table ``name``."""
+        self.entry(name).stats = stats
+
+    def add_index(self, table_name: str, index: "Index") -> None:
+        """Register a secondary index on ``table_name`` keyed by its column."""
+        entry = self.entry(table_name)
+        entry.indexes[index.column] = index
+
+    def indexes(self, table_name: str) -> Dict[str, "Index"]:
+        """Return the indexes of ``table_name`` keyed by column name."""
+        return self.entry(table_name).indexes

@@ -1,0 +1,138 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (after ``python setup.py develop``)::
+
+    python -m repro.cli list
+    python -m repro.cli run fig1 --scale 0.3
+    python -m repro.cli run table2 fig7 --scale 0.25 --query-limit 60
+    python -m repro.cli run all --scale 0.2 --output results.txt
+
+Every experiment prints the same text table the corresponding benchmark
+prints, so the CLI is the quickest way to eyeball a single figure without
+going through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import experiments as exp
+from repro.bench.harness import WorkloadContext, build_context
+from repro.bench.reporting import ExperimentResult
+
+#: Experiment registry: id -> (description, needs_context, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig1": ("top-20 longest queries under five regimes", True, exp.figure1),
+    "fig2": ("perfect-(n) sweep over the whole workload", True, exp.figure2),
+    "fig5": ("LEO-style iterative estimate correction", True, exp.figure5),
+    "fig6": ("the re-optimization rewrite example", True, exp.figure6),
+    "fig7": ("re-optimization threshold sweep", True, exp.figure7),
+    "fig8": ("perfect-(n) with and without re-optimization", True, exp.figure8),
+    "fig9": ("per-query comparison (baseline / re-opt / perfect)", True, exp.figure9),
+    "table1": ("number of cardinality estimates per join size", True, exp.table1),
+    "table2": ("per-query runtime relative to perfect-(17)", True, exp.table2),
+    "table3": ("queries per table count", True, exp.table3),
+    "table45": ("the Nasdaq skew example", False, exp.table45),
+    "table6": ("runtime after re-optimization relative to perfect-(17)", True, exp.table6),
+    "ablation-site": ("lowest vs highest trigger join", True, exp.ablation_trigger_site),
+    "ablation-stats": ("ANALYZE vs no ANALYZE on temp tables", True, exp.ablation_temp_table_stats),
+    "ablation-midquery": ("materializing vs pipelined re-optimization", True, exp.ablation_midquery),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reproduce the paper's tables and figures."
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    run.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    run.add_argument("--seed", type=int, default=42, help="dataset seed")
+    run.add_argument(
+        "--query-limit", type=int, default=None, help="restrict the workload to the first N queries"
+    )
+    run.add_argument("--output", type=str, default=None, help="also write results to this file")
+    return parser
+
+
+def _resolve_ids(requested: List[str]) -> List[str]:
+    if any(item == "all" for item in requested):
+        return list(EXPERIMENTS)
+    unknown = [item for item in requested if item not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(f"unknown experiment(s): {', '.join(unknown)} (try 'list')")
+    return requested
+
+
+def run_experiments(
+    ids: List[str],
+    scale: Optional[float] = None,
+    seed: int = 42,
+    query_limit: Optional[int] = None,
+    emit: Callable[[str], None] = print,
+) -> List[ExperimentResult]:
+    """Run the requested experiments and emit their text artifacts."""
+    ids = _resolve_ids(ids)
+    context: Optional[WorkloadContext] = None
+    results: List[ExperimentResult] = []
+    for experiment_id in ids:
+        _, needs_context, runner = EXPERIMENTS[experiment_id]
+        start = time.perf_counter()
+        if needs_context:
+            if context is None:
+                emit(f"# building workload context (scale={scale or 'default'})...")
+                context = build_context(scale=scale, seed=seed, query_limit=query_limit)
+            result = runner(context)
+        else:
+            result = runner()
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        emit("")
+        emit(result.to_text())
+        emit(f"# ({experiment_id} regenerated in {elapsed:.1f}s wall)")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(key) for key in EXPERIMENTS)
+        for key, (description, _, _) in EXPERIMENTS.items():
+            print(f"{key.ljust(width)}  {description}")
+        return 0
+
+    lines: List[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        lines.append(text)
+
+    run_experiments(
+        _resolve_ids(args.experiments),
+        scale=args.scale,
+        seed=args.seed,
+        query_limit=args.query_limit,
+        emit=emit,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"# wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Core contribution: re-optimization, perfect-(n) oracles, feedback loops."""
+
+from repro.core.feedback import FeedbackIteration, FeedbackLoop, FeedbackResult
+from repro.core.midquery import MidQueryReoptimizer
+from repro.core.oracle import TrueCardinalityOracle
+from repro.core.reoptimizer import (
+    ReoptimizationReport,
+    ReoptimizationSimulator,
+    ReoptimizationStep,
+)
+from repro.core.session import ReoptimizingSession, SessionQueryResult
+from repro.core.triggers import (
+    DEFAULT_THRESHOLD,
+    ReoptimizationPolicy,
+    find_trigger_join,
+    q_error,
+    violating_joins,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "FeedbackIteration",
+    "FeedbackLoop",
+    "FeedbackResult",
+    "MidQueryReoptimizer",
+    "ReoptimizationPolicy",
+    "ReoptimizationReport",
+    "ReoptimizationSimulator",
+    "ReoptimizationStep",
+    "ReoptimizingSession",
+    "SessionQueryResult",
+    "TrueCardinalityOracle",
+    "find_trigger_join",
+    "q_error",
+    "violating_joins",
+]

@@ -1,0 +1,276 @@
+"""The paper's re-optimization scheme (Section V).
+
+For a planned query, compare every join's actual cardinality with the
+optimizer's estimate.  If the lowest join in the plan tree is off by more
+than a Q-error threshold, materialize that sub-join into a temporary table,
+rewrite the remainder of the query to use the temporary table, re-plan, and
+repeat until no join violates the threshold.
+
+Accounting follows the paper:
+
+* execution time = sum of the work to create every temporary table plus the
+  work of the final SELECT;
+* planning time = planning of the original query plus planning of every
+  rewritten query;
+* the exploratory executions used (like the paper's ``EXPLAIN ANALYZE``) to
+  discover actual cardinalities are *not* charged — a real mid-query
+  implementation would obtain them for free while executing the sub-join it
+  is about to materialize anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.errors import ReoptimizationError
+from repro.executor.executor import ExecutionResult, WORK_UNITS_PER_SECOND
+from repro.optimizer.injection import CardinalityInjector
+from repro.optimizer.optimizer import PLANNING_UNITS_PER_SECOND, PlannedQuery
+from repro.core.triggers import ReoptimizationPolicy, find_trigger_join, q_error
+from repro.sql.ast import ColumnRef, SelectItem
+from repro.sql.binder import BoundQuery
+from repro.sql.builder import collapse_aliases, referenced_columns
+
+
+@dataclass
+class ReoptimizationStep:
+    """One materialize-and-re-plan round."""
+
+    index: int
+    trigger_label: str
+    trigger_aliases: Tuple[str, ...]
+    estimated_rows: float
+    actual_rows: int
+    q_error: float
+    temp_table: str
+    temp_rows: int
+    charged_work: float
+    materialize_work: float
+    create_sql: str
+
+
+@dataclass
+class ReoptimizationReport:
+    """Outcome of re-optimizing (or deciding not to re-optimize) one query."""
+
+    query_name: Optional[str]
+    steps: List[ReoptimizationStep] = field(default_factory=list)
+    final_planned: Optional[PlannedQuery] = None
+    final_execution: Optional[ExecutionResult] = None
+    final_query: Optional[BoundQuery] = None
+    total_planning_work: float = 0.0
+    total_execution_work: float = 0.0
+
+    @property
+    def reoptimized(self) -> bool:
+        """True if at least one temporary table was created."""
+        return bool(self.steps)
+
+    @property
+    def planning_seconds(self) -> float:
+        """Simulated planning time including all re-planning rounds."""
+        return self.total_planning_work / PLANNING_UNITS_PER_SECOND
+
+    @property
+    def execution_seconds(self) -> float:
+        """Simulated execution time (temp-table creation plus final SELECT)."""
+        return self.total_execution_work / WORK_UNITS_PER_SECOND
+
+    @property
+    def total_seconds(self) -> float:
+        """Planning plus execution, in simulated seconds."""
+        return self.planning_seconds + self.execution_seconds
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Rows of the final result."""
+        if self.final_execution is None:
+            return []
+        return self.final_execution.result.rows
+
+    def rewritten_sql(self) -> str:
+        """The full rewritten script (CREATE TEMP TABLE ... ; final SELECT)."""
+        parts = [step.create_sql for step in self.steps]
+        if self.final_query is not None:
+            parts.append(self.final_query.to_sql())
+        return "\n\n".join(parts)
+
+
+class ReoptimizationSimulator:
+    """Drives the materialize-and-re-plan loop against a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Database,
+        policy: Optional[ReoptimizationPolicy] = None,
+    ) -> None:
+        self._database = database
+        self.policy = policy or ReoptimizationPolicy()
+
+    def reoptimize(
+        self,
+        query: BoundQuery,
+        injector: Optional[CardinalityInjector] = None,
+        keep_temp_tables: bool = False,
+    ) -> ReoptimizationReport:
+        """Run the re-optimization scheme on one bound query.
+
+        Args:
+            query: the original bound query.
+            injector: optional cardinality injector applied to every planning
+                round (used by the Figure 8 perfect-(n) + re-optimization
+                experiment).
+            keep_temp_tables: keep the temporary tables in the catalog after
+                returning (the examples use this to inspect them); by default
+                they are dropped.
+        """
+        db = self._database
+        policy = self.policy
+        report = ReoptimizationReport(query_name=query.name)
+        current = query
+        temp_tables: List[str] = []
+
+        try:
+            for iteration in range(policy.max_iterations + 1):
+                planned = db.plan(current, injector=injector)
+                report.total_planning_work += planned.stats.planning_work
+                execution = db.execute_plan(planned)
+
+                trigger = None
+                can_still_rewrite = (
+                    iteration < policy.max_iterations and current.num_tables() > 1
+                )
+                if can_still_rewrite and not self._too_short(iteration, execution):
+                    trigger = find_trigger_join(planned.plan, policy)
+
+                if trigger is None:
+                    report.total_execution_work += execution.total_work
+                    report.final_planned = planned
+                    report.final_execution = execution
+                    report.final_query = current
+                    break
+
+                current = self._materialize_and_rewrite(
+                    current, planned, trigger, iteration, report, temp_tables
+                )
+            else:  # pragma: no cover - loop always breaks
+                raise ReoptimizationError(
+                    f"re-optimization of {query.name!r} did not terminate"
+                )
+        finally:
+            if not keep_temp_tables:
+                for name in temp_tables:
+                    if name in db.catalog:
+                        db.drop_table(name)
+        return report
+
+    # -- internals --------------------------------------------------------------
+
+    def _too_short(self, iteration: int, execution: ExecutionResult) -> bool:
+        """Skip re-optimization for queries below the policy's length cutoff."""
+        if iteration > 0:
+            return False
+        return execution.simulated_seconds < self.policy.min_query_seconds
+
+    def _materialize_and_rewrite(
+        self,
+        current: BoundQuery,
+        planned: PlannedQuery,
+        trigger,
+        iteration: int,
+        report: ReoptimizationReport,
+        temp_tables: List[str],
+    ) -> BoundQuery:
+        db = self._database
+        sub_execution = db.executor.execute(trigger)
+        needed = referenced_columns(current, trigger.aliases)
+        if not needed:
+            # Nothing above references the sub-join (it is the whole query);
+            # still expose one join column so the rewrite stays well-formed.
+            alias = sorted(trigger.aliases)[0]
+            table = current.table_for(alias)
+            first_column = db.catalog.schema(table).column_names[0]
+            needed = [(alias, first_column)]
+        mapping: Dict[Tuple[str, str], str] = {
+            (alias, column): f"{alias}_{column}" for alias, column in needed
+        }
+        temp_name = db.next_temp_table_name()
+        db.create_temp_table_from_result(
+            temp_name,
+            sub_execution.result,
+            [((alias, column), mapping[(alias, column)]) for alias, column in needed],
+            alias_tables=current.alias_tables,
+            analyze=self.policy.analyze_temp_tables,
+        )
+        temp_tables.append(temp_name)
+
+        materialize_work = db.cost_model.materialize_cost(
+            len(sub_execution.result), len(needed)
+        )
+        charged = sub_execution.total_work + materialize_work
+        report.total_execution_work += charged
+
+        error = q_error(trigger.estimated_rows, trigger.actual_rows or 0)
+        create_sql = self._render_create_sql(current, trigger.aliases, temp_name, mapping)
+        report.steps.append(
+            ReoptimizationStep(
+                index=iteration,
+                trigger_label=trigger.label(),
+                trigger_aliases=tuple(sorted(trigger.aliases)),
+                estimated_rows=trigger.estimated_rows,
+                actual_rows=trigger.actual_rows or 0,
+                q_error=error,
+                temp_table=temp_name,
+                temp_rows=len(sub_execution.result),
+                charged_work=charged,
+                materialize_work=materialize_work,
+                create_sql=create_sql,
+            )
+        )
+
+        rewritten = collapse_aliases(
+            current,
+            sorted(trigger.aliases),
+            temp_table=temp_name,
+            temp_alias=temp_name,
+            column_mapping=mapping,
+        )
+        base_name = report.query_name or "query"
+        rewritten.name = f"{base_name}#reopt{iteration + 1}"
+        return rewritten
+
+    @staticmethod
+    def _render_create_sql(
+        query: BoundQuery,
+        aliases,
+        temp_name: str,
+        mapping: Dict[Tuple[str, str], str],
+    ) -> str:
+        """Render the CREATE TEMP TABLE statement of one materialization step."""
+        alias_list = sorted(aliases)
+        sub_query = BoundQuery(
+            name=None,
+            aliases=alias_list,
+            alias_tables={alias: query.table_for(alias) for alias in alias_list},
+            select_items=[
+                SelectItem(
+                    column=ColumnRef(alias=alias, column=column),
+                    output_name=new_name,
+                )
+                for (alias, column), new_name in mapping.items()
+            ],
+            filters={
+                alias: list(query.filters_for(alias))
+                for alias in alias_list
+                if query.filters_for(alias)
+            },
+            joins=[
+                join
+                for join in query.joins
+                if join.left_alias in aliases and join.right_alias in aliases
+            ],
+        )
+        select_sql = sub_query.to_sql()
+        return f"CREATE TEMP TABLE {temp_name} AS\n{select_sql}"

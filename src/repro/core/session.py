@@ -1,0 +1,81 @@
+"""High-level session API.
+
+:class:`ReoptimizingSession` is the public "product" interface a downstream
+user would adopt: point it at a loaded :class:`~repro.engine.database.Database`
+and run SQL; every query is transparently re-optimized when its plan's
+cardinality estimates turn out to be badly wrong, following the paper's
+recommendation to re-optimize only long-running queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.core.reoptimizer import ReoptimizationReport, ReoptimizationSimulator
+from repro.core.triggers import ReoptimizationPolicy
+from repro.engine.database import Database, QueryRun
+from repro.sql.binder import BoundQuery
+
+
+@dataclass
+class SessionQueryResult:
+    """What a session returns for one statement."""
+
+    report: ReoptimizationReport
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Rows of the final result."""
+        return self.report.rows
+
+    @property
+    def reoptimized(self) -> bool:
+        """True if the query was re-planned at least once."""
+        return self.report.reoptimized
+
+    @property
+    def execution_seconds(self) -> float:
+        """Simulated execution time (including temp-table materialization)."""
+        return self.report.execution_seconds
+
+    @property
+    def planning_seconds(self) -> float:
+        """Simulated planning time (including re-planning rounds)."""
+        return self.report.planning_seconds
+
+
+class ReoptimizingSession:
+    """Runs queries with automatic mid-query re-optimization."""
+
+    def __init__(
+        self,
+        database: Database,
+        policy: Optional[ReoptimizationPolicy] = None,
+    ) -> None:
+        self.database = database
+        self.policy = policy or ReoptimizationPolicy()
+        self._simulator = ReoptimizationSimulator(database, self.policy)
+        self.history: List[SessionQueryResult] = []
+
+    def execute(self, query: Union[str, BoundQuery]) -> SessionQueryResult:
+        """Plan, execute and (when triggered) re-optimize one query."""
+        bound = self.database.parse(query) if isinstance(query, str) else query
+        report = self._simulator.reoptimize(bound)
+        result = SessionQueryResult(report=report)
+        self.history.append(result)
+        return result
+
+    def execute_without_reoptimization(
+        self, query: Union[str, BoundQuery]
+    ) -> QueryRun:
+        """Run a query with the plain optimizer, for comparison."""
+        return self.database.run(query)
+
+    def total_execution_seconds(self) -> float:
+        """Total simulated execution time across the session's history."""
+        return sum(result.execution_seconds for result in self.history)
+
+    def total_planning_seconds(self) -> float:
+        """Total simulated planning time across the session's history."""
+        return sum(result.planning_seconds for result in self.history)

@@ -1,0 +1,89 @@
+"""Re-optimization triggers.
+
+The paper triggers re-optimization when the Q-error of a join — the ratio
+between the larger and the smaller of (estimated, actual) cardinality —
+exceeds a threshold, and it materializes the *lowest* such join in the plan
+tree.  This module provides the Q-error metric, the trigger policy object and
+the plan inspection helpers shared by the re-optimization simulator and the
+mid-query re-optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.optimizer.plan import JoinNode, PlanNode
+
+#: The threshold the paper settles on after the Figure 7 sweep.
+DEFAULT_THRESHOLD = 32.0
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """Q-error between an estimate and an actual cardinality.
+
+    Both quantities are clamped below at one row, following Moerkotte et
+    al.'s convention, so empty results do not produce infinite errors.
+    """
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return max(est / act, act / est)
+
+
+@dataclass
+class ReoptimizationPolicy:
+    """Configuration of the re-optimization scheme.
+
+    Attributes:
+        threshold: Q-error above which a join triggers re-optimization.
+        trigger_site: ``"lowest"`` materializes the lowest violating join in
+            the plan (the paper's choice); ``"highest"`` is the ablation that
+            materializes the largest violating sub-join instead.
+        max_iterations: hard cap on materialize/re-plan rounds per query.
+        min_query_seconds: queries whose first estimated execution time is
+            below this value are not re-optimized (the paper notes that
+            re-optimizing very short queries cannot pay off).
+        analyze_temp_tables: ANALYZE each temporary table before re-planning
+            (ablation knob; the true row count is always known).
+    """
+
+    threshold: float = DEFAULT_THRESHOLD
+    trigger_site: str = "lowest"
+    max_iterations: int = 16
+    min_query_seconds: float = 0.0
+    analyze_temp_tables: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1.0:
+            raise ValueError("the re-optimization threshold must be at least 1")
+        if self.trigger_site not in ("lowest", "highest"):
+            raise ValueError("trigger_site must be 'lowest' or 'highest'")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be positive")
+
+
+def violating_joins(plan: PlanNode, threshold: float) -> List[JoinNode]:
+    """Executed joins whose Q-error exceeds ``threshold``, bottom-up order."""
+    violations: List[JoinNode] = []
+    for join in plan.join_nodes():
+        if join.actual_rows is None:
+            continue
+        if q_error(join.estimated_rows, join.actual_rows) > threshold:
+            violations.append(join)
+    return violations
+
+
+def find_trigger_join(
+    plan: PlanNode, policy: ReoptimizationPolicy
+) -> Optional[JoinNode]:
+    """The join whose mis-estimation should trigger re-optimization, if any.
+
+    With ``trigger_site == "lowest"`` the first violating join in bottom-up
+    order is returned (fewest tables involved); with ``"highest"`` the last.
+    """
+    violations = violating_joins(plan, policy.threshold)
+    if not violations:
+        return None
+    if policy.trigger_site == "lowest":
+        return violations[0]
+    return violations[-1]

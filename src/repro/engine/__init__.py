@@ -1,0 +1,6 @@
+"""Engine facade: the ``Database`` entry point and engine settings."""
+
+from repro.engine.database import Database, QueryRun
+from repro.engine.settings import EngineSettings
+
+__all__ = ["Database", "EngineSettings", "QueryRun"]

@@ -1,0 +1,244 @@
+"""The ``Database`` facade: the public entry point of the engine substrate.
+
+A :class:`Database` owns a catalog, an optimizer and an executor, and exposes
+the operations the workloads, examples and the re-optimization driver need:
+
+* DDL/loading: :meth:`create_table`, :meth:`load_rows`, :meth:`analyze`
+* querying: :meth:`parse`, :meth:`plan`, :meth:`run`, :meth:`explain`
+* re-optimization support: :meth:`create_temp_table_from_result`,
+  :meth:`drop_table`
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnDef, ColumnType, TableSchema
+from repro.engine.settings import EngineSettings
+from repro.errors import CatalogError
+from repro.executor.executor import ExecutionResult, Executor
+from repro.executor.explain import explain_plan
+from repro.executor.operators import ResultSet
+from repro.optimizer.cost import CostModel
+from repro.optimizer.injection import CardinalityInjector
+from repro.optimizer.optimizer import Optimizer, PlannedQuery
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.parser import parse_select
+from repro.stats.analyze import analyze_table
+from repro.storage.index import HashIndex, build_foreign_key_indexes
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryRun:
+    """A planned and executed query with its combined accounting."""
+
+    planned: PlannedQuery
+    execution: ExecutionResult
+
+    @property
+    def planning_seconds(self) -> float:
+        """Simulated planning time."""
+        return self.planned.stats.planning_seconds
+
+    @property
+    def execution_seconds(self) -> float:
+        """Simulated execution time."""
+        return self.execution.simulated_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Planning plus execution, in simulated seconds."""
+        return self.planning_seconds + self.execution_seconds
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Rows of the final result."""
+        return self.execution.result.rows
+
+
+class Database:
+    """An in-memory analytic database instance."""
+
+    def __init__(self, settings: Optional[EngineSettings] = None) -> None:
+        self.settings = settings or EngineSettings()
+        self.catalog = Catalog()
+        self.optimizer = Optimizer(
+            self.catalog,
+            cost_params=self.settings.cost,
+            planner_config=self.settings.planner,
+        )
+        self.cost_model = CostModel(self.catalog, self.settings.cost)
+        self.executor = Executor(self.catalog, self.cost_model)
+        self.binder = Binder(self.catalog)
+        self._temp_counter = 0
+
+    # -- DDL and loading ----------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table and register it in the catalog."""
+        table = Table(schema)
+        self.catalog.register(schema, table)
+        return table
+
+    def load_rows(
+        self, table_name: str, rows: Iterable[Union[Sequence, Dict[str, object]]]
+    ) -> int:
+        """Load rows (tuples in schema order, or dicts) into ``table_name``."""
+        table = self.catalog.table(table_name)
+        count = 0
+        for row in rows:
+            if isinstance(row, dict):
+                table.insert_dicts([row])
+            else:
+                table.insert_row(row)
+            count += 1
+        return count
+
+    def build_indexes(self, table_name: Optional[str] = None) -> None:
+        """Build primary/foreign-key hash indexes (all tables by default)."""
+        names = [table_name] if table_name else self.catalog.table_names()
+        for name in names:
+            table = self.catalog.table(name)
+            for index in build_foreign_key_indexes(table):
+                self.catalog.add_index(name, index)
+
+    def create_index(self, table_name: str, column: str) -> None:
+        """Build an additional hash index on ``table_name.column``."""
+        table = self.catalog.table(table_name)
+        self.catalog.add_index(table_name, HashIndex(table, column))
+
+    def analyze(self, tables: Optional[Iterable[str]] = None) -> None:
+        """Run ANALYZE over ``tables`` (default: all tables)."""
+        names = list(tables) if tables is not None else self.catalog.table_names()
+        for name in names:
+            entry = self.catalog.entry(name)
+            self.catalog.set_stats(
+                name, analyze_table(entry.table, self.settings.statistics_target)
+            )
+
+    def finalize_load(self) -> None:
+        """Convenience: build configured indexes and ANALYZE everything."""
+        if self.settings.auto_foreign_key_indexes:
+            self.build_indexes()
+        self.analyze()
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (used to clean up temporary tables)."""
+        self.catalog.drop(name)
+
+    # -- querying -------------------------------------------------------------
+
+    def parse(self, sql: str, name: Optional[str] = None) -> BoundQuery:
+        """Parse and bind a SQL SELECT statement."""
+        return self.binder.bind(parse_select(sql, name=name))
+
+    def _as_bound(self, query: Union[str, BoundQuery]) -> BoundQuery:
+        if isinstance(query, str):
+            return self.parse(query)
+        return query
+
+    def plan(
+        self,
+        query: Union[str, BoundQuery],
+        injector: Optional[CardinalityInjector] = None,
+    ) -> PlannedQuery:
+        """Optimize a query (SQL text or bound query)."""
+        return self.optimizer.plan(self._as_bound(query), injector=injector)
+
+    def execute_plan(self, planned: PlannedQuery) -> ExecutionResult:
+        """Execute a previously planned query."""
+        return self.executor.execute(planned.plan)
+
+    def run(
+        self,
+        query: Union[str, BoundQuery],
+        injector: Optional[CardinalityInjector] = None,
+    ) -> QueryRun:
+        """Plan and execute a query in one call."""
+        planned = self.plan(query, injector=injector)
+        execution = self.execute_plan(planned)
+        return QueryRun(planned=planned, execution=execution)
+
+    def explain(
+        self,
+        query: Union[str, BoundQuery],
+        injector: Optional[CardinalityInjector] = None,
+        analyze: bool = False,
+    ) -> str:
+        """Return the EXPLAIN (or EXPLAIN ANALYZE) text of a query."""
+        planned = self.plan(query, injector=injector)
+        execution = self.execute_plan(planned) if analyze else None
+        return explain_plan(planned.plan, execution)
+
+    # -- temporary tables (re-optimization support) ------------------------------
+
+    def next_temp_table_name(self, base: str = "temp") -> str:
+        """Generate a fresh temporary table name."""
+        self._temp_counter += 1
+        return f"__{base}{self._temp_counter}"
+
+    def create_temp_table_from_result(
+        self,
+        name: str,
+        result: ResultSet,
+        columns: Sequence[Tuple[Tuple[str, str], str]],
+        alias_tables: Optional[Dict[str, str]] = None,
+        analyze: Optional[bool] = None,
+    ) -> Table:
+        """Materialize selected columns of a result set into a new table.
+
+        Args:
+            name: catalog name of the temporary table.
+            result: the result set to materialize.
+            columns: sequence of ``((source_alias, source_column), new_name)``
+                describing which result columns to keep and what to call them.
+            alias_tables: optional mapping from result alias to the catalog
+                table it came from; used to carry column types over exactly.
+            analyze: whether to ANALYZE the new table (defaults to the
+                engine-wide ``analyze_temp_tables`` setting).
+
+        Returns:
+            The storage object of the created table.
+        """
+        if name in self.catalog:
+            raise CatalogError(f"temporary table {name!r} already exists")
+        column_defs = []
+        positions = []
+        for (source_alias, source_column), new_name in columns:
+            col_type = None
+            if alias_tables and source_alias in alias_tables:
+                source_schema = self.catalog.schema(alias_tables[source_alias])
+                if source_schema.has_column(source_column):
+                    col_type = source_schema.column(source_column).col_type
+            if col_type is None:
+                col_type = _infer_type(result.column_values(source_alias, source_column))
+            column_defs.append(ColumnDef(new_name, col_type))
+            positions.append(result.column_position(source_alias, source_column))
+        schema = TableSchema(name=name, columns=tuple(column_defs))
+        table = self.create_table(schema)
+        for row in result.rows:
+            table.insert_row([row[p] for p in positions])
+        do_analyze = self.settings.analyze_temp_tables if analyze is None else analyze
+        if do_analyze:
+            self.catalog.set_stats(
+                name, analyze_table(table, self.settings.statistics_target)
+            )
+        return table
+
+
+def _infer_type(values: Iterable[object]) -> ColumnType:
+    """Infer a column type from sample values (fallback for derived columns)."""
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return ColumnType.INT
+        if isinstance(value, int):
+            return ColumnType.INT
+        if isinstance(value, float):
+            return ColumnType.FLOAT
+        return ColumnType.TEXT
+    return ColumnType.INT

@@ -1,0 +1,37 @@
+"""Engine-wide settings.
+
+Collects the knobs the paper's experimental setup mentions (statistics
+target, planner limits, cost constants) into one object so that benchmarks
+and tests can spin up differently configured engines succinctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.cost import CostParameters
+from repro.optimizer.enumeration import PlannerConfig
+
+
+@dataclass
+class EngineSettings:
+    """Configuration for a :class:`~repro.engine.database.Database`.
+
+    Attributes:
+        statistics_target: MCV entries / histogram buckets per column
+            (the paper maxes out PostgreSQL's ``default_statistics_target``;
+            our ANALYZE is exact regardless, see ``repro.stats.analyze``).
+        planner: join-enumeration limits.
+        cost: cost model constants.
+        auto_foreign_key_indexes: build hash indexes on primary and foreign
+            keys at load time (the paper adds foreign-key indexes to make
+            access-path selection harder).
+        analyze_temp_tables: whether temporary tables created by the
+            re-optimizer are ANALYZEd before re-planning (ablation knob).
+    """
+
+    statistics_target: int = 100
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+    cost: CostParameters = field(default_factory=CostParameters)
+    auto_foreign_key_indexes: bool = True
+    analyze_temp_tables: bool = True

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro query engine.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the engine can catch a single base class.  The
+sub-classes mirror the major subsystems (catalog, SQL front-end, planning,
+execution) which makes test assertions and error handling in the benchmark
+harness precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """Schema or catalog level problem (unknown table, duplicate column...)."""
+
+
+class StorageError(ReproError):
+    """Problem at the storage layer (bad row width, type mismatch on load)."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SQLError):
+    """The SQL text contains a character sequence that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The token stream does not form a supported SQL statement."""
+
+
+class BindError(SQLError):
+    """A parsed query references tables or columns that do not exist."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for a bound query."""
+
+
+class CardinalityError(PlanningError):
+    """A cardinality estimate was requested for an unknown relation set."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class ReoptimizationError(ReproError):
+    """The re-optimization driver reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation was asked for an impossible configuration."""

@@ -1,0 +1,23 @@
+"""Executor subsystem: operators, instrumented execution, EXPLAIN rendering."""
+
+from repro.executor.executor import (
+    ExecutionResult,
+    Executor,
+    NodeMetrics,
+    WORK_UNITS_PER_SECOND,
+)
+from repro.executor.explain import estimation_errors, explain_plan
+from repro.executor.operators import ResultSet, aggregate_result, join_results, scan_table
+
+__all__ = [
+    "ExecutionResult",
+    "Executor",
+    "NodeMetrics",
+    "ResultSet",
+    "WORK_UNITS_PER_SECOND",
+    "aggregate_result",
+    "estimation_errors",
+    "explain_plan",
+    "join_results",
+    "scan_table",
+]

@@ -1,0 +1,67 @@
+"""EXPLAIN / EXPLAIN ANALYZE rendering of physical plans.
+
+The output format intentionally resembles PostgreSQL's: one line per node,
+indented by depth, showing the optimizer's estimates and — after execution —
+the actual row counts and work.  The re-optimization examples and the
+deep-dive example scripts print these trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.executor.executor import ExecutionResult
+from repro.optimizer.plan import PlanNode
+
+
+def explain_plan(plan: PlanNode, analyze: Optional[ExecutionResult] = None) -> str:
+    """Render ``plan`` as an indented text tree.
+
+    Args:
+        plan: the plan root.
+        analyze: execution result; when given, actual row counts and work are
+            appended to every node line (EXPLAIN ANALYZE style).
+    """
+    lines: List[str] = []
+    _render(plan, 0, lines, analyze)
+    return "\n".join(lines)
+
+
+def _render(
+    node: PlanNode, depth: int, lines: List[str], analyze: Optional[ExecutionResult]
+) -> None:
+    indent = "  " * depth
+    arrow = "-> " if depth else ""
+    text = (
+        f"{indent}{arrow}{node.label()}  "
+        f"(est_rows={node.estimated_rows:.0f} est_cost={node.estimated_cost:.1f}"
+    )
+    if analyze is not None and node.node_id in analyze.node_metrics:
+        metrics = analyze.node_metrics[node.node_id]
+        text += f" actual_rows={metrics.actual_rows} work={metrics.work:.1f}"
+    elif node.actual_rows is not None:
+        text += f" actual_rows={node.actual_rows}"
+    text += ")"
+    lines.append(text)
+    for child in node.children():
+        _render(child, depth + 1, lines, analyze)
+
+
+def estimation_errors(plan: PlanNode) -> List[str]:
+    """Summarize estimated-vs-actual discrepancies of all joins in a plan.
+
+    Only meaningful after the plan has been executed.  Used by examples and
+    by tests asserting that the instrumentation is populated.
+    """
+    from repro.core.triggers import q_error
+
+    lines: List[str] = []
+    for join in plan.join_nodes():
+        if join.actual_rows is None:
+            continue
+        error = q_error(join.estimated_rows, join.actual_rows)
+        lines.append(
+            f"{join.label()}: est={join.estimated_rows:.0f} "
+            f"actual={join.actual_rows} q_error={error:.1f}"
+        )
+    return lines

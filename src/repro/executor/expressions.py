@@ -1,0 +1,115 @@
+"""Predicate compilation and evaluation.
+
+Filter predicates are compiled once per plan into plain Python callables that
+take a row tuple and return a boolean.  SQL ``LIKE`` patterns are translated
+to compiled regular expressions (with caching) so repeated evaluation stays
+cheap.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    Predicate,
+)
+
+RowPredicate = Callable[[tuple], bool]
+
+
+@lru_cache(maxsize=4096)
+def like_pattern_to_regex(pattern: str) -> "re.Pattern":
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    parts: List[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+def like_match(value: object, pattern: str) -> bool:
+    """SQL LIKE semantics; NULL never matches."""
+    if value is None:
+        return False
+    return like_pattern_to_regex(pattern).match(str(value)) is not None
+
+
+class ColumnResolver:
+    """Maps qualified ``(alias, column)`` pairs to row tuple positions."""
+
+    def __init__(self, columns: Sequence[Tuple[str, str]]) -> None:
+        self._positions: Dict[Tuple[str, str], int] = {
+            (alias, column): index for index, (alias, column) in enumerate(columns)
+        }
+        self.columns: Tuple[Tuple[str, str], ...] = tuple(columns)
+
+    def position(self, alias: str, column: str) -> int:
+        """Index of ``alias.column`` in the row tuple."""
+        try:
+            return self._positions[(alias, column)]
+        except KeyError:
+            raise ExecutionError(
+                f"column {alias}.{column} is not available in this intermediate result"
+            ) from None
+
+    def has(self, alias: str, column: str) -> bool:
+        """True if the column is available."""
+        return (alias, column) in self._positions
+
+
+def compile_predicate(predicate: Predicate, resolver: ColumnResolver) -> RowPredicate:
+    """Compile a filter predicate into a row-level boolean function."""
+    if isinstance(predicate, ComparisonPredicate):
+        index = resolver.position(predicate.column.alias, predicate.column.column)
+        op = predicate.op
+        value = predicate.value
+        return lambda row: op.evaluate(row[index], value)
+    if isinstance(predicate, InPredicate):
+        index = resolver.position(predicate.column.alias, predicate.column.column)
+        values = set(predicate.values)
+        return lambda row: row[index] is not None and row[index] in values
+    if isinstance(predicate, LikePredicate):
+        index = resolver.position(predicate.column.alias, predicate.column.column)
+        regex = like_pattern_to_regex(predicate.pattern)
+        if predicate.negated:
+            return lambda row: row[index] is not None and not regex.match(str(row[index]))
+        return lambda row: row[index] is not None and bool(regex.match(str(row[index])))
+    if isinstance(predicate, BetweenPredicate):
+        index = resolver.position(predicate.column.alias, predicate.column.column)
+        low = predicate.low
+        high = predicate.high
+        return lambda row: row[index] is not None and low <= row[index] <= high
+    if isinstance(predicate, NullPredicate):
+        index = resolver.position(predicate.column.alias, predicate.column.column)
+        if predicate.negated:
+            return lambda row: row[index] is not None
+        return lambda row: row[index] is None
+    if isinstance(predicate, OrPredicate):
+        compiled = [compile_predicate(operand, resolver) for operand in predicate.operands]
+        return lambda row: any(check(row) for check in compiled)
+    raise ExecutionError(f"unsupported predicate type {type(predicate).__name__}")
+
+
+def compile_conjunction(
+    predicates: Sequence[Predicate], resolver: ColumnResolver
+) -> RowPredicate:
+    """Compile a conjunction of predicates into a single row-level function."""
+    compiled = [compile_predicate(predicate, resolver) for predicate in predicates]
+    if not compiled:
+        return lambda row: True
+    if len(compiled) == 1:
+        return compiled[0]
+    return lambda row: all(check(row) for check in compiled)

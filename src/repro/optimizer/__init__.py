@@ -1,0 +1,48 @@
+"""Optimizer subsystem: join graph, cardinality estimation, cost model, enumeration."""
+
+from repro.optimizer.cardinality import CardinalityEstimator, SelectivityEstimator
+from repro.optimizer.cost import CostModel, CostParameters
+from repro.optimizer.enumeration import JoinEnumerator, PlannerConfig
+from repro.optimizer.injection import (
+    CardinalityInjector,
+    ChainInjection,
+    DictInjection,
+    NoInjection,
+    PerfectInjection,
+)
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.optimizer import Optimizer, PlannedQuery, PlanningStats
+from repro.optimizer.plan import (
+    AccessPath,
+    AggregateNode,
+    JoinAlgorithm,
+    JoinNode,
+    MaterializeNode,
+    PlanNode,
+    ScanNode,
+)
+
+__all__ = [
+    "AccessPath",
+    "AggregateNode",
+    "CardinalityEstimator",
+    "CardinalityInjector",
+    "ChainInjection",
+    "CostModel",
+    "CostParameters",
+    "DictInjection",
+    "JoinAlgorithm",
+    "JoinEnumerator",
+    "JoinGraph",
+    "JoinNode",
+    "MaterializeNode",
+    "NoInjection",
+    "Optimizer",
+    "PerfectInjection",
+    "PlanNode",
+    "PlannedQuery",
+    "PlannerConfig",
+    "PlanningStats",
+    "ScanNode",
+    "SelectivityEstimator",
+]

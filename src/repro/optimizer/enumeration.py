@@ -1,0 +1,390 @@
+"""Plan enumeration: access-path selection and join ordering.
+
+Three strategies, mirroring how PostgreSQL scales its search with query size:
+
+* **Bushy dynamic programming** for small queries: all connected splits of
+  every connected alias subset are considered (System-R style extended with
+  bushy trees, no Cartesian products).
+* **Linear dynamic programming** for medium queries: subsets are only
+  extended one relation at a time (left-deep / zig-zag trees), which keeps
+  the search polynomial in the number of connected subsets.
+* **Greedy operator ordering** for large queries (the stand-in for GEQO):
+  repeatedly join the pair of components with the smallest estimated output.
+
+All strategies share the candidate generation in :meth:`_join_candidates`,
+which considers hash join, nested loop, index nested loop (when the inner is
+a base table with an index on the join key) and merge join in both
+orientations, costed with the shared :class:`~repro.optimizer.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanningError
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.plan import (
+    AccessPath,
+    AggregateNode,
+    JoinAlgorithm,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.sql.ast import (
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    Predicate,
+)
+from repro.sql.binder import BoundQuery
+
+AliasSet = FrozenSet[str]
+
+
+@dataclass
+class PlannerConfig:
+    """Knobs controlling the search strategy.
+
+    Attributes:
+        bushy_limit: queries with at most this many tables get full bushy DP.
+        dp_limit: queries with at most this many tables get linear DP;
+            larger queries fall back to greedy operator ordering.
+        enable_nested_loop: whether plain nested-loop joins are considered.
+        enable_index_nested_loop: whether index nested-loop joins are considered.
+        enable_merge_join: whether merge joins are considered.
+    """
+
+    bushy_limit: int = 7
+    dp_limit: int = 10
+    enable_nested_loop: bool = True
+    enable_index_nested_loop: bool = True
+    enable_merge_join: bool = True
+
+
+class JoinEnumerator:
+    """Builds the cheapest physical plan for one bound query."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        query: BoundQuery,
+        estimator: CardinalityEstimator,
+        cost_model: CostModel,
+        config: Optional[PlannerConfig] = None,
+    ) -> None:
+        self._catalog = catalog
+        self.query = query
+        self.estimator = estimator
+        self.cost_model = cost_model
+        self.config = config or PlannerConfig()
+        self.graph = estimator.graph
+        self.candidates_considered = 0
+        self._best: Dict[AliasSet, PlanNode] = {}
+
+    # -- public API ------------------------------------------------------------
+
+    def plan(self) -> AggregateNode:
+        """Return the cheapest plan found, wrapped in the final aggregate node."""
+        if not self.query.aliases:
+            raise PlanningError("query has no FROM-clause tables")
+        components = self.graph.connected_components()
+        if len(components) > 1:
+            raise PlanningError(
+                "query join graph is disconnected; Cartesian products are not "
+                f"supported (components: {[sorted(c) for c in components]})"
+            )
+        for alias in self.query.aliases:
+            self._best[frozenset((alias,))] = self._best_scan(alias)
+        num_tables = len(self.query.aliases)
+        if num_tables == 1:
+            best = self._best[frozenset(self.query.aliases)]
+        elif num_tables <= self.config.dp_limit:
+            best = self._dynamic_programming(
+                bushy=num_tables <= self.config.bushy_limit
+            )
+        else:
+            best = self._greedy_operator_ordering()
+        return self._finalize(best)
+
+    # -- scan candidates ---------------------------------------------------------
+
+    def _best_scan(self, alias: str) -> ScanNode:
+        """Pick the cheaper of a sequential scan and an index scan for ``alias``."""
+        table = self.query.table_for(alias)
+        filters = tuple(self.query.filters_for(alias))
+        output_rows = self.estimator.scan_cardinality(alias)
+        table_rows = self.estimator.selectivity.table_rows(table)
+
+        seq = ScanNode(
+            alias=alias, table=table, filters=filters, access_path=AccessPath.SEQ_SCAN
+        )
+        seq.estimated_rows = output_rows
+        seq.estimated_cost = self.cost_model.seq_scan_cost(
+            table, table_rows, len(filters)
+        )
+        self.candidates_considered += 1
+        best: ScanNode = seq
+
+        index_filter = self._indexable_filter(table, filters)
+        if index_filter is not None:
+            predicate, column = index_filter
+            matching = table_rows * self.estimator.filter_selectivity(alias, predicate)
+            index = ScanNode(
+                alias=alias,
+                table=table,
+                filters=filters,
+                access_path=AccessPath.INDEX_SCAN,
+                index_column=column,
+                index_filter=predicate,
+            )
+            index.estimated_rows = output_rows
+            index.estimated_cost = self.cost_model.index_scan_cost(
+                table, matching, max(0, len(filters) - 1)
+            )
+            self.candidates_considered += 1
+            if index.estimated_cost < best.estimated_cost:
+                best = index
+        return best
+
+    def _indexable_filter(
+        self, table: str, filters: Tuple[Predicate, ...]
+    ) -> Optional[Tuple[Predicate, str]]:
+        """Find an equality/IN filter over an indexed column, if any."""
+        indexes = self._catalog.indexes(table)
+        for predicate in filters:
+            if isinstance(predicate, ComparisonPredicate):
+                if predicate.op is ComparisonOp.EQ and predicate.column.column in indexes:
+                    return predicate, predicate.column.column
+            elif isinstance(predicate, InPredicate):
+                if predicate.column.column in indexes:
+                    return predicate, predicate.column.column
+        return None
+
+    # -- join candidates -----------------------------------------------------------
+
+    def _join_candidates(
+        self, left: PlanNode, right: PlanNode, output_rows: float
+    ) -> List[JoinNode]:
+        """All physical join candidates between two sub-plans (both orientations)."""
+        joins = self.graph.joins_between_sets(left.aliases, right.aliases)
+        if not joins:
+            return []
+        candidates: List[JoinNode] = []
+        for outer, inner in ((left, right), (right, left)):
+            oriented = tuple(joins)
+            base_cost = outer.estimated_cost + inner.estimated_cost
+            candidates.append(
+                self._make_join(
+                    outer,
+                    inner,
+                    oriented,
+                    JoinAlgorithm.HASH_JOIN,
+                    base_cost
+                    + self.cost_model.hash_join_cost(
+                        outer.estimated_rows, inner.estimated_rows, output_rows
+                    ),
+                    output_rows,
+                )
+            )
+            if self.config.enable_nested_loop:
+                candidates.append(
+                    self._make_join(
+                        outer,
+                        inner,
+                        oriented,
+                        JoinAlgorithm.NESTED_LOOP,
+                        base_cost
+                        + self.cost_model.nested_loop_cost(
+                            outer.estimated_rows, inner.estimated_rows, output_rows
+                        ),
+                        output_rows,
+                    )
+                )
+            if self.config.enable_merge_join:
+                candidates.append(
+                    self._make_join(
+                        outer,
+                        inner,
+                        oriented,
+                        JoinAlgorithm.MERGE_JOIN,
+                        base_cost
+                        + self.cost_model.merge_join_cost(
+                            outer.estimated_rows, inner.estimated_rows, output_rows
+                        ),
+                        output_rows,
+                    )
+                )
+            inlj_column = self._index_nested_loop_column(inner, joins)
+            if self.config.enable_index_nested_loop and inlj_column is not None:
+                # The inner side is probed through its index, so its own scan
+                # cost is not paid; only the outer subtree cost is.
+                cost = outer.estimated_cost + self.cost_model.index_nested_loop_cost(
+                    outer.estimated_rows,
+                    output_rows,
+                    len(inner.filters) if isinstance(inner, ScanNode) else 0,
+                )
+                candidates.append(
+                    self._make_join(
+                        outer,
+                        inner,
+                        oriented,
+                        JoinAlgorithm.INDEX_NESTED_LOOP,
+                        cost,
+                        output_rows,
+                    )
+                )
+        return candidates
+
+    def _index_nested_loop_column(
+        self, inner: PlanNode, joins
+    ) -> Optional[str]:
+        """Column of the inner base table usable for index-nested-loop probing."""
+        if not isinstance(inner, ScanNode):
+            return None
+        indexes = self._catalog.indexes(inner.table)
+        for join in joins:
+            if join.touches(inner.alias):
+                column = join.column_for(inner.alias)
+                if column in indexes:
+                    return column
+        return None
+
+    def _make_join(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        joins,
+        algorithm: JoinAlgorithm,
+        cost: float,
+        output_rows: float,
+    ) -> JoinNode:
+        node = JoinNode(
+            left=outer, right=inner, join_predicates=tuple(joins), algorithm=algorithm
+        )
+        node.estimated_rows = output_rows
+        node.estimated_cost = cost
+        self.candidates_considered += 1
+        return node
+
+    # -- dynamic programming ----------------------------------------------------------
+
+    def _dynamic_programming(self, bushy: bool) -> PlanNode:
+        aliases = list(self.query.aliases)
+        total = len(aliases)
+        for size in range(2, total + 1):
+            for combo in combinations(aliases, size):
+                subset = frozenset(combo)
+                if not self.graph.is_connected(subset):
+                    continue
+                output_rows = self.estimator.subset_cardinality(subset)
+                best: Optional[PlanNode] = None
+                for left_set, right_set in self._splits(subset, bushy):
+                    left = self._best.get(left_set)
+                    right = self._best.get(right_set)
+                    if left is None or right is None:
+                        continue
+                    for candidate in self._join_candidates(left, right, output_rows):
+                        if best is None or candidate.estimated_cost < best.estimated_cost:
+                            best = candidate
+                if best is not None:
+                    self._best[subset] = best
+        full = frozenset(aliases)
+        if full not in self._best:
+            raise PlanningError(
+                f"no connected plan covers all tables of query {self.query.name!r}"
+            )
+        return self._best[full]
+
+    def _splits(
+        self, subset: AliasSet, bushy: bool
+    ) -> List[Tuple[AliasSet, AliasSet]]:
+        """Connected, join-linked binary splits of ``subset``."""
+        splits: List[Tuple[AliasSet, AliasSet]] = []
+        if bushy and len(subset) > 2:
+            members = sorted(subset)
+            anchor = members[0]
+            others = members[1:]
+            for r in range(0, len(others)):
+                for combo in combinations(others, r):
+                    left = frozenset((anchor,) + combo)
+                    right = subset - left
+                    if not right:
+                        continue
+                    if not self.graph.is_connected(left):
+                        continue
+                    if not self.graph.is_connected(right):
+                        continue
+                    if not self.graph.connects(left, right):
+                        continue
+                    splits.append((left, right))
+        else:
+            for alias in sorted(subset):
+                rest = subset - {alias}
+                if not rest:
+                    continue
+                if not self.graph.is_connected(rest):
+                    continue
+                if not self.graph.connects(rest, {alias}):
+                    continue
+                splits.append((rest, frozenset((alias,))))
+        return splits
+
+    # -- greedy operator ordering ---------------------------------------------------------
+
+    def _greedy_operator_ordering(self) -> PlanNode:
+        components: Dict[AliasSet, PlanNode] = {
+            frozenset((alias,)): self._best[frozenset((alias,))]
+            for alias in self.query.aliases
+        }
+        while len(components) > 1:
+            best_pair: Optional[Tuple[AliasSet, AliasSet]] = None
+            best_plan: Optional[PlanNode] = None
+            best_rows = float("inf")
+            keys = sorted(components, key=lambda s: tuple(sorted(s)))
+            for left_set, right_set in combinations(keys, 2):
+                if not self.graph.connects(left_set, right_set):
+                    continue
+                union = left_set | right_set
+                output_rows = self.estimator.subset_cardinality(union)
+                candidates = self._join_candidates(
+                    components[left_set], components[right_set], output_rows
+                )
+                if not candidates:
+                    continue
+                cheapest = min(candidates, key=lambda c: c.estimated_cost)
+                if output_rows < best_rows or (
+                    output_rows == best_rows
+                    and best_plan is not None
+                    and cheapest.estimated_cost < best_plan.estimated_cost
+                ):
+                    best_rows = output_rows
+                    best_pair = (left_set, right_set)
+                    best_plan = cheapest
+            if best_pair is None or best_plan is None:
+                raise PlanningError(
+                    f"greedy ordering could not connect query {self.query.name!r}"
+                )
+            left_set, right_set = best_pair
+            del components[left_set]
+            del components[right_set]
+            components[left_set | right_set] = best_plan
+        return next(iter(components.values()))
+
+    # -- finalization -------------------------------------------------------------------
+
+    def _finalize(self, best: PlanNode) -> AggregateNode:
+        root = AggregateNode(child=best, select_items=tuple(self.query.select_items))
+        root.estimated_rows = 1.0 if self._has_aggregate() else best.estimated_rows
+        root.estimated_cost = best.estimated_cost + self.cost_model.aggregate_cost(
+            best.estimated_rows, max(1, len(self.query.select_items))
+        )
+        return root
+
+    def _has_aggregate(self) -> bool:
+        return any(item.aggregate is not None for item in self.query.select_items)

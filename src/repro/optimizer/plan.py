@@ -1,0 +1,191 @@
+"""Physical plan nodes.
+
+The optimizer produces a tree of :class:`PlanNode` objects.  Every node
+carries the optimizer's *estimated* cardinality and cost; after execution the
+executor attaches *actual* cardinalities and work, which is what the
+re-optimization trigger inspects (the engine's equivalent of
+``EXPLAIN ANALYZE``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.sql.ast import Predicate, SelectItem
+from repro.sql.binder import BoundJoin
+
+_node_counter = itertools.count()
+
+
+class AccessPath(enum.Enum):
+    """How a base table is read."""
+
+    SEQ_SCAN = "seq_scan"
+    INDEX_SCAN = "index_scan"
+
+
+class JoinAlgorithm(enum.Enum):
+    """Physical join operator choices."""
+
+    HASH_JOIN = "hash_join"
+    NESTED_LOOP = "nested_loop"
+    INDEX_NESTED_LOOP = "index_nested_loop"
+    MERGE_JOIN = "merge_join"
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan nodes."""
+
+    node_id: int = field(init=False)
+    estimated_rows: float = field(init=False, default=0.0)
+    estimated_cost: float = field(init=False, default=0.0)
+    actual_rows: Optional[int] = field(init=False, default=None)
+    actual_work: Optional[float] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.node_id = next(_node_counter)
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        """Aliases whose tables feed this node."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        """Direct child nodes."""
+        return ()
+
+    def walk(self):
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def join_nodes(self) -> List["JoinNode"]:
+        """All join nodes in the subtree, bottom-up (smallest alias sets first)."""
+        joins = [node for node in self.walk() if isinstance(node, JoinNode)]
+        joins.sort(key=lambda node: (len(node.aliases), tuple(sorted(node.aliases))))
+        return joins
+
+    def label(self) -> str:
+        """Short human-readable description (used by EXPLAIN)."""
+        raise NotImplementedError
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan of a single base table (sequential or through an index)."""
+
+    alias: str
+    table: str
+    filters: Tuple[Predicate, ...] = ()
+    access_path: AccessPath = AccessPath.SEQ_SCAN
+    index_column: Optional[str] = None
+    index_filter: Optional[Predicate] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._alias_set = frozenset((self.alias,))
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self._alias_set
+
+    def label(self) -> str:
+        path = "Seq Scan" if self.access_path is AccessPath.SEQ_SCAN else "Index Scan"
+        text = f"{path} on {self.table} {self.alias}"
+        if self.access_path is AccessPath.INDEX_SCAN and self.index_column:
+            text += f" (index: {self.index_column})"
+        return text
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Join of two plan subtrees on one or more equi-join predicates."""
+
+    left: PlanNode
+    right: PlanNode
+    join_predicates: Tuple[BoundJoin, ...]
+    algorithm: JoinAlgorithm = JoinAlgorithm.HASH_JOIN
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._alias_set = self.left.aliases | self.right.aliases
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self._alias_set
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        names = {
+            JoinAlgorithm.HASH_JOIN: "Hash Join",
+            JoinAlgorithm.NESTED_LOOP: "Nested Loop",
+            JoinAlgorithm.INDEX_NESTED_LOOP: "Index Nested Loop",
+            JoinAlgorithm.MERGE_JOIN: "Merge Join",
+        }
+        conditions = " AND ".join(j.to_sql() for j in self.join_predicates)
+        return f"{names[self.algorithm]} on ({conditions})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Final aggregation / projection producing the query output."""
+
+    child: PlanNode
+    select_items: Tuple[SelectItem, ...]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        if any(item.aggregate is not None for item in self.select_items):
+            return "Aggregate"
+        return "Project"
+
+
+@dataclass
+class MaterializeNode(PlanNode):
+    """Materialization of a subtree into a temporary table (re-optimization)."""
+
+    child: PlanNode
+    temp_table: str
+    output_columns: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Materialize into {self.temp_table}"
+
+
+def plan_depth(node: PlanNode) -> int:
+    """Height of the plan tree (scans have depth 1)."""
+    children = node.children()
+    if not children:
+        return 1
+    return 1 + max(plan_depth(child) for child in children)
+
+
+def count_nodes(node: PlanNode) -> int:
+    """Total number of nodes in the plan tree."""
+    return sum(1 for _ in node.walk())

@@ -1,0 +1,49 @@
+"""SQL front-end: lexer, parser, AST, binder and programmatic query builder."""
+
+from repro.sql.ast import (
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    Predicate,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from repro.sql.binder import Binder, BoundJoin, BoundQuery
+from repro.sql.builder import QueryBuilder, collapse_aliases, referenced_columns
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "AggregateFunc",
+    "BetweenPredicate",
+    "Binder",
+    "BoundJoin",
+    "BoundQuery",
+    "ColumnRef",
+    "ComparisonOp",
+    "ComparisonPredicate",
+    "InPredicate",
+    "JoinPredicate",
+    "LikePredicate",
+    "NullPredicate",
+    "OrPredicate",
+    "Predicate",
+    "QueryBuilder",
+    "SelectItem",
+    "SelectQuery",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "collapse_aliases",
+    "parse_select",
+    "referenced_columns",
+    "tokenize",
+]

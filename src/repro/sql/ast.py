@@ -1,0 +1,301 @@
+"""Abstract syntax tree for the supported SQL dialect.
+
+The dialect covers what the Join Order Benchmark needs: conjunctive
+select-project-join queries over base tables with optional aggregate
+(``MIN``/``MAX``/``COUNT``) outputs, equality joins, and single-table filter
+predicates (comparison, ``IN``, ``LIKE``, ``BETWEEN``, ``IS NULL``,
+disjunctions of these).
+
+The AST produced by the parser is *unbound*: column references carry an
+optional alias qualifier and a column name but are not yet resolved against
+the catalog.  :mod:`repro.sql.binder` turns a :class:`SelectQuery` into a
+:class:`~repro.sql.binder.BoundQuery` the optimizer understands.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class ComparisonOp(enum.Enum):
+    """Binary comparison operators supported in filter predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def evaluate(self, left, right) -> bool:
+        """Apply the operator; NULL (None) operands never match."""
+        if left is None or right is None:
+            return False
+        if self is ComparisonOp.EQ:
+            return left == right
+        if self is ComparisonOp.NE:
+            return left != right
+        if self is ComparisonOp.LT:
+            return left < right
+        if self is ComparisonOp.LE:
+            return left <= right
+        if self is ComparisonOp.GT:
+            return left > right
+        return left >= right
+
+    def flipped(self) -> "ComparisonOp":
+        """The operator with its operands swapped (e.g. ``<`` becomes ``>``)."""
+        flip = {
+            ComparisonOp.LT: ComparisonOp.GT,
+            ComparisonOp.LE: ComparisonOp.GE,
+            ComparisonOp.GT: ComparisonOp.LT,
+            ComparisonOp.GE: ComparisonOp.LE,
+        }
+        return flip.get(self, self)
+
+
+class AggregateFunc(enum.Enum):
+    """Aggregate functions allowed in the select list."""
+
+    MIN = "min"
+    MAX = "max"
+    COUNT = "count"
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference, e.g. ``t.production_year``."""
+
+    alias: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        if self.alias:
+            return f"{self.alias}.{self.column}"
+        return self.column
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause with its alias (alias defaults to the name)."""
+
+    table: str
+    alias: str
+
+    def __str__(self) -> str:
+        if self.table == self.alias:
+            return self.table
+        return f"{self.table} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: a plain column or an aggregate over a column."""
+
+    column: ColumnRef
+    aggregate: Optional[AggregateFunc] = None
+    output_name: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.aggregate is None:
+            text = str(self.column)
+        else:
+            text = f"{self.aggregate.value}({self.column})"
+        if self.output_name:
+            text += f" AS {self.output_name}"
+        return text
+
+
+class Predicate:
+    """Base class for WHERE-clause predicates."""
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        """Aliases referenced by this predicate (deduplicated, ordered)."""
+        raise NotImplementedError
+
+    def to_sql(self) -> str:
+        """Render the predicate back to SQL text."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+def _sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate(Predicate):
+    """``column OP literal`` over a single table."""
+
+    column: ColumnRef
+    op: ComparisonOp
+    value: object
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        return (self.column.alias,) if self.column.alias else ()
+
+    def to_sql(self) -> str:
+        return f"{self.column} {self.op.value} {_sql_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class InPredicate(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: Tuple[object, ...]
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        return (self.column.alias,) if self.column.alias else ()
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(_sql_literal(v) for v in self.values)
+        return f"{self.column} IN ({rendered})"
+
+
+@dataclass(frozen=True)
+class LikePredicate(Predicate):
+    """``column [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    column: ColumnRef
+    pattern: str
+    negated: bool = False
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        return (self.column.alias,) if self.column.alias else ()
+
+    def to_sql(self) -> str:
+        op = "NOT LIKE" if self.negated else "LIKE"
+        return f"{self.column} {op} {_sql_literal(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(Predicate):
+    """``column BETWEEN low AND high`` (inclusive on both ends)."""
+
+    column: ColumnRef
+    low: object
+    high: object
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        return (self.column.alias,) if self.column.alias else ()
+
+    def to_sql(self) -> str:
+        return (
+            f"{self.column} BETWEEN {_sql_literal(self.low)}"
+            f" AND {_sql_literal(self.high)}"
+        )
+
+
+@dataclass(frozen=True)
+class NullPredicate(Predicate):
+    """``column IS [NOT] NULL``."""
+
+    column: ColumnRef
+    negated: bool = False
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        return (self.column.alias,) if self.column.alias else ()
+
+    def to_sql(self) -> str:
+        op = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.column} {op}"
+
+
+@dataclass(frozen=True)
+class OrPredicate(Predicate):
+    """Disjunction of single-table predicates that reference the same table."""
+
+    operands: Tuple[Predicate, ...]
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for operand in self.operands:
+            for alias in operand.referenced_aliases():
+                if alias not in seen:
+                    seen.append(alias)
+        return tuple(seen)
+
+    def to_sql(self) -> str:
+        return "(" + " OR ".join(op.to_sql() for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class JoinPredicate(Predicate):
+    """Equality join predicate ``a.x = b.y`` between two different tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def referenced_aliases(self) -> Tuple[str, ...]:
+        aliases: List[str] = []
+        for ref in (self.left, self.right):
+            if ref.alias and ref.alias not in aliases:
+                aliases.append(ref.alias)
+        return tuple(aliases)
+
+    def to_sql(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+FilterPredicate = Union[
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    BetweenPredicate,
+    NullPredicate,
+    OrPredicate,
+]
+
+
+@dataclass
+class SelectQuery:
+    """A parsed (unbound) select-project-join query."""
+
+    select_items: List[SelectItem]
+    tables: List[TableRef]
+    predicates: List[Predicate] = field(default_factory=list)
+    name: Optional[str] = None
+
+    def table_aliases(self) -> List[str]:
+        """Aliases of all FROM-clause tables, in declaration order."""
+        return [t.alias for t in self.tables]
+
+    def join_predicates(self) -> List[JoinPredicate]:
+        """All join predicates in the WHERE clause."""
+        return [p for p in self.predicates if isinstance(p, JoinPredicate)]
+
+    def filter_predicates(self) -> List[Predicate]:
+        """All non-join predicates in the WHERE clause."""
+        return [p for p in self.predicates if not isinstance(p, JoinPredicate)]
+
+    def to_sql(self) -> str:
+        """Render the query back to SQL text."""
+        select = ",\n       ".join(str(item) for item in self.select_items)
+        tables = ",\n     ".join(str(t) for t in self.tables)
+        text = f"SELECT {select}\nFROM {tables}"
+        if self.predicates:
+            where = "\n  AND ".join(p.to_sql() for p in self.predicates)
+            text += f"\nWHERE {where}"
+        return text + ";"
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+def single_table_alias(predicate: Predicate) -> Optional[str]:
+    """Return the single alias a filter predicate references, if exactly one."""
+    aliases = predicate.referenced_aliases()
+    if len(aliases) == 1:
+        return aliases[0]
+    return None

@@ -1,0 +1,268 @@
+"""Name resolution: turn a parsed query into a bound query.
+
+The binder resolves table aliases against the catalog, checks that every
+referenced column exists, qualifies unqualified column references when they
+are unambiguous, and splits the WHERE clause into per-alias filter
+predicates and equi-join predicates.  The optimizer and the re-optimization
+driver work exclusively on :class:`BoundQuery` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import BindError
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    Predicate,
+    SelectItem,
+    SelectQuery,
+)
+
+
+@dataclass(frozen=True)
+class BoundJoin:
+    """A bound equi-join predicate between two aliases."""
+
+    left_alias: str
+    left_column: str
+    right_alias: str
+    right_column: str
+
+    def aliases(self) -> Tuple[str, str]:
+        """The two aliases this join connects."""
+        return self.left_alias, self.right_alias
+
+    def touches(self, alias: str) -> bool:
+        """True if the join references ``alias`` on either side."""
+        return alias in (self.left_alias, self.right_alias)
+
+    def column_for(self, alias: str) -> str:
+        """Return the join column on the side belonging to ``alias``."""
+        if alias == self.left_alias:
+            return self.left_column
+        if alias == self.right_alias:
+            return self.right_column
+        raise BindError(f"join {self} does not reference alias {alias!r}")
+
+    def other(self, alias: str) -> Tuple[str, str]:
+        """Return ``(alias, column)`` of the side opposite to ``alias``."""
+        if alias == self.left_alias:
+            return self.right_alias, self.right_column
+        if alias == self.right_alias:
+            return self.left_alias, self.left_column
+        raise BindError(f"join {self} does not reference alias {alias!r}")
+
+    def to_sql(self) -> str:
+        """Render back to SQL."""
+        return (
+            f"{self.left_alias}.{self.left_column} = "
+            f"{self.right_alias}.{self.right_column}"
+        )
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+@dataclass
+class BoundQuery:
+    """A name-resolved select-project-join query.
+
+    Attributes:
+        name: optional workload-level query name (e.g. ``"q07a"``).
+        aliases: FROM-clause aliases in declaration order.
+        alias_tables: mapping of alias to catalog table name.
+        select_items: bound output columns.
+        filters: per-alias single-table filter predicates.
+        joins: equi-join predicates.
+    """
+
+    name: Optional[str]
+    aliases: List[str]
+    alias_tables: Dict[str, str]
+    select_items: List[SelectItem]
+    filters: Dict[str, List[Predicate]] = field(default_factory=dict)
+    joins: List[BoundJoin] = field(default_factory=list)
+
+    def table_for(self, alias: str) -> str:
+        """Catalog table name for ``alias``."""
+        try:
+            return self.alias_tables[alias]
+        except KeyError:
+            raise BindError(f"unknown alias {alias!r} in query {self.name!r}") from None
+
+    def filters_for(self, alias: str) -> List[Predicate]:
+        """Filter predicates that apply to ``alias`` (possibly empty)."""
+        return self.filters.get(alias, [])
+
+    def joins_between(self, left_aliases, right_aliases) -> List[BoundJoin]:
+        """Joins with one side in ``left_aliases`` and the other in ``right_aliases``."""
+        left = set(left_aliases)
+        right = set(right_aliases)
+        matched = []
+        for join in self.joins:
+            a, b = join.aliases()
+            if (a in left and b in right) or (a in right and b in left):
+                matched.append(join)
+        return matched
+
+    def num_tables(self) -> int:
+        """Number of FROM-clause tables."""
+        return len(self.aliases)
+
+    def to_sql(self) -> str:
+        """Render the bound query back to SQL text."""
+        select_items = self.select_items
+        if select_items:
+            select = ",\n       ".join(str(item) for item in select_items)
+        else:
+            select = "*"
+        tables = ",\n     ".join(
+            alias if alias == self.alias_tables[alias] else f"{self.alias_tables[alias]} AS {alias}"
+            for alias in self.aliases
+        )
+        clauses: List[str] = []
+        for alias in self.aliases:
+            clauses.extend(p.to_sql() for p in self.filters_for(alias))
+        clauses.extend(j.to_sql() for j in self.joins)
+        text = f"SELECT {select}\nFROM {tables}"
+        if clauses:
+            text += "\nWHERE " + "\n  AND ".join(clauses)
+        return text + ";"
+
+
+class Binder:
+    """Resolves parsed queries against a :class:`~repro.catalog.catalog.Catalog`."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    def bind(self, query: SelectQuery) -> BoundQuery:
+        """Bind a parsed query.
+
+        Raises:
+            BindError: on unknown tables/columns, ambiguous references, or
+                predicates spanning more than one table that are not
+                equi-joins.
+        """
+        alias_tables: Dict[str, str] = {}
+        for table_ref in query.tables:
+            if table_ref.alias in alias_tables:
+                raise BindError(f"duplicate alias {table_ref.alias!r}")
+            if table_ref.table not in self._catalog:
+                raise BindError(f"unknown table {table_ref.table!r}")
+            alias_tables[table_ref.alias] = table_ref.table
+
+        aliases = list(alias_tables)
+        bound = BoundQuery(
+            name=query.name,
+            aliases=aliases,
+            alias_tables=alias_tables,
+            select_items=[],
+        )
+        bound.select_items = [
+            self._bind_select_item(item, bound) for item in query.select_items
+        ]
+
+        for predicate in query.predicates:
+            if isinstance(predicate, JoinPredicate):
+                bound.joins.append(self._bind_join(predicate, bound))
+            else:
+                resolved = self._bind_filter(predicate, bound)
+                alias = resolved.referenced_aliases()[0]
+                bound.filters.setdefault(alias, []).append(resolved)
+        return bound
+
+    # -- helpers ----------------------------------------------------------
+
+    def _resolve_column(self, ref: ColumnRef, bound: BoundQuery) -> ColumnRef:
+        """Return a fully qualified column reference, validating existence."""
+        if ref.alias is not None:
+            table = bound.table_for(ref.alias)
+            schema = self._catalog.schema(table)
+            if not schema.has_column(ref.column):
+                raise BindError(
+                    f"table {table!r} (alias {ref.alias!r}) has no column {ref.column!r}"
+                )
+            return ref
+        candidates = [
+            alias
+            for alias in bound.aliases
+            if self._catalog.schema(bound.table_for(alias)).has_column(ref.column)
+        ]
+        if not candidates:
+            raise BindError(f"column {ref.column!r} not found in any FROM table")
+        if len(candidates) > 1:
+            raise BindError(
+                f"column {ref.column!r} is ambiguous between aliases {candidates}"
+            )
+        return ColumnRef(alias=candidates[0], column=ref.column)
+
+    def _bind_select_item(self, item: SelectItem, bound: BoundQuery) -> SelectItem:
+        column = self._resolve_column(item.column, bound)
+        return SelectItem(
+            column=column, aggregate=item.aggregate, output_name=item.output_name
+        )
+
+    def _bind_join(self, predicate: JoinPredicate, bound: BoundQuery) -> BoundJoin:
+        left = self._resolve_column(predicate.left, bound)
+        right = self._resolve_column(predicate.right, bound)
+        if left.alias == right.alias:
+            raise BindError(
+                f"join predicate {predicate.to_sql()!r} references a single table"
+            )
+        return BoundJoin(
+            left_alias=left.alias,
+            left_column=left.column,
+            right_alias=right.alias,
+            right_column=right.column,
+        )
+
+    def _bind_filter(self, predicate: Predicate, bound: BoundQuery) -> Predicate:
+        if isinstance(predicate, ComparisonPredicate):
+            return ComparisonPredicate(
+                self._resolve_column(predicate.column, bound),
+                predicate.op,
+                predicate.value,
+            )
+        if isinstance(predicate, InPredicate):
+            return InPredicate(
+                self._resolve_column(predicate.column, bound), predicate.values
+            )
+        if isinstance(predicate, LikePredicate):
+            return LikePredicate(
+                self._resolve_column(predicate.column, bound),
+                predicate.pattern,
+                predicate.negated,
+            )
+        if isinstance(predicate, BetweenPredicate):
+            return BetweenPredicate(
+                self._resolve_column(predicate.column, bound),
+                predicate.low,
+                predicate.high,
+            )
+        if isinstance(predicate, NullPredicate):
+            return NullPredicate(
+                self._resolve_column(predicate.column, bound), predicate.negated
+            )
+        if isinstance(predicate, OrPredicate):
+            operands = tuple(
+                self._bind_filter(operand, bound) for operand in predicate.operands
+            )
+            aliases = {op.referenced_aliases()[0] for op in operands}
+            if len(aliases) != 1:
+                raise BindError(
+                    "OR predicates must reference exactly one table, "
+                    f"found aliases {sorted(aliases)}"
+                )
+            return OrPredicate(operands)
+        raise BindError(f"unsupported predicate type {type(predicate).__name__}")

@@ -1,0 +1,241 @@
+"""Programmatic construction and rewriting of bound queries.
+
+Two users of this module:
+
+* Workload generators build queries directly without going through SQL text
+  (although :mod:`repro.workloads.job` emits SQL text so that the parser is
+  exercised end to end).
+* The re-optimization driver (:mod:`repro.core.reoptimizer`) rewrites a bound
+  query by *collapsing* a set of aliases into a materialized temporary table,
+  exactly as the paper's Figure 6 rewrite does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import BindError
+from repro.sql.ast import (
+    AggregateFunc,
+    ColumnRef,
+    Predicate,
+    SelectItem,
+)
+from repro.sql.binder import BoundJoin, BoundQuery
+
+
+class QueryBuilder:
+    """Fluent builder for :class:`~repro.sql.binder.BoundQuery` objects.
+
+    The builder performs only structural checks (duplicate aliases, joins
+    over unknown aliases); full catalog validation still belongs to the
+    binder.  It is nonetheless convenient for tests and for programmatic
+    query rewriting where the catalog is known to contain the tables.
+    """
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self._name = name
+        self._aliases: List[str] = []
+        self._alias_tables: Dict[str, str] = {}
+        self._select_items: List[SelectItem] = []
+        self._filters: Dict[str, List[Predicate]] = {}
+        self._joins: List[BoundJoin] = []
+
+    def add_table(self, table: str, alias: Optional[str] = None) -> "QueryBuilder":
+        """Add a FROM-clause table with an optional alias."""
+        alias = alias or table
+        if alias in self._alias_tables:
+            raise BindError(f"duplicate alias {alias!r}")
+        self._aliases.append(alias)
+        self._alias_tables[alias] = table
+        return self
+
+    def add_select(
+        self,
+        alias: str,
+        column: str,
+        aggregate: Optional[AggregateFunc] = None,
+        output_name: Optional[str] = None,
+    ) -> "QueryBuilder":
+        """Add an output column (optionally aggregated)."""
+        self._require_alias(alias)
+        self._select_items.append(
+            SelectItem(
+                column=ColumnRef(alias=alias, column=column),
+                aggregate=aggregate,
+                output_name=output_name,
+            )
+        )
+        return self
+
+    def add_filter(self, alias: str, predicate: Predicate) -> "QueryBuilder":
+        """Attach a single-table filter predicate to ``alias``."""
+        self._require_alias(alias)
+        self._filters.setdefault(alias, []).append(predicate)
+        return self
+
+    def add_join(
+        self, left_alias: str, left_column: str, right_alias: str, right_column: str
+    ) -> "QueryBuilder":
+        """Add an equi-join predicate between two aliases."""
+        self._require_alias(left_alias)
+        self._require_alias(right_alias)
+        if left_alias == right_alias:
+            raise BindError("a join must connect two different aliases")
+        self._joins.append(
+            BoundJoin(
+                left_alias=left_alias,
+                left_column=left_column,
+                right_alias=right_alias,
+                right_column=right_column,
+            )
+        )
+        return self
+
+    def build(self) -> BoundQuery:
+        """Produce the bound query."""
+        return BoundQuery(
+            name=self._name,
+            aliases=list(self._aliases),
+            alias_tables=dict(self._alias_tables),
+            select_items=list(self._select_items),
+            filters={alias: list(preds) for alias, preds in self._filters.items()},
+            joins=list(self._joins),
+        )
+
+    def _require_alias(self, alias: str) -> None:
+        if alias not in self._alias_tables:
+            raise BindError(f"unknown alias {alias!r}; call add_table first")
+
+
+def collapse_aliases(
+    query: BoundQuery,
+    collapsed: Sequence[str],
+    temp_table: str,
+    temp_alias: str,
+    column_mapping: Dict[Tuple[str, str], str],
+) -> BoundQuery:
+    """Rewrite ``query`` replacing the aliases in ``collapsed`` with a temp table.
+
+    This is the paper's re-optimization rewrite (Figure 6): the sub-join over
+    ``collapsed`` has been materialized into ``temp_table``; the remainder of
+    the query refers to the temp table instead of the original tables.
+
+    Args:
+        query: the bound query to rewrite.
+        collapsed: aliases that were materialized.
+        temp_table: catalog name of the temporary table.
+        temp_alias: alias to use for the temporary table in the rewritten query.
+        column_mapping: maps ``(original_alias, original_column)`` to the name
+            of the corresponding column in the temporary table.  Every column
+            of a collapsed alias still referenced by the remainder of the
+            query (select list, joins to non-collapsed tables) must appear.
+
+    Returns:
+        A new :class:`BoundQuery`; the input query is left untouched.
+
+    Raises:
+        BindError: if a still-needed column of a collapsed alias is missing
+            from ``column_mapping``.
+    """
+    collapsed_set = set(collapsed)
+    unknown = collapsed_set - set(query.aliases)
+    if unknown:
+        raise BindError(f"cannot collapse unknown aliases {sorted(unknown)}")
+
+    def remap(alias: str, column: str) -> Tuple[str, str]:
+        if alias not in collapsed_set:
+            return alias, column
+        try:
+            return temp_alias, column_mapping[(alias, column)]
+        except KeyError:
+            raise BindError(
+                f"column {alias}.{column} is required by the rewritten query but "
+                "is not exposed by the materialized temporary table"
+            ) from None
+
+    new_aliases = [a for a in query.aliases if a not in collapsed_set] + [temp_alias]
+    new_alias_tables = {
+        alias: table
+        for alias, table in query.alias_tables.items()
+        if alias not in collapsed_set
+    }
+    new_alias_tables[temp_alias] = temp_table
+
+    new_select: List[SelectItem] = []
+    for item in query.select_items:
+        alias, column = remap(item.column.alias, item.column.column)
+        new_select.append(
+            SelectItem(
+                column=ColumnRef(alias=alias, column=column),
+                aggregate=item.aggregate,
+                output_name=item.output_name,
+            )
+        )
+
+    new_filters: Dict[str, List[Predicate]] = {
+        alias: list(preds)
+        for alias, preds in query.filters.items()
+        if alias not in collapsed_set
+    }
+
+    new_joins: List[BoundJoin] = []
+    seen: set = set()
+    for join in query.joins:
+        left_in = join.left_alias in collapsed_set
+        right_in = join.right_alias in collapsed_set
+        if left_in and right_in:
+            # Fully absorbed into the materialized sub-join.
+            continue
+        left_alias, left_column = remap(join.left_alias, join.left_column)
+        right_alias, right_column = remap(join.right_alias, join.right_column)
+        key = frozenset(
+            ((left_alias, left_column), (right_alias, right_column))
+        )
+        if key in seen:
+            # Two original join predicates can collapse into the same predicate
+            # against the temp table (transitive equalities); keep one.
+            continue
+        seen.add(key)
+        new_joins.append(
+            BoundJoin(
+                left_alias=left_alias,
+                left_column=left_column,
+                right_alias=right_alias,
+                right_column=right_column,
+            )
+        )
+
+    return BoundQuery(
+        name=query.name,
+        aliases=new_aliases,
+        alias_tables=new_alias_tables,
+        select_items=new_select,
+        filters=new_filters,
+        joins=new_joins,
+    )
+
+
+def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[str, str]]:
+    """Columns of ``aliases`` referenced outside the group or in the select list.
+
+    Used by the re-optimization driver to decide which columns the
+    materialized temporary table must expose.
+    """
+    alias_set = set(aliases)
+    needed: List[Tuple[str, str]] = []
+
+    def add(alias: str, column: str) -> None:
+        if alias in alias_set and (alias, column) not in needed:
+            needed.append((alias, column))
+
+    for item in query.select_items:
+        add(item.column.alias, item.column.column)
+    for join in query.joins:
+        left_in = join.left_alias in alias_set
+        right_in = join.right_alias in alias_set
+        if left_in and not right_in:
+            add(join.left_alias, join.left_column)
+        elif right_in and not left_in:
+            add(join.right_alias, join.right_column)
+    return needed

@@ -1,0 +1,155 @@
+"""Tokenizer for the supported SQL dialect."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexerError
+
+KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "in",
+    "like",
+    "between",
+    "is",
+    "null",
+    "as",
+    "min",
+    "max",
+    "count",
+    "create",
+    "temp",
+    "temporary",
+    "table",
+    "distinct",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"
+    SEMICOLON = "semicolon"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """True if this token is the given keyword (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value == keyword.lower()
+
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text into a list of tokens ending with an EOF token.
+
+    Raises:
+        LexerError: on characters that cannot start any token or on an
+            unterminated string literal.
+    """
+    return list(_iter_tokens(sql))
+
+
+def _iter_tokens(sql: str) -> Iterator[Token]:
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            yield Token(TokenType.STRING, value, i)
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            i += 1
+            while i < length and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            yield Token(TokenType.NUMBER, sql[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenType.KEYWORD, lowered, start)
+            else:
+                yield Token(TokenType.IDENTIFIER, word, start)
+            continue
+        matched_operator = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                canonical = "<>" if op == "!=" else op
+                yield Token(TokenType.OPERATOR, canonical, i)
+                i += len(op)
+                matched_operator = True
+                break
+        if matched_operator:
+            continue
+        if ch == ",":
+            yield Token(TokenType.COMMA, ch, i)
+        elif ch == ".":
+            yield Token(TokenType.DOT, ch, i)
+        elif ch == "(":
+            yield Token(TokenType.LPAREN, ch, i)
+        elif ch == ")":
+            yield Token(TokenType.RPAREN, ch, i)
+        elif ch == "*":
+            yield Token(TokenType.STAR, ch, i)
+        elif ch == ";":
+            yield Token(TokenType.SEMICOLON, ch, i)
+        else:
+            raise LexerError(f"unexpected character {ch!r}", i)
+        i += 1
+    yield Token(TokenType.EOF, "", length)
+
+
+def _read_string(sql: str, start: int) -> tuple:
+    """Read a single-quoted string starting at ``start``; '' escapes a quote."""
+    i = start + 1
+    chars: List[str] = []
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < length and sql[i + 1] == "'":
+                chars.append("'")
+                i += 2
+                continue
+            return "".join(chars), i + 1
+        chars.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", start)

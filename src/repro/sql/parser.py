@@ -1,0 +1,276 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Grammar (informal)::
+
+    query      := SELECT select_list FROM table_list [WHERE conjunction] [';']
+    select_list:= select_item (',' select_item)* | '*'
+    select_item:= [MIN|MAX|COUNT] '(' column ')' [AS ident] | column [AS ident]
+    table_list := table_ref (',' table_ref)*
+    table_ref  := ident [AS ident | ident]
+    conjunction:= condition (AND condition)*
+    condition  := '(' disjunction ')' | simple
+    disjunction:= simple (OR simple)*
+    simple     := column op literal | column op column
+                | column [NOT] IN '(' literal (',' literal)* ')'
+                | column [NOT] LIKE string
+                | column BETWEEN literal AND literal
+                | column IS [NOT] NULL
+    column     := ident ['.' ident]
+
+A ``column op column`` condition with ``=`` over two different aliases is a
+join predicate; anything else is a filter predicate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateFunc,
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    Predicate,
+    SelectItem,
+    SelectQuery,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
+    """Parse SQL text into a :class:`~repro.sql.ast.SelectQuery`.
+
+    Args:
+        sql: the SQL text of a single SELECT statement.
+        name: optional query name attached to the AST (used by workloads).
+
+    Raises:
+        ParseError: if the text is not a supported SELECT statement.
+        LexerError: if the text cannot be tokenized.
+    """
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_query()
+    query.name = name
+    return query
+
+
+class _Parser:
+    """Token-stream cursor with the recursive-descent productions."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token.type is not token_type or (value is not None and token.value != value):
+            expected = value or token_type.value
+            raise ParseError(
+                f"expected {expected!r} but found {token.value!r} at offset {token.position}"
+            )
+        return self._advance()
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._peek().matches_keyword(keyword):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            token = self._peek()
+            raise ParseError(
+                f"expected keyword {keyword.upper()!r} but found {token.value!r} "
+                f"at offset {token.position}"
+            )
+
+    # -- productions -----------------------------------------------------
+
+    def parse_query(self) -> SelectQuery:
+        """Parse a full SELECT statement."""
+        self._expect_keyword("select")
+        select_items = self._parse_select_list()
+        self._expect_keyword("from")
+        tables = self._parse_table_list()
+        predicates: List[Predicate] = []
+        if self._accept_keyword("where"):
+            predicates = self._parse_conjunction()
+        if self._peek().type is TokenType.SEMICOLON:
+            self._advance()
+        if self._peek().type is not TokenType.EOF:
+            token = self._peek()
+            raise ParseError(
+                f"unexpected trailing input {token.value!r} at offset {token.position}"
+            )
+        return SelectQuery(select_items=select_items, tables=tables, predicates=predicates)
+
+    def _parse_select_list(self) -> List[SelectItem]:
+        if self._peek().type is TokenType.STAR:
+            self._advance()
+            return []
+        items = [self._parse_select_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        aggregate: Optional[AggregateFunc] = None
+        if token.type is TokenType.KEYWORD and token.value in ("min", "max", "count"):
+            aggregate = AggregateFunc(token.value)
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            column = self._parse_column_ref()
+            self._expect(TokenType.RPAREN)
+        else:
+            column = self._parse_column_ref()
+        output_name = None
+        if self._accept_keyword("as"):
+            output_name = self._expect(TokenType.IDENTIFIER).value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            output_name = self._advance().value
+        return SelectItem(column=column, aggregate=aggregate, output_name=output_name)
+
+    def _parse_table_list(self) -> List[TableRef]:
+        tables = [self._parse_table_ref()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            tables.append(self._parse_table_ref())
+        return tables
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect(TokenType.IDENTIFIER).value
+        alias = name
+        if self._accept_keyword("as"):
+            alias = self._expect(TokenType.IDENTIFIER).value
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().value
+        return TableRef(table=name, alias=alias)
+
+    def _parse_conjunction(self) -> List[Predicate]:
+        predicates = [self._parse_condition()]
+        while self._accept_keyword("and"):
+            predicates.append(self._parse_condition())
+        return predicates
+
+    def _parse_condition(self) -> Predicate:
+        if self._peek().type is TokenType.LPAREN:
+            self._advance()
+            predicate = self._parse_disjunction()
+            self._expect(TokenType.RPAREN)
+            return predicate
+        return self._parse_simple()
+
+    def _parse_disjunction(self) -> Predicate:
+        operands = [self._parse_condition()]
+        while self._accept_keyword("or"):
+            operands.append(self._parse_condition())
+        if len(operands) == 1:
+            return operands[0]
+        flattened: List[Predicate] = []
+        for operand in operands:
+            if isinstance(operand, OrPredicate):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        return OrPredicate(tuple(flattened))
+
+    def _parse_simple(self) -> Predicate:
+        column = self._parse_column_ref()
+        token = self._peek()
+        if token.matches_keyword("not"):
+            self._advance()
+            if self._accept_keyword("in"):
+                return InPredicate(column, self._parse_literal_list())
+            self._expect_keyword("like")
+            pattern = self._expect(TokenType.STRING).value
+            return LikePredicate(column, pattern, negated=True)
+        if token.matches_keyword("in"):
+            self._advance()
+            return InPredicate(column, self._parse_literal_list())
+        if token.matches_keyword("like"):
+            self._advance()
+            pattern = self._expect(TokenType.STRING).value
+            return LikePredicate(column, pattern)
+        if token.matches_keyword("between"):
+            self._advance()
+            low = self._parse_literal()
+            self._expect_keyword("and")
+            high = self._parse_literal()
+            return BetweenPredicate(column, low, high)
+        if token.matches_keyword("is"):
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return NullPredicate(column, negated=negated)
+        if token.type is TokenType.OPERATOR:
+            op = ComparisonOp(self._advance().value)
+            right_token = self._peek()
+            if right_token.type is TokenType.IDENTIFIER:
+                right = self._parse_column_ref()
+                if op is ComparisonOp.EQ and right.alias != column.alias:
+                    return JoinPredicate(column, right)
+                raise ParseError(
+                    "column-to-column comparisons are only supported as equi-joins "
+                    f"between different tables (offset {right_token.position})"
+                )
+            value = self._parse_literal()
+            return ComparisonPredicate(column, op, value)
+        raise ParseError(
+            f"unsupported condition near {token.value!r} at offset {token.position}"
+        )
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self._expect(TokenType.IDENTIFIER).value
+        if self._peek().type is TokenType.DOT:
+            self._advance()
+            second = self._expect(TokenType.IDENTIFIER).value
+            return ColumnRef(alias=first, column=second)
+        return ColumnRef(alias=None, column=first)
+
+    def _parse_literal_list(self) -> Tuple[object, ...]:
+        self._expect(TokenType.LPAREN)
+        values = [self._parse_literal()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            values.append(self._parse_literal())
+        self._expect(TokenType.RPAREN)
+        return tuple(values)
+
+    def _parse_literal(self) -> object:
+        token = self._peek()
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return float(token.value)
+            return int(token.value)
+        if token.matches_keyword("null"):
+            self._advance()
+            return None
+        raise ParseError(
+            f"expected a literal but found {token.value!r} at offset {token.position}"
+        )

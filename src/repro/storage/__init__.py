@@ -1,0 +1,14 @@
+"""Storage subsystem: columnar tables and secondary indexes."""
+
+from repro.storage.column import Column
+from repro.storage.index import HashIndex, Index, SortedIndex, build_foreign_key_indexes
+from repro.storage.table import Table
+
+__all__ = [
+    "Column",
+    "HashIndex",
+    "Index",
+    "SortedIndex",
+    "Table",
+    "build_foreign_key_indexes",
+]

@@ -1,0 +1,77 @@
+"""Columnar storage for a single column.
+
+A :class:`Column` is a thin wrapper around a Python list holding one value
+per row.  It knows its :class:`~repro.catalog.schema.ColumnType` and performs
+coercion on append, so that everything downstream (statistics, predicate
+evaluation, hash joins) can rely on values being either ``None`` or the
+declared Python type.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.catalog.schema import ColumnDef
+from repro.errors import StorageError
+
+
+class Column:
+    """In-memory storage for one column of a table."""
+
+    def __init__(self, definition: ColumnDef) -> None:
+        self.definition = definition
+        self._values: List[object] = []
+
+    @property
+    def name(self) -> str:
+        """Column name."""
+        return self.definition.name
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def __getitem__(self, row_id: int) -> object:
+        return self._values[row_id]
+
+    def append(self, value: object) -> None:
+        """Append a value, coercing it to the declared type.
+
+        Raises:
+            StorageError: if a NULL is appended to a non-nullable column.
+        """
+        if value is None and not self.definition.nullable:
+            raise StorageError(
+                f"column {self.name!r} is not nullable but received NULL"
+            )
+        self._values.append(self.definition.col_type.coerce(value))
+
+    def extend(self, values: Iterable[object]) -> None:
+        """Append many values."""
+        for value in values:
+            self.append(value)
+
+    def values(self) -> List[object]:
+        """Return the underlying value list (not a copy; treat as read-only)."""
+        return self._values
+
+    def non_null_values(self) -> List[object]:
+        """Return all non-NULL values (a new list)."""
+        return [v for v in self._values if v is not None]
+
+    def null_count(self) -> int:
+        """Number of NULL values stored."""
+        return sum(1 for v in self._values if v is None)
+
+    def distinct_count(self) -> int:
+        """Number of distinct non-NULL values."""
+        return len(set(self.non_null_values()))
+
+    def min_max(self) -> Optional[tuple]:
+        """Return ``(min, max)`` over non-NULL values, or ``None`` if empty."""
+        values = self.non_null_values()
+        if not values:
+            return None
+        return min(values), max(values)

@@ -1,0 +1,146 @@
+"""Secondary indexes.
+
+Two index flavours are provided:
+
+* :class:`HashIndex` — equality lookups, used by index-nested-loop joins and
+  equality predicates.  This models PostgreSQL's btree-for-equality usage
+  without the ordering machinery.
+* :class:`SortedIndex` — a sorted ``(key, row_id)`` list supporting range
+  lookups, used for range predicates on indexed columns.
+
+Both are built eagerly from a :class:`~repro.storage.table.Table` and are
+read-only afterwards; the workloads in this repository load data once and
+then query it, matching the paper's analytic setting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+
+class Index:
+    """Common interface for secondary indexes."""
+
+    kind = "index"
+
+    def __init__(self, table: Table, column: str) -> None:
+        if not table.schema.has_column(column):
+            raise StorageError(
+                f"cannot index unknown column {column!r} of table {table.name!r}"
+            )
+        self.table = table
+        self.column = column
+        self.name = f"{table.name}_{column}_{self.kind}"
+
+    def lookup(self, key: object) -> List[int]:
+        """Return row ids whose indexed column equals ``key``."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class HashIndex(Index):
+    """Equality index: maps key value to the list of row ids holding it."""
+
+    kind = "hash"
+
+    def __init__(self, table: Table, column: str) -> None:
+        super().__init__(table, column)
+        self._buckets: Dict[object, List[int]] = {}
+        values = table.column_values(column)
+        for row_id, value in enumerate(values):
+            if value is None:
+                continue
+            self._buckets.setdefault(value, []).append(row_id)
+
+    def lookup(self, key: object) -> List[int]:
+        """Row ids with ``column == key`` (NULL never matches)."""
+        if key is None:
+            return []
+        return self._buckets.get(key, [])
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys in the index."""
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._buckets.values())
+
+
+class SortedIndex(Index):
+    """Ordered index supporting equality and range lookups."""
+
+    kind = "sorted"
+
+    def __init__(self, table: Table, column: str) -> None:
+        super().__init__(table, column)
+        pairs: List[Tuple[object, int]] = [
+            (value, row_id)
+            for row_id, value in enumerate(table.column_values(column))
+            if value is not None
+        ]
+        pairs.sort(key=lambda pair: pair[0])
+        self._keys: List[object] = [key for key, _ in pairs]
+        self._row_ids: List[int] = [row_id for _, row_id in pairs]
+
+    def lookup(self, key: object) -> List[int]:
+        """Row ids with ``column == key``."""
+        if key is None:
+            return []
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._row_ids[lo:hi]
+
+    def range_lookup(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[int]:
+        """Row ids whose key falls in the requested (possibly open) range."""
+        lo = 0
+        hi = len(self._keys)
+        if low is not None:
+            lo = (
+                bisect.bisect_left(self._keys, low)
+                if include_low
+                else bisect.bisect_right(self._keys, low)
+            )
+        if high is not None:
+            hi = (
+                bisect.bisect_right(self._keys, high)
+                if include_high
+                else bisect.bisect_left(self._keys, high)
+            )
+        if hi < lo:
+            return []
+        return self._row_ids[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def build_foreign_key_indexes(table: Table) -> List[Index]:
+    """Build hash indexes for the primary key and every foreign-key column.
+
+    This mirrors the paper's setup, which adds foreign-key indexes to make
+    access-path selection harder (nested-loop-with-index plans become
+    attractive when cardinalities are underestimated).
+    """
+    indexes: List[Index] = []
+    schema = table.schema
+    indexed = set()
+    if schema.primary_key is not None:
+        indexes.append(HashIndex(table, schema.primary_key))
+        indexed.add(schema.primary_key)
+    for fk in schema.foreign_keys:
+        if fk.column not in indexed:
+            indexes.append(HashIndex(table, fk.column))
+            indexed.add(fk.column)
+    return indexes

@@ -1,0 +1,48 @@
+"""Workloads: synthetic IMDB dataset, JOB-like queries, and the stocks example."""
+
+from repro.workloads.distributions import WeightedSampler, ZipfSampler
+from repro.workloads.imdb import (
+    ImdbConfig,
+    ImdbDataset,
+    ImdbVocabulary,
+    build_imdb_database,
+    generate_imdb_dataset,
+    imdb_schemas,
+)
+from repro.workloads.job import (
+    EXPECTED_TABLE_COUNTS,
+    JobQuery,
+    JobWorkloadConfig,
+    bind_workload,
+    generate_job_workload,
+    table_count_distribution,
+)
+from repro.workloads.stocks import (
+    StocksConfig,
+    build_stocks_database,
+    example_query,
+    generate_stocks_rows,
+    stocks_schemas,
+)
+
+__all__ = [
+    "EXPECTED_TABLE_COUNTS",
+    "ImdbConfig",
+    "ImdbDataset",
+    "ImdbVocabulary",
+    "JobQuery",
+    "JobWorkloadConfig",
+    "StocksConfig",
+    "WeightedSampler",
+    "ZipfSampler",
+    "bind_workload",
+    "build_imdb_database",
+    "build_stocks_database",
+    "example_query",
+    "generate_imdb_dataset",
+    "generate_job_workload",
+    "generate_stocks_rows",
+    "imdb_schemas",
+    "stocks_schemas",
+    "table_count_distribution",
+]

@@ -1,0 +1,367 @@
+"""JOB-like query workload.
+
+The Join Order Benchmark consists of 113 hand-written select-project-join
+queries over the IMDB schema, organised into families that share a join
+structure and differ in their filter constants.  This module generates an
+analogous workload over the synthetic IMDB dataset:
+
+* 21 families, each with a fixed set of join "branches" hanging off ``title``
+  (the same snowflake shapes JOB uses: keywords, cast, companies, info,
+  info_idx, links, complete-cast ...);
+* per-family variants (``a``, ``b``, ``c`` ...) that change only the filter
+  constants, drawn from the generated vocabulary;
+* the per-query table-count distribution matches the paper's Table III
+  exactly (4:3, 5:20, 6:2, 7:16, 8:21, 9:14, 10:7, 11:10, 12:11, 14:6, 17:3
+  — 113 queries in total).
+
+Queries are emitted as SQL text so the full parser/binder path is exercised,
+then bound against a database with :func:`bind_workload`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.database import Database
+from repro.errors import WorkloadError
+from repro.sql.binder import BoundQuery
+from repro.workloads.imdb import ImdbVocabulary
+
+# ---------------------------------------------------------------------------
+# Join branches: alias -> (table, (parent alias, parent column, own column))
+# ---------------------------------------------------------------------------
+
+BRANCHES: Dict[str, Tuple[str, Tuple[str, str, str]]] = {
+    "kt": ("kind_type", ("t", "kind_id", "id")),
+    "mk": ("movie_keyword", ("t", "id", "movie_id")),
+    "k": ("keyword", ("mk", "keyword_id", "id")),
+    "ci": ("cast_info", ("t", "id", "movie_id")),
+    "n": ("name", ("ci", "person_id", "id")),
+    "chn": ("char_name", ("ci", "person_role_id", "id")),
+    "rt": ("role_type", ("ci", "role_id", "id")),
+    "an": ("aka_name", ("n", "id", "person_id")),
+    "pi": ("person_info", ("n", "id", "person_id")),
+    "mc": ("movie_companies", ("t", "id", "movie_id")),
+    "cn": ("company_name", ("mc", "company_id", "id")),
+    "ct": ("company_type", ("mc", "company_type_id", "id")),
+    "mi": ("movie_info", ("t", "id", "movie_id")),
+    "it1": ("info_type", ("mi", "info_type_id", "id")),
+    "mi_idx": ("movie_info_idx", ("t", "id", "movie_id")),
+    "it2": ("info_type", ("mi_idx", "info_type_id", "id")),
+    "at": ("aka_title", ("t", "id", "movie_id")),
+    "cc": ("complete_cast", ("t", "id", "movie_id")),
+    "cct1": ("comp_cast_type", ("cc", "subject_id", "id")),
+    "cct2": ("comp_cast_type", ("cc", "status_id", "id")),
+    "ml": ("movie_link", ("t", "id", "movie_id")),
+    "lt": ("link_type", ("ml", "link_type_id", "id")),
+}
+
+# ---------------------------------------------------------------------------
+# Family definitions: (family id, branches, number of variants)
+# len(branches) + 1 == table count.  The variant counts reproduce Table III.
+# ---------------------------------------------------------------------------
+
+FAMILIES: List[Tuple[int, Tuple[str, ...], int]] = [
+    (1, ("mk", "k", "ci"), 3),                                                     # 4 tables
+    (2, ("mk", "k", "ci", "n"), 5),                                                # 5
+    (3, ("mi", "it1", "mi_idx", "it2"), 5),                                        # 5
+    (4, ("mc", "cn", "ct", "mi"), 5),                                              # 5
+    (5, ("ci", "n", "rt", "chn"), 5),                                              # 5
+    (6, ("mk", "k", "ci", "n", "rt"), 2),                                          # 6
+    (7, ("ci", "n", "mi", "it1", "mi_idx", "it2"), 6),                             # 7
+    (8, ("mk", "k", "mc", "cn", "ci", "n"), 5),                                    # 7
+    (9, ("mi", "it1", "kt", "mc", "cn", "ct"), 5),                                 # 7
+    (10, ("mk", "k", "ci", "n", "mc", "cn", "mi"), 7),                             # 8
+    (11, ("ci", "n", "chn", "rt", "mi", "it1", "kt"), 7),                          # 8
+    (12, ("mc", "cn", "ct", "mi", "it1", "mi_idx", "it2"), 7),                     # 8
+    (13, ("mk", "k", "ci", "n", "mc", "cn", "mi", "it1"), 7),                      # 9
+    (14, ("ci", "n", "an", "pi", "mi", "it1", "mi_idx", "it2"), 7),                # 9
+    (15, ("mk", "k", "ci", "n", "chn", "rt", "mc", "cn", "mi"), 7),                # 10
+    (16, ("mk", "k", "ci", "n", "mc", "cn", "ct", "mi", "it1", "kt"), 5),          # 11
+    (17, ("cc", "cct1", "cct2", "mk", "k", "ci", "n", "mi", "it1", "kt"), 5),      # 11
+    (18, ("mk", "k", "ci", "n", "mc", "cn", "ct", "mi", "it1", "mi_idx", "it2"), 6),   # 12
+    (19, ("ml", "lt", "mk", "k", "ci", "n", "mc", "cn", "mi", "it1", "kt"), 5),        # 12
+    (20, ("kt", "mk", "k", "ci", "n", "rt", "mc", "cn", "ct", "mi", "it1", "mi_idx", "it2"), 6),  # 14
+    (21, (
+        "kt", "mk", "k", "ci", "n", "chn", "rt", "an", "pi",
+        "mc", "cn", "ct", "mi", "it1", "mi_idx", "it2",
+    ), 3),                                                                          # 17
+]
+
+#: The paper's Table III distribution, used as a self-check.
+EXPECTED_TABLE_COUNTS: Dict[int, int] = {
+    4: 3, 5: 20, 6: 2, 7: 16, 8: 21, 9: 14, 10: 7, 11: 10, 12: 11, 14: 6, 17: 3,
+}
+
+
+@dataclass
+class JobQuery:
+    """One generated workload query."""
+
+    name: str
+    family: int
+    variant: str
+    sql: str
+    num_tables: int
+    aliases: Tuple[str, ...]
+
+
+@dataclass
+class JobWorkloadConfig:
+    """Configuration of the workload generator."""
+
+    seed: int = 7
+    #: Add redundant fact-to-fact join predicates on ``movie_id`` (JOB's SQL
+    #: text includes them; they densify the join graph and slow enumeration
+    #: without changing results, so they are off by default).
+    redundant_fact_joins: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Filter predicate pools
+# ---------------------------------------------------------------------------
+
+
+def _filter_pool(
+    alias: str, rng: random.Random, vocab: ImdbVocabulary
+) -> List[List[str]]:
+    """Candidate filter sets (lists of SQL conditions) for one alias."""
+    if alias == "k":
+        popular = vocab.popular_keywords
+        rare = vocab.rare_keywords
+        pools = []
+        if popular:
+            for count in (8, 5, 3, 2):
+                count = min(count, len(popular))
+                chosen = rng.sample(popular, count)
+                quoted = ", ".join(f"'{value}'" for value in chosen)
+                pools.append([f"k.keyword IN ({quoted})"])
+            pools.append([f"k.keyword = '{rng.choice(popular)}'"])
+        if rare:
+            pools.append([f"k.keyword = '{rng.choice(rare)}'"])
+        return pools
+    if alias == "n":
+        fragments = vocab.name_fragments
+        return [
+            [f"n.name LIKE '%{rng.choice(fragments)}%'"],
+            ["n.gender = 'f'"],
+            ["n.gender = 'm'", f"n.name LIKE '%{rng.choice(fragments)}%'"],
+            [f"n.name LIKE '{rng.choice(['X', 'A', 'B'])}%'"],
+        ]
+    if alias == "t":
+        low = rng.choice([1990, 2000, 2005, 2010])
+        return [
+            [f"t.production_year > {low}"],
+            [f"t.production_year BETWEEN {low - 10} AND {low + 5}"],
+            [],
+        ]
+    if alias == "ci":
+        return [
+            ["ci.note IN ('(producer)', '(executive producer)')"],
+            ["ci.note = '(voice)'"],
+            [],
+        ]
+    if alias == "cn":
+        return [
+            ["cn.country_code = '[us]'"],
+            [f"cn.country_code = '{rng.choice(vocab.country_codes)}'"],
+        ]
+    if alias == "ct":
+        return [["ct.kind = 'production companies'"], ["ct.kind = 'distributors'"]]
+    if alias == "mc":
+        return [
+            ["mc.note LIKE '%(co-production)%'"],
+            ["mc.note NOT LIKE '%(USA)%'"],
+            [],
+        ]
+    if alias == "it1":
+        return [[f"it1.info = '{rng.choice(['budget', 'genres', 'gross', 'languages'])}'"]]
+    if alias == "it2":
+        return [[f"it2.info = '{rng.choice(['votes', 'rating'])}'"]]
+    if alias == "mi":
+        genres = vocab.genres
+        chosen = rng.sample(genres, min(3, len(genres)))
+        quoted = ", ".join(f"'{value}'" for value in chosen)
+        return [
+            [f"mi.info IN ({quoted})"],
+            [f"mi.info = '{rng.choice(genres)}'"],
+            ["mi.info LIKE 'USA:%'"],
+            [],
+        ]
+    if alias == "mi_idx":
+        return [["mi_idx.info > '500'"], []]
+    if alias == "kt":
+        return [["kt.kind = 'movie'"], ["kt.kind IN ('movie', 'tv movie')"]]
+    if alias == "rt":
+        return [["rt.role = 'actor'"], ["rt.role IN ('actor', 'actress')"], ["rt.role = 'producer'"]]
+    if alias == "chn":
+        return [[], ["chn.name LIKE '%Character 00%'"]]
+    if alias == "cct1":
+        return [["cct1.kind = 'cast'"]]
+    if alias == "cct2":
+        return [["cct2.kind LIKE '%complete%'"]]
+    if alias == "lt":
+        return [["lt.link LIKE '%follow%'"], ["lt.link = 'features'"]]
+    if alias == "an":
+        return [[], ["an.name LIKE '%Alias 0%'"]]
+    if alias == "pi":
+        return [[], ["pi.info LIKE '%cm'"]]
+    return [[]]
+
+
+_SELECT_CANDIDATES: Dict[str, Tuple[str, str]] = {
+    "t": ("title", "movie_title"),
+    "n": ("name", "actor_name"),
+    "k": ("keyword", "movie_keyword"),
+    "cn": ("name", "company_name"),
+    "chn": ("name", "character_name"),
+    "mi": ("info", "movie_info"),
+    "mi_idx": ("info", "movie_votes"),
+    "at": ("title", "alternate_title"),
+    "lt": ("link", "link_kind"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Query generation
+# ---------------------------------------------------------------------------
+
+
+def _variant_letter(index: int) -> str:
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return letters[index % len(letters)]
+
+
+def _build_query_sql(
+    family: int,
+    variant_index: int,
+    branches: Sequence[str],
+    vocab: ImdbVocabulary,
+    config: JobWorkloadConfig,
+) -> Tuple[str, Tuple[str, ...]]:
+    """Render the SQL text for one family variant."""
+    rng = random.Random(f"{config.seed}/{family}/{variant_index}")
+    aliases = ("t",) + tuple(branches)
+
+    # FROM clause.
+    from_entries = ["title AS t"]
+    for alias in branches:
+        table, _ = BRANCHES[alias]
+        from_entries.append(f"{table} AS {alias}")
+
+    # Join conditions along the branch structure.
+    join_conditions: List[str] = []
+    for alias in branches:
+        _, (parent, parent_column, own_column) = BRANCHES[alias]
+        join_conditions.append(f"{parent}.{parent_column} = {alias}.{own_column}")
+    if config.redundant_fact_joins:
+        fact_aliases = [a for a in branches if BRANCHES[a][1][0] == "t" and BRANCHES[a][1][1] == "id"]
+        for i in range(len(fact_aliases)):
+            for j in range(i + 1, len(fact_aliases)):
+                join_conditions.append(
+                    f"{fact_aliases[i]}.movie_id = {fact_aliases[j]}.movie_id"
+                )
+
+    # Filters: always filter the most selective dimension aliases present;
+    # variants differ in which pool entry is picked.
+    filter_conditions: List[str] = []
+    filtered = 0
+    priority = [
+        "k", "n", "it1", "it2", "ci", "cn", "ct", "kt", "rt", "mi", "t",
+        "mc", "mi_idx", "cct1", "cct2", "lt", "chn", "an", "pi",
+    ]
+    # Larger queries carry more filters (as in JOB), which also keeps the
+    # worst mis-planned intermediates bounded for the pure-Python executor.
+    max_filters = max(3 + (variant_index % 3), 2 + len(branches) // 2)
+    for alias in priority:
+        if alias not in aliases:
+            continue
+        pool = _filter_pool(alias, rng, vocab)
+        if not pool:
+            continue
+        choice = pool[(variant_index + filtered) % len(pool)]
+        if not choice:
+            continue
+        filter_conditions.extend(choice)
+        filtered += 1
+        if filtered >= max_filters:
+            break
+    if not filter_conditions:
+        filter_conditions.append("t.production_year > 2000")
+
+    # Select list: MIN() aggregates over text columns of present aliases.
+    select_items: List[str] = []
+    for alias, (column, label) in _SELECT_CANDIDATES.items():
+        if alias in aliases:
+            select_items.append(f"MIN({alias}.{column}) AS {label}")
+        if len(select_items) >= 3:
+            break
+    if not select_items:
+        select_items.append("MIN(t.title) AS movie_title")
+
+    sql = (
+        "SELECT "
+        + ",\n       ".join(select_items)
+        + "\nFROM "
+        + ",\n     ".join(from_entries)
+        + "\nWHERE "
+        + "\n  AND ".join(filter_conditions + join_conditions)
+        + ";"
+    )
+    return sql, aliases
+
+
+def generate_job_workload(
+    vocabulary: ImdbVocabulary,
+    config: Optional[JobWorkloadConfig] = None,
+) -> List[JobQuery]:
+    """Generate the full 113-query workload."""
+    config = config or JobWorkloadConfig()
+    queries: List[JobQuery] = []
+    for family, branches, variants in FAMILIES:
+        for variant_index in range(variants):
+            letter = _variant_letter(variant_index)
+            sql, aliases = _build_query_sql(
+                family, variant_index, branches, vocabulary, config
+            )
+            queries.append(
+                JobQuery(
+                    name=f"q{family:02d}{letter}",
+                    family=family,
+                    variant=letter,
+                    sql=sql,
+                    num_tables=len(aliases),
+                    aliases=aliases,
+                )
+            )
+    _validate_distribution(queries)
+    return queries
+
+
+def _validate_distribution(queries: Sequence[JobQuery]) -> None:
+    """Check the generated workload matches the paper's Table III distribution."""
+    counts: Dict[int, int] = {}
+    for query in queries:
+        counts[query.num_tables] = counts.get(query.num_tables, 0) + 1
+    if counts != EXPECTED_TABLE_COUNTS:
+        raise WorkloadError(
+            f"workload table-count distribution {counts} does not match "
+            f"the paper's Table III {EXPECTED_TABLE_COUNTS}"
+        )
+
+
+def table_count_distribution(queries: Sequence[JobQuery]) -> Dict[int, int]:
+    """Number of queries per FROM-clause table count (the paper's Table III)."""
+    counts: Dict[int, int] = {}
+    for query in queries:
+        counts[query.num_tables] = counts.get(query.num_tables, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def bind_workload(
+    database: Database, queries: Sequence[JobQuery]
+) -> List[BoundQuery]:
+    """Parse and bind every workload query against ``database``."""
+    return [database.parse(query.sql, name=query.name) for query in queries]

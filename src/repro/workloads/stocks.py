@@ -1,0 +1,102 @@
+"""The Nasdaq companies/trades skew example (paper Tables IV and V).
+
+Section IV-C of the paper illustrates how skew across a join defeats the
+uniformity assumption: a ``trades`` table whose ``company_id`` is heavily
+skewed towards a handful of symbols, joined with a ``company`` table filtered
+on one of those popular symbols.  Neither PostgreSQL nor the commercial
+system the authors tried estimates the join size correctly.
+
+This module generates that dataset and the example query so the behaviour
+can be demonstrated on our engine (`examples/stocks_skew_demo.py` and the
+``table45`` benchmark use it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.catalog.schema import ColumnType, make_schema
+from repro.engine.database import Database
+from repro.engine.settings import EngineSettings
+from repro.workloads.distributions import ZipfSampler
+
+
+@dataclass
+class StocksConfig:
+    """Size and skew of the synthetic trading dataset."""
+
+    num_companies: int = 4000
+    num_trades: int = 40000
+    zipf_exponent: float = 1.1
+    seed: int = 13
+
+    #: Symbols given to the most heavily traded companies (paper's examples).
+    popular_symbols: Tuple[str, ...] = ("APPL", "GOOG", "MSFT", "AMZN", "NVDA")
+
+
+def stocks_schemas():
+    """Schemas of the ``company`` and ``trades`` tables (paper Tables IV/V)."""
+    I, T = ColumnType.INT, ColumnType.TEXT
+    return [
+        make_schema(
+            "company",
+            [("id", I), ("symbol", T), ("company", T)],
+            primary_key="id",
+        ),
+        make_schema(
+            "trades",
+            [("id", I), ("company_id", I), ("shares", I)],
+            primary_key="id",
+            foreign_keys=[("company_id", "company", "id")],
+        ),
+    ]
+
+
+def generate_stocks_rows(config: StocksConfig = None):
+    """Generate ``(company_rows, trades_rows)`` with the paper's skew.
+
+    Roughly half of all trading volume concentrates on a small fraction of
+    the symbols ("40 stocks out of 4000 account for 50% of the volume").
+    """
+    config = config or StocksConfig()
+    rng = random.Random(config.seed)
+    companies: List[tuple] = []
+    for i in range(config.num_companies):
+        if i < len(config.popular_symbols):
+            symbol = config.popular_symbols[i]
+        else:
+            symbol = f"S{i:04d}"
+        companies.append((i + 1, symbol, f"{symbol} Inc."))
+    sampler = ZipfSampler(config.num_companies, config.zipf_exponent)
+    trades: List[tuple] = []
+    for i in range(config.num_trades):
+        company_rank = sampler.sample(rng)
+        trades.append((i + 1, company_rank + 1, rng.randint(1, 10000)))
+    return companies, trades
+
+
+def build_stocks_database(
+    config: StocksConfig = None, settings: EngineSettings = None
+) -> Database:
+    """Create a loaded, indexed and ANALYZEd trading database."""
+    config = config or StocksConfig()
+    database = Database(settings=settings)
+    for schema in stocks_schemas():
+        database.create_table(schema)
+    companies, trades = generate_stocks_rows(config)
+    database.load_rows("company", companies)
+    database.load_rows("trades", trades)
+    database.finalize_load()
+    return database
+
+
+def example_query(symbol: str = "APPL") -> str:
+    """The paper's example query: all trades of one popular symbol."""
+    return (
+        "SELECT count(trades.id) AS num_trades\n"
+        "FROM company, trades\n"
+        f"WHERE company.symbol = '{symbol}'\n"
+        "  AND company.id = trades.company_id;"
+    )

@@ -1,0 +1,77 @@
+"""Integration tests: the whole stack on the synthetic IMDB workload."""
+
+import pytest
+
+from repro.core import (
+    ReoptimizationPolicy,
+    ReoptimizationSimulator,
+    ReoptimizingSession,
+    TrueCardinalityOracle,
+    q_error,
+)
+from repro.executor import explain_plan
+
+
+class TestWorkloadEndToEnd:
+    def test_sample_of_queries_runs_correctly(self, imdb_db, job_queries):
+        """A slice of the workload plans, executes and aggregates without error."""
+        for job in job_queries[::9]:
+            run = imdb_db.run(imdb_db.parse(job.sql, name=job.name))
+            assert len(run.rows) == 1, job.name
+            assert run.execution_seconds >= 0
+
+    def test_perfect_estimates_never_worse_by_much(self, imdb_db, job_queries):
+        """Plans built from true cardinalities are not significantly slower."""
+        oracle = TrueCardinalityOracle(imdb_db)
+        worse = 0
+        checked = 0
+        for job in job_queries[:12]:
+            query = imdb_db.parse(job.sql, name=job.name)
+            default_run = imdb_db.run(query)
+            perfect_run = imdb_db.run(query, injector=oracle.perfect_injection(17))
+            assert perfect_run.rows == default_run.rows
+            checked += 1
+            if perfect_run.execution_seconds > default_run.execution_seconds * 1.3:
+                worse += 1
+            oracle.release_intermediates(query)
+        assert checked == 12
+        assert worse <= 2
+
+    def test_reoptimization_preserves_results_and_helps_bad_queries(
+        self, imdb_db, job_queries
+    ):
+        simulator = ReoptimizationSimulator(imdb_db, ReoptimizationPolicy(threshold=32))
+        improvements = []
+        for job in job_queries[10:30:4]:
+            query = imdb_db.parse(job.sql, name=job.name)
+            baseline = imdb_db.run(query)
+            report = simulator.reoptimize(query)
+            assert report.rows == baseline.rows, job.name
+            if report.reoptimized:
+                improvements.append(
+                    baseline.execution_seconds - report.execution_seconds
+                )
+        # Whenever re-optimization fired on this slice, it did not blow up the
+        # aggregate execution time.
+        if improvements:
+            assert sum(improvements) > -1.0
+
+    def test_explain_analyze_shows_estimation_errors(self, imdb_db, job_queries):
+        job = next(q for q in job_queries if q.num_tables >= 7)
+        query = imdb_db.parse(job.sql, name=job.name)
+        planned = imdb_db.plan(query)
+        execution = imdb_db.execute_plan(planned)
+        text = explain_plan(planned.plan, execution)
+        assert "actual_rows" in text
+        errors = [
+            q_error(node.estimated_rows, node.actual_rows)
+            for node in planned.plan.join_nodes()
+        ]
+        assert max(errors) >= 1.0
+
+    def test_session_over_workload_slice(self, imdb_db, job_queries):
+        session = ReoptimizingSession(imdb_db, ReoptimizationPolicy(threshold=32))
+        for job in job_queries[:5]:
+            result = session.execute(imdb_db.parse(job.sql, name=job.name))
+            assert len(result.rows) == 1
+        assert len(session.history) == 5

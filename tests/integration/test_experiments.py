@@ -1,0 +1,89 @@
+"""Integration tests for the experiment functions on a reduced context.
+
+The full-scale numbers live in the benchmarks; here we only check that every
+experiment function produces a well-formed artifact and that the headline
+orderings hold on a small workload slice.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    figure1,
+    figure2,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+    table3,
+    table45,
+    table6,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(bench_context):
+    return bench_context
+
+
+class TestExperimentArtifacts:
+    def test_table1(self, ctx):
+        result = table1(ctx)
+        assert result.column("tables_in_join")[0] == 1
+        assert sum(result.column("num_estimates")) > 0
+
+    def test_table3(self, ctx):
+        result = table3(ctx)
+        assert sum(result.column("num_queries")) == len(ctx.job_queries)
+
+    def test_fig1_top5(self, ctx):
+        result = figure1(ctx, top=5)
+        labels = result.column("regime")
+        assert labels[0] == "PostgreSQL" and labels[-1] == "Perfect"
+        assert len(result.metadata["query_names"]) == 5
+
+    def test_fig2_reduced_ns(self, ctx):
+        result = figure2(ctx, ns=[0, 2, 17])
+        assert result.column("perfect_n") == [0, 2, 17]
+        execs = result.column("execute_s")
+        assert execs[-1] <= execs[0]
+
+    def test_table2_and_table6(self, ctx):
+        before = table2(ctx)
+        after = table6(ctx)
+        assert sum(before.column("num_queries")) == len(ctx.job_queries)
+        assert sum(after.column("num_queries")) == len(ctx.job_queries)
+        assert after.column("num_queries")[-1] <= before.column("num_queries")[-1]
+
+    def test_fig5_single_query(self, ctx):
+        result = figure5(ctx, query_names=[ctx.query_names()[3]], max_iterations=12)
+        assert len(result.rows) >= 1
+
+    def test_fig6(self, ctx):
+        result = figure6(ctx)
+        assert "rewritten_sql" in result.metadata
+
+    def test_fig7_reduced(self, ctx):
+        result = figure7(ctx, thresholds=[8, 512])
+        keys = result.column("threshold")
+        assert keys == [8, 512, "PG", "Perfect"]
+
+    def test_fig8_reduced(self, ctx):
+        result = figure8(ctx, ns=[0, 17])
+        rows = {row[0]: row for row in result.rows}
+        assert rows[0][2] <= rows[0][1] * 1.05
+
+    def test_fig9(self, ctx):
+        result = figure9(ctx)
+        totals = result.metadata["totals"]
+        assert totals["perfect"] <= totals["postgres"]
+        assert len(result.rows) == len(ctx.job_queries)
+
+    def test_table45(self):
+        from repro.workloads import StocksConfig
+
+        result = table45(StocksConfig(num_companies=300, num_trades=3000))
+        assert len(result.rows) == 5
+        assert max(result.column("q_error")) > 1.0

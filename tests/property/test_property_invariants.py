@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import ColumnType, make_schema
+from repro.core import q_error
+from repro.engine import Database
+from repro.executor.expressions import like_match
+from repro.executor.operators import ResultSet, join_results
+from repro.sql.binder import BoundJoin
+from repro.stats import EquiDepthHistogram, MostCommonValues
+from repro.workloads import ZipfSampler
+
+positive_rows = st.floats(min_value=0, max_value=1e9, allow_nan=False)
+
+
+class TestQErrorProperties:
+    @given(positive_rows, positive_rows)
+    def test_symmetric_and_at_least_one(self, estimated, actual):
+        error = q_error(estimated, actual)
+        assert error >= 1.0
+        assert error == q_error(actual, estimated)
+
+    @given(positive_rows)
+    def test_identity(self, value):
+        assert q_error(value, value) == 1.0
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.integers(min_value=-10_000, max_value=10_000), min_size=2, max_size=300))
+    def test_selectivity_bounded_and_monotone(self, values):
+        histogram = EquiDepthHistogram.build(values, num_buckets=16)
+        if histogram is None:
+            return
+        probes = sorted(set(values))[:: max(1, len(set(values)) // 10)]
+        previous = 0.0
+        for probe in probes:
+            fraction = histogram.selectivity_less_than(probe)
+            assert 0.0 <= fraction <= 1.0
+            assert fraction >= previous - 1e-9
+            previous = fraction
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2, max_size=300))
+    def test_full_range_covers_everything(self, values):
+        histogram = EquiDepthHistogram.build(values, num_buckets=8)
+        if histogram is None:
+            return
+        assert histogram.selectivity_range() == 1.0
+
+
+class TestMCVProperties:
+    @given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=400))
+    def test_frequencies_are_probabilities(self, values):
+        mcv = MostCommonValues.build(values, max_entries=8)
+        assert mcv is not None
+        assert 0.0 < mcv.total_frequency <= 1.0 + 1e-9
+        for value, frequency in zip(mcv.values, mcv.frequencies):
+            assert abs(frequency - values.count(value) / len(values)) < 1e-9
+        # Frequencies are sorted most-common-first.
+        assert list(mcv.frequencies) == sorted(mcv.frequencies, reverse=True)
+
+
+class TestZipfProperties:
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=0.1, max_value=2.0))
+    def test_probabilities_sum_to_one_and_decrease(self, n, exponent):
+        sampler = ZipfSampler(n, exponent)
+        probabilities = [sampler.probability(i) for i in range(n)]
+        assert abs(sum(probabilities) - 1.0) < 1e-6
+        assert all(
+            probabilities[i] >= probabilities[i + 1] - 1e-12 for i in range(n - 1)
+        )
+
+
+class TestLikeProperties:
+    @given(st.text(alphabet="abc%_", min_size=0, max_size=10), st.text(alphabet="abc", max_size=10))
+    def test_like_never_crashes_and_is_boolean(self, pattern, value):
+        assert like_match(value, pattern) in (True, False)
+
+    @given(st.text(alphabet="abcd", max_size=12))
+    def test_percent_matches_everything(self, value):
+        assert like_match(value, "%")
+
+
+class TestJoinProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=30)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=8), max_size=40),
+        st.lists(st.integers(min_value=0, max_value=8), max_size=40),
+    )
+    def test_join_cardinality_matches_key_count_product(self, left_keys, right_keys):
+        """|A join B on key| == sum over keys of count_A(k) * count_B(k)."""
+        left = ResultSet(
+            [("a", "k")], [(key,) for key in left_keys]
+        )
+        right = ResultSet(
+            [("b", "k")], [(key,) for key in right_keys]
+        )
+        joined = join_results(left, right, [BoundJoin("a", "k", "b", "k")])
+        expected = sum(
+            left_keys.count(key) * right_keys.count(key) for key in set(left_keys)
+        )
+        assert len(joined) == expected
+
+
+class TestEngineCountProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=20)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=5), st.integers(min_value=0, max_value=100)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_filtered_count_matches_python(self, rows):
+        """COUNT with a filter agrees with a straight Python computation."""
+        db = Database()
+        db.create_table(
+            make_schema("facts", [("id", ColumnType.INT), ("grp", ColumnType.INT), ("val", ColumnType.INT)])
+        )
+        db.load_rows("facts", [(i + 1, grp, val) for i, (grp, val) in enumerate(rows)])
+        db.finalize_load()
+        run = db.run("SELECT count(f.id) AS n FROM facts AS f WHERE f.grp = 3")
+        expected = sum(1 for grp, _ in rows if grp == 3)
+        assert run.rows == [(expected,)]

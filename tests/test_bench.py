@@ -1,0 +1,90 @@
+"""Unit tests for the benchmark harness, regimes and reporting."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    MidQueryRegime,
+    PerfectRegime,
+    PostgresRegime,
+    ReoptimizedRegime,
+    format_table,
+    run_matrix,
+    run_query,
+    run_workload,
+    total_seconds,
+)
+from repro.core import ReoptimizationPolicy
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["xx", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult("x", "title", ["k", "v"])
+        result.add_row("a", 1.0)
+        result.add_row("b", 2.0)
+        result.add_note("hello")
+        assert result.column("v") == [1.0, 2.0]
+        assert result.row_by("k", "b") == ["b", 2.0]
+        assert result.row_by("k", "zz") is None
+        text = result.to_text()
+        assert "== x: title ==" in text
+        assert "note: hello" in text
+
+
+class TestRegimesAndHarness:
+    def test_postgres_regime(self, bench_context):
+        name = bench_context.query_names()[0]
+        outcome = run_query(bench_context, PostgresRegime(), name)
+        assert outcome.query_name == name
+        assert outcome.execution_seconds > 0
+        assert outcome.regime == "postgres"
+
+    def test_outcome_cache_reused(self, bench_context):
+        name = bench_context.query_names()[1]
+        regime = PostgresRegime()
+        first = run_query(bench_context, regime, name)
+        second = run_query(bench_context, regime, name)
+        assert first is second
+
+    def test_perfect_regime_not_slower_is_not_required_but_runs(self, bench_context):
+        name = bench_context.query_names()[0]
+        outcome = run_query(
+            bench_context, PerfectRegime(bench_context.oracle, 17), name
+        )
+        assert outcome.regime == "perfect-17"
+        assert outcome.rows >= 0
+
+    def test_reoptimized_regime_counts_steps(self, bench_context):
+        regime = ReoptimizedRegime(policy=ReoptimizationPolicy(threshold=8))
+        outcomes = run_workload(
+            bench_context, regime, bench_context.query_names()[:6]
+        )
+        assert len(outcomes) == 6
+        assert any(outcome.reoptimization_steps >= 0 for outcome in outcomes)
+
+    def test_midquery_regime(self, bench_context):
+        name = bench_context.query_names()[2]
+        outcome = run_query(
+            bench_context, MidQueryRegime(ReoptimizationPolicy(threshold=8)), name
+        )
+        assert outcome.regime == "midquery"
+
+    def test_run_matrix_and_totals(self, bench_context):
+        names = bench_context.query_names()[:4]
+        regimes = [PostgresRegime(), PerfectRegime(bench_context.oracle, 2)]
+        matrix = run_matrix(bench_context, regimes, names)
+        assert set(matrix) == {"postgres", "perfect-2"}
+        assert all(len(outcomes) == 4 for outcomes in matrix.values())
+        execution, planning = total_seconds(matrix["postgres"])
+        assert execution > 0 and planning > 0
+
+    def test_context_accessors(self, bench_context):
+        assert len(bench_context.query_names()) == len(bench_context.job_queries)
+        first = bench_context.query_names()[0]
+        assert bench_context.query(first).name == first

@@ -1,0 +1,97 @@
+"""Unit tests for schema objects."""
+
+import pytest
+
+from repro.catalog import ColumnDef, ColumnType, ForeignKey, TableSchema, make_schema
+from repro.errors import CatalogError
+
+
+class TestColumnType:
+    def test_python_types(self):
+        assert ColumnType.INT.python_type() is int
+        assert ColumnType.FLOAT.python_type() is float
+        assert ColumnType.TEXT.python_type() is str
+
+    def test_coerce_passthrough(self):
+        assert ColumnType.INT.coerce(5) == 5
+        assert ColumnType.TEXT.coerce("x") == "x"
+
+    def test_coerce_converts(self):
+        assert ColumnType.INT.coerce("7") == 7
+        assert ColumnType.FLOAT.coerce(3) == 3.0
+        assert ColumnType.TEXT.coerce(12) == "12"
+
+    def test_coerce_none(self):
+        assert ColumnType.INT.coerce(None) is None
+
+    def test_coerce_failure(self):
+        with pytest.raises(CatalogError):
+            ColumnType.INT.coerce("not-a-number")
+
+
+class TestColumnDef:
+    def test_valid_name(self):
+        col = ColumnDef("production_year", ColumnType.INT)
+        assert col.name == "production_year"
+
+    def test_invalid_name(self):
+        with pytest.raises(CatalogError):
+            ColumnDef("bad name", ColumnType.INT)
+
+    def test_empty_name(self):
+        with pytest.raises(CatalogError):
+            ColumnDef("", ColumnType.TEXT)
+
+
+class TestTableSchema:
+    def test_make_schema(self):
+        schema = make_schema(
+            "movies",
+            [("id", ColumnType.INT), ("title", ColumnType.TEXT)],
+            primary_key="id",
+        )
+        assert schema.column_names == ("id", "title")
+        assert schema.primary_key == "id"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            make_schema("t", [("id", ColumnType.INT), ("id", ColumnType.INT)])
+
+    def test_unknown_primary_key_rejected(self):
+        with pytest.raises(CatalogError):
+            make_schema("t", [("id", ColumnType.INT)], primary_key="missing")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            make_schema(
+                "t",
+                [("id", ColumnType.INT)],
+                foreign_keys=[("missing", "other", "id")],
+            )
+
+    def test_column_lookup(self):
+        schema = make_schema("t", [("id", ColumnType.INT), ("name", ColumnType.TEXT)])
+        assert schema.column("name").col_type is ColumnType.TEXT
+        assert schema.column_index("name") == 1
+        assert schema.has_column("id")
+        assert not schema.has_column("other")
+
+    def test_column_lookup_missing(self):
+        schema = make_schema("t", [("id", ColumnType.INT)])
+        with pytest.raises(CatalogError):
+            schema.column("nope")
+        with pytest.raises(CatalogError):
+            schema.column_index("nope")
+
+    def test_foreign_keys_recorded(self):
+        schema = make_schema(
+            "trades",
+            [("id", ColumnType.INT), ("company_id", ColumnType.INT)],
+            primary_key="id",
+            foreign_keys=[("company_id", "company", "id")],
+        )
+        assert schema.foreign_keys == (ForeignKey("company_id", "company", "id"),)
+
+    def test_invalid_table_name(self):
+        with pytest.raises(CatalogError):
+            TableSchema(name="1bad", columns=(ColumnDef("id", ColumnType.INT),))

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiments
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("fig1", "table45", "ablation-midquery"):
+            assert key in out
+
+    def test_run_requires_experiments(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_experiments(["nope"])
+
+
+class TestRun:
+    def test_run_table45_without_context(self, capsys):
+        results = run_experiments(["table45"])
+        assert len(results) == 1
+        assert results[0].experiment_id == "table45"
+
+    def test_run_table3_small_context(self, capsys):
+        results = run_experiments(["table3"], scale=0.1, query_limit=10)
+        assert results[0].experiment_id == "table3"
+        out = capsys.readouterr().out
+        assert "num_tables" in out
+
+    def test_main_with_output_file(self, tmp_path, capsys):
+        output = tmp_path / "artifact.txt"
+        code = main(
+            [
+                "run",
+                "table45",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert "q_error" in output.read_text()
+
+    def test_registry_complete(self):
+        # Every paper artifact has a CLI entry.
+        for required in ("fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
+                         "table1", "table2", "table3", "table45", "table6"):
+            assert required in EXPERIMENTS

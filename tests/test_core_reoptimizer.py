@@ -1,0 +1,126 @@
+"""Unit tests for the re-optimization simulator, mid-query variant,
+feedback loop and session API."""
+
+import pytest
+
+from repro.core import (
+    FeedbackLoop,
+    MidQueryReoptimizer,
+    ReoptimizationPolicy,
+    ReoptimizationSimulator,
+    ReoptimizingSession,
+)
+
+SKEWED_SQL = (
+    "SELECT count(t.id) AS n FROM company AS c, trades AS t "
+    "WHERE c.symbol = 'SYM1' AND c.id = t.company_id"
+)
+UNSKEWED_SQL = (
+    "SELECT count(t.id) AS n FROM company AS c, trades AS t "
+    "WHERE c.symbol = 'SYM99' AND c.id = t.company_id"
+)
+
+
+def expected_count(db, company_id):
+    return sum(1 for row in db.catalog.table("trades").iter_rows() if row[1] == company_id)
+
+
+class TestReoptimizationSimulator:
+    def test_triggers_on_skewed_query(self, stock_db):
+        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
+        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="skewed"))
+        assert report.reoptimized
+        assert report.rows == [(expected_count(stock_db, 1),)]
+        assert report.total_execution_work > 0
+        assert report.total_planning_work > 0
+        step = report.steps[0]
+        assert step.q_error > 4
+        assert step.temp_rows == expected_count(stock_db, 1)
+        assert "CREATE TEMP TABLE" in step.create_sql
+        # Temp tables are dropped by default.
+        assert step.temp_table not in stock_db.catalog
+
+    def test_does_not_trigger_on_well_estimated_query(self, stock_db):
+        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=32))
+        report = simulator.reoptimize(stock_db.parse(UNSKEWED_SQL, name="plain"))
+        assert not report.reoptimized
+        assert report.rows == [(expected_count(stock_db, 99),)]
+
+    def test_keep_temp_tables(self, stock_db):
+        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
+        report = simulator.reoptimize(
+            stock_db.parse(SKEWED_SQL, name="kept"), keep_temp_tables=True
+        )
+        assert report.reoptimized
+        assert report.steps[0].temp_table in stock_db.catalog
+        stock_db.drop_table(report.steps[0].temp_table)
+
+    def test_min_query_seconds_skips_short_queries(self, stock_db):
+        policy = ReoptimizationPolicy(threshold=4, min_query_seconds=1e9)
+        simulator = ReoptimizationSimulator(stock_db, policy)
+        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="short"))
+        assert not report.reoptimized
+
+    def test_rewritten_sql_script(self, stock_db):
+        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
+        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="script"))
+        script = report.rewritten_sql()
+        assert "CREATE TEMP TABLE" in script
+        assert script.strip().endswith(";")
+
+    def test_results_match_plain_execution_on_workload(self, imdb_db, job_queries):
+        """Re-optimized queries return exactly the same rows as plain execution."""
+        simulator = ReoptimizationSimulator(imdb_db, ReoptimizationPolicy(threshold=8))
+        for job in job_queries[:6]:
+            query = imdb_db.parse(job.sql, name=job.name)
+            plain = imdb_db.run(query)
+            report = simulator.reoptimize(query)
+            assert report.rows == plain.rows, job.name
+
+
+class TestMidQueryReoptimizer:
+    def test_cheaper_than_materializing_simulation(self, stock_db):
+        policy = ReoptimizationPolicy(threshold=4)
+        simulated = ReoptimizationSimulator(stock_db, policy).reoptimize(
+            stock_db.parse(SKEWED_SQL, name="mat")
+        )
+        pipelined = MidQueryReoptimizer(stock_db, policy).reoptimize(
+            stock_db.parse(SKEWED_SQL, name="pipe")
+        )
+        assert pipelined.rows == simulated.rows
+        assert pipelined.total_execution_work <= simulated.total_execution_work
+
+
+class TestFeedbackLoop:
+    def test_converges_on_skewed_query(self, stock_db):
+        loop = FeedbackLoop(stock_db, threshold=4, max_iterations=10)
+        result = loop.run(stock_db.parse(SKEWED_SQL, name="feedback"))
+        assert 1 <= result.num_iterations <= 10
+        # The last iteration has no remaining violation.
+        assert result.iterations[-1].corrected_subset is None or len(result.injection) > 0
+        series = result.execution_seconds_series()
+        assert all(value >= 0 for value in series)
+
+    def test_no_iterations_needed_for_good_estimates(self, stock_db):
+        loop = FeedbackLoop(stock_db, threshold=1e9)
+        result = loop.run(stock_db.parse(UNSKEWED_SQL, name="feedback-good"))
+        assert result.num_iterations == 1
+        assert result.iterations[0].corrected_subset is None
+
+
+class TestReoptimizingSession:
+    def test_session_runs_and_records_history(self, stock_db):
+        session = ReoptimizingSession(stock_db, ReoptimizationPolicy(threshold=4))
+        first = session.execute(SKEWED_SQL)
+        second = session.execute(UNSKEWED_SQL)
+        assert first.reoptimized
+        assert not second.reoptimized
+        assert first.rows == [(expected_count(stock_db, 1),)]
+        assert len(session.history) == 2
+        assert session.total_execution_seconds() > 0
+        assert session.total_planning_seconds() > 0
+
+    def test_session_comparison_helper(self, stock_db):
+        session = ReoptimizingSession(stock_db)
+        run = session.execute_without_reoptimization(UNSKEWED_SQL)
+        assert run.rows == [(expected_count(stock_db, 99),)]

@@ -1,0 +1,90 @@
+"""Unit tests for the Database facade."""
+
+import pytest
+
+from repro.catalog import ColumnType, make_schema
+from repro.engine import Database, EngineSettings
+from repro.errors import CatalogError
+
+
+class TestDatabaseDDL:
+    def test_create_load_analyze(self, stock_db):
+        assert stock_db.catalog.table("company").row_count == 150
+        assert stock_db.catalog.stats("trades").row_count == 4000
+        assert "company_id" in stock_db.catalog.indexes("trades")
+
+    def test_load_dict_rows(self):
+        db = Database()
+        db.create_table(make_schema("t", [("id", ColumnType.INT), ("x", ColumnType.TEXT)]))
+        count = db.load_rows("t", [{"id": 1, "x": "a"}, {"id": 2}])
+        assert count == 2
+        assert db.catalog.table("t").row(1) == (2, None)
+
+    def test_drop_table(self, stock_db):
+        stock_db.drop_table("trades")
+        assert "trades" not in stock_db.catalog
+        with pytest.raises(CatalogError):
+            stock_db.drop_table("trades")
+
+    def test_settings_disable_auto_indexes(self):
+        db = Database(EngineSettings(auto_foreign_key_indexes=False))
+        db.create_table(
+            make_schema("t", [("id", ColumnType.INT)], primary_key="id")
+        )
+        db.load_rows("t", [(1,), (2,)])
+        db.finalize_load()
+        assert db.catalog.indexes("t") == {}
+
+    def test_create_extra_index(self, stock_db):
+        stock_db.create_index("trades", "venue")
+        assert "venue" in stock_db.catalog.indexes("trades")
+
+
+class TestDatabaseQuerying:
+    def test_run_sql_end_to_end(self, stock_db):
+        run = stock_db.run(
+            "SELECT count(t.id) AS n FROM trades AS t WHERE t.venue = 'NASDAQ'"
+        )
+        expected = sum(
+            1 for row in stock_db.catalog.table("trades").iter_rows() if row[3] == "NASDAQ"
+        )
+        assert run.rows == [(expected,)]
+        assert run.total_seconds == run.planning_seconds + run.execution_seconds
+
+    def test_explain_without_analyze(self, stock_db):
+        text = stock_db.explain("SELECT c.id FROM company AS c WHERE c.id = 3")
+        assert "est_rows" in text
+        assert "actual_rows" not in text
+
+    def test_temp_table_from_result(self, stock_db):
+        run = stock_db.run(
+            "SELECT c.id, c.symbol FROM company AS c WHERE c.sector = 'tech'"
+        )
+        planned = stock_db.plan("SELECT c.id FROM company AS c WHERE c.sector = 'tech'")
+        # Materialize the scan below the final projection, the way the
+        # re-optimizer materializes a sub-plan (qualified columns preserved).
+        execution = stock_db.executor.execute(planned.plan.child)
+        name = stock_db.next_temp_table_name()
+        table = stock_db.create_temp_table_from_result(
+            name,
+            execution.result,
+            [(("c", "id"), "c_id"), (("c", "symbol"), "c_symbol")],
+            alias_tables={"c": "company"},
+        )
+        assert table.row_count == len(run.rows)
+        assert stock_db.catalog.stats(name) is not None
+        assert stock_db.catalog.schema(name).column("c_id").col_type is ColumnType.INT
+        # The temp table is queryable through the normal path.
+        temp_run = stock_db.run(f"SELECT count(x.c_id) AS n FROM {name} AS x")
+        assert temp_run.rows == [(table.row_count,)]
+
+    def test_temp_table_duplicate_name_rejected(self, stock_db):
+        planned = stock_db.plan("SELECT c.id FROM company AS c WHERE c.id = 1")
+        execution = stock_db.executor.execute(planned.plan.child)
+        columns = [(("c", "id"), "c_id")]
+        stock_db.create_temp_table_from_result("dup", execution.result, columns)
+        with pytest.raises(CatalogError):
+            stock_db.create_temp_table_from_result("dup", execution.result, columns)
+
+    def test_temp_table_names_unique(self, stock_db):
+        assert stock_db.next_temp_table_name() != stock_db.next_temp_table_name()

@@ -1,0 +1,165 @@
+"""Unit tests for selectivity and cardinality estimation."""
+
+import pytest
+
+from repro.errors import CardinalityError
+from repro.optimizer import CardinalityEstimator, DictInjection, SelectivityEstimator
+from repro.optimizer.cardinality import clamp_selectivity
+from repro.sql import parse_select
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+)
+
+
+def col(alias, column):
+    return ColumnRef(alias=alias, column=column)
+
+
+class TestSelectivityEstimator:
+    def test_equality_uses_mcv(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        # Company 1 holds ~35% of the trades (skew planted by the fixture).
+        selectivity = estimator.filter_selectivity(
+            "trades", ComparisonPredicate(col("t", "company_id"), ComparisonOp.EQ, 1)
+        )
+        assert 0.25 < selectivity < 0.45
+
+    def test_equality_rare_value(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        selectivity = estimator.filter_selectivity(
+            "company", ComparisonPredicate(col("c", "symbol"), ComparisonOp.EQ, "SYM7")
+        )
+        assert selectivity == pytest.approx(1.0 / 150, rel=0.5)
+
+    def test_in_sums_equalities(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        single = estimator.filter_selectivity(
+            "company", ComparisonPredicate(col("c", "symbol"), ComparisonOp.EQ, "SYM7")
+        )
+        multiple = estimator.filter_selectivity(
+            "company", InPredicate(col("c", "symbol"), ("SYM7", "SYM8", "SYM9"))
+        )
+        assert multiple == pytest.approx(3 * single, rel=0.01)
+
+    def test_range_uses_histogram(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        selectivity = estimator.filter_selectivity(
+            "trades", ComparisonPredicate(col("t", "shares"), ComparisonOp.LT, 2500)
+        )
+        assert 0.35 < selectivity < 0.65
+
+    def test_between(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        selectivity = estimator.filter_selectivity(
+            "trades", BetweenPredicate(col("t", "shares"), 1000, 4000)
+        )
+        assert 0.4 < selectivity < 0.8
+
+    def test_null_predicate(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        selectivity = estimator.filter_selectivity(
+            "trades", NullPredicate(col("t", "shares"))
+        )
+        assert selectivity <= 1.0e-6 or selectivity < 0.01
+
+    def test_or_predicate(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        either = OrPredicate(
+            (
+                ComparisonPredicate(col("c", "sector"), ComparisonOp.EQ, "tech"),
+                ComparisonPredicate(col("c", "sector"), ComparisonOp.EQ, "energy"),
+            )
+        )
+        selectivity = estimator.filter_selectivity("company", either)
+        assert 0.3 < selectivity < 0.6
+
+    def test_like_is_data_independent(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        contains = estimator.filter_selectivity(
+            "company", LikePredicate(col("c", "symbol"), "%YM1%")
+        )
+        prefix = estimator.filter_selectivity(
+            "company", LikePredicate(col("c", "symbol"), "SYM1%")
+        )
+        assert 0 < contains < 0.2
+        assert 0 < prefix < 0.2
+
+    def test_join_selectivity_uses_max_ndistinct(self, stock_db):
+        estimator = SelectivityEstimator(stock_db.catalog)
+        selectivity = estimator.join_predicate_selectivity(
+            "company", "id", "trades", "company_id"
+        )
+        # nd(company.id)=150 dominates nd(trades.company_id)<=150.
+        assert selectivity == pytest.approx(1.0 / 150, rel=0.1)
+
+    def test_clamp(self):
+        assert clamp_selectivity(2.0) == 1.0
+        assert clamp_selectivity(-1.0) > 0
+
+
+class TestCardinalityEstimator:
+    def _estimator(self, db, injector=None):
+        query = db.parse(
+            "SELECT c.id FROM company AS c, trades AS t "
+            "WHERE c.symbol = 'SYM1' AND c.id = t.company_id",
+            name="q",
+        )
+        return CardinalityEstimator(db.catalog, query, injector=injector), query
+
+    def test_scan_cardinality(self, stock_db):
+        estimator, _ = self._estimator(stock_db)
+        rows = estimator.scan_cardinality("c")
+        assert 0.5 <= rows <= 3
+
+    def test_join_underestimated_under_skew(self, stock_db):
+        """The uniformity assumption underestimates the skewed join (Section IV-C)."""
+        estimator, query = self._estimator(stock_db)
+        estimate = estimator.subset_cardinality(frozenset(query.aliases))
+        actual = len(
+            [
+                row
+                for row in stock_db.catalog.table("trades").iter_rows()
+                if row[1] == 1
+            ]
+        )
+        assert actual > 5 * estimate
+
+    def test_memoization_counts_each_subset_once(self, stock_db):
+        estimator, query = self._estimator(stock_db)
+        subset = frozenset(query.aliases)
+        first = estimator.subset_cardinality(subset)
+        second = estimator.subset_cardinality(subset)
+        assert first == second
+        assert estimator.estimates_by_size[2] == 1
+
+    def test_injection_overrides(self, stock_db):
+        injection = DictInjection()
+        estimator, query = self._estimator(stock_db, injector=injection)
+        subset = frozenset(query.aliases)
+        injection.set(subset, 1234)
+        assert estimator.subset_cardinality(subset) == 1234
+
+    def test_unknown_alias_rejected(self, stock_db):
+        estimator, _ = self._estimator(stock_db)
+        with pytest.raises(CardinalityError):
+            estimator.subset_cardinality(frozenset({"zz"}))
+        with pytest.raises(CardinalityError):
+            estimator.subset_cardinality(frozenset())
+
+    def test_invalidate(self, stock_db):
+        injection = DictInjection()
+        estimator, query = self._estimator(stock_db, injector=injection)
+        subset = frozenset(query.aliases)
+        before = estimator.subset_cardinality(subset)
+        injection.set(subset, 99999)
+        # Memoized: unchanged until invalidated.
+        assert estimator.subset_cardinality(subset) == before
+        estimator.invalidate(subset)
+        assert estimator.subset_cardinality(subset) == 99999

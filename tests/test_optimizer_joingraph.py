@@ -1,0 +1,85 @@
+"""Unit tests for the join graph."""
+
+from repro.optimizer import JoinGraph
+from repro.sql import QueryBuilder
+
+
+def chain_query(n=4):
+    """t1 - t2 - t3 - ... chain query over the stocks schema-ish tables."""
+    builder = QueryBuilder(name="chain")
+    for i in range(n):
+        builder.add_table("company", f"t{i}")
+    for i in range(n - 1):
+        builder.add_join(f"t{i}", "id", f"t{i+1}", "id")
+    return builder.build()
+
+
+def star_query():
+    """Star around ``t`` with three satellites."""
+    builder = QueryBuilder(name="star")
+    builder.add_table("title", "t")
+    for alias in ("a", "b", "c"):
+        builder.add_table("movie_keyword", alias)
+        builder.add_join("t", "id", alias, "movie_id")
+    return builder.build()
+
+
+class TestJoinGraph:
+    def test_neighbors_and_degree(self):
+        graph = JoinGraph(star_query())
+        assert graph.neighbors("t") == {"a", "b", "c"}
+        assert graph.degree("t") == 3
+        assert graph.degree("a") == 1
+
+    def test_edges(self):
+        graph = JoinGraph(chain_query(3))
+        assert graph.edges() == [("t0", "t1"), ("t1", "t2")]
+
+    def test_is_connected(self):
+        graph = JoinGraph(star_query())
+        assert graph.is_connected({"t", "a"})
+        assert graph.is_connected({"t", "a", "b", "c"})
+        assert not graph.is_connected({"a", "b"})
+        assert not graph.is_connected(set())
+        assert graph.is_connected({"a"})
+
+    def test_connects(self):
+        graph = JoinGraph(star_query())
+        assert graph.connects({"t"}, {"a"})
+        assert not graph.connects({"a"}, {"b"})
+
+    def test_connected_components(self):
+        graph = JoinGraph(chain_query(4))
+        components = graph.connected_components()
+        assert len(components) == 1
+        assert components[0] == {"t0", "t1", "t2", "t3"}
+
+    def test_connected_subsets_of_size(self):
+        graph = JoinGraph(chain_query(4))
+        pairs = graph.connected_subsets_of_size(2)
+        assert len(pairs) == 3  # chain of 4 has 3 adjacent pairs
+        triples = graph.connected_subsets_of_size(3)
+        assert len(triples) == 2
+        assert graph.connected_subsets_of_size(0) == []
+        assert graph.connected_subsets_of_size(9) == []
+
+    def test_connected_subsets_star(self):
+        graph = JoinGraph(star_query())
+        # Star with 3 satellites: pairs = 3 (each satellite with hub).
+        assert len(graph.connected_subsets_of_size(2)) == 3
+        # Triples: hub + any 2 satellites = C(3,2) = 3.
+        assert len(graph.connected_subsets_of_size(3)) == 3
+        assert len(graph.connected_subsets_up_to(2)) == 4 + 3
+
+    def test_joins_between_sets(self):
+        graph = JoinGraph(star_query())
+        joins = graph.joins_between_sets({"t", "a"}, {"b"})
+        assert len(joins) == 1
+
+    def test_to_dot_and_text(self):
+        graph = JoinGraph(star_query())
+        dot = graph.to_dot()
+        assert "graph star" in dot
+        assert "t -- " in dot or "a -- " in dot
+        text = graph.to_text()
+        assert "join graph of star" in text

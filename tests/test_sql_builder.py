@@ -1,0 +1,112 @@
+"""Unit tests for the programmatic query builder and the collapse rewrite."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.sql import (
+    AggregateFunc,
+    ComparisonOp,
+    ComparisonPredicate,
+    ColumnRef,
+    QueryBuilder,
+    collapse_aliases,
+    referenced_columns,
+)
+
+
+def build_three_table_query():
+    builder = QueryBuilder(name="demo")
+    builder.add_table("keyword", "k").add_table("movie_keyword", "mk").add_table("title", "t")
+    builder.add_select("t", "title", aggregate=AggregateFunc.MIN, output_name="movie_title")
+    builder.add_filter(
+        "k", ComparisonPredicate(ColumnRef("k", "keyword"), ComparisonOp.EQ, "superhero")
+    )
+    builder.add_join("k", "id", "mk", "keyword_id")
+    builder.add_join("mk", "movie_id", "t", "id")
+    return builder.build()
+
+
+class TestQueryBuilder:
+    def test_builds_bound_query(self):
+        query = build_three_table_query()
+        assert query.aliases == ["k", "mk", "t"]
+        assert query.table_for("mk") == "movie_keyword"
+        assert len(query.joins) == 2
+        assert len(query.filters_for("k")) == 1
+
+    def test_duplicate_alias_rejected(self):
+        builder = QueryBuilder()
+        builder.add_table("title", "t")
+        with pytest.raises(BindError):
+            builder.add_table("name", "t")
+
+    def test_unknown_alias_rejected(self):
+        builder = QueryBuilder()
+        builder.add_table("title", "t")
+        with pytest.raises(BindError):
+            builder.add_select("x", "title")
+        with pytest.raises(BindError):
+            builder.add_join("t", "id", "x", "movie_id")
+
+    def test_self_join_rejected(self):
+        builder = QueryBuilder()
+        builder.add_table("title", "t")
+        with pytest.raises(BindError):
+            builder.add_join("t", "id", "t", "id")
+
+
+class TestReferencedColumns:
+    def test_select_and_boundary_joins(self):
+        query = build_three_table_query()
+        needed = referenced_columns(query, ["k", "mk"])
+        # mk.movie_id joins to t outside the group; the select list does not
+        # reference k or mk, so only the boundary join column is needed.
+        assert needed == [("mk", "movie_id")]
+
+    def test_select_columns_included(self):
+        query = build_three_table_query()
+        needed = referenced_columns(query, ["t"])
+        assert ("t", "title") in needed
+        assert ("t", "id") in needed
+
+
+class TestCollapseAliases:
+    def test_collapse_two_aliases(self):
+        query = build_three_table_query()
+        rewritten = collapse_aliases(
+            query,
+            ["k", "mk"],
+            temp_table="temp1",
+            temp_alias="temp1",
+            column_mapping={("mk", "movie_id"): "mk_movie_id"},
+        )
+        assert rewritten.aliases == ["t", "temp1"]
+        assert rewritten.table_for("temp1") == "temp1"
+        assert len(rewritten.joins) == 1
+        join = rewritten.joins[0]
+        assert {join.left_alias, join.right_alias} == {"t", "temp1"}
+        assert join.column_for("temp1") == "mk_movie_id"
+        # Filters on collapsed aliases disappear (they are baked into the temp table).
+        assert rewritten.filters == {}
+
+    def test_missing_mapping_rejected(self):
+        query = build_three_table_query()
+        with pytest.raises(BindError):
+            collapse_aliases(query, ["k", "mk"], "temp1", "temp1", column_mapping={})
+
+    def test_unknown_alias_rejected(self):
+        query = build_three_table_query()
+        with pytest.raises(BindError):
+            collapse_aliases(query, ["zz"], "temp1", "temp1", column_mapping={})
+
+    def test_original_query_untouched(self):
+        query = build_three_table_query()
+        collapse_aliases(
+            query,
+            ["k", "mk"],
+            temp_table="temp1",
+            temp_alias="temp1",
+            column_mapping={("mk", "movie_id"): "mk_movie_id"},
+        )
+        assert query.aliases == ["k", "mk", "t"]
+        assert len(query.joins) == 2

@@ -1,0 +1,73 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql import Token, TokenType, tokenize
+
+
+def token_values(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = token_values("SELECT select SeLeCt")
+        assert tokens == [(TokenType.KEYWORD, "select")] * 3
+
+    def test_identifiers_preserve_case(self):
+        tokens = token_values("movie_Keyword t1")
+        assert tokens == [
+            (TokenType.IDENTIFIER, "movie_Keyword"),
+            (TokenType.IDENTIFIER, "t1"),
+        ]
+
+    def test_numbers(self):
+        tokens = token_values("42 3.14 -7")
+        assert tokens == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, "-7"),
+        ]
+
+    def test_strings_with_escaped_quote(self):
+        tokens = token_values("'it''s fine'")
+        assert tokens == [(TokenType.STRING, "it's fine")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        tokens = token_values("= <> != < <= > >=")
+        values = [v for _, v in tokens]
+        assert values == ["=", "<>", "<>", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        types = [t for t, _ in token_values("( ) , . * ;")]
+        assert types == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.DOT,
+            TokenType.STAR,
+            TokenType.SEMICOLON,
+        ]
+
+    def test_comments_skipped(self):
+        tokens = token_values("SELECT -- a comment\n1")
+        assert tokens == [(TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_eof_token_present(self):
+        tokens = tokenize("SELECT")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_matches_keyword_helper(self):
+        token = tokenize("FROM")[0]
+        assert token.matches_keyword("from")
+        assert not token.matches_keyword("select")
+        assert isinstance(token, Token)

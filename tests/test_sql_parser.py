@@ -1,0 +1,134 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import (
+    AggregateFunc,
+    BetweenPredicate,
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    parse_select,
+)
+
+JOB_LIKE = """
+SELECT min(k.keyword) AS movie_keyword,
+       min(n.name) AS actor_name,
+       min(t.title) AS hero_movie
+FROM cast_info AS ci,
+     keyword AS k,
+     movie_keyword AS mk,
+     name AS n,
+     title AS t
+WHERE k.keyword IN ('superhero', 'sequel', 'second-part')
+  AND n.name LIKE '%Downey%Robert%'
+  AND t.production_year > 2000
+  AND k.id = mk.keyword_id
+  AND t.id = mk.movie_id
+  AND t.id = ci.movie_id
+  AND ci.person_id = n.id;
+"""
+
+
+class TestParseSelect:
+    def test_job_like_query(self):
+        query = parse_select(JOB_LIKE, name="6d")
+        assert query.name == "6d"
+        assert [t.alias for t in query.tables] == ["ci", "k", "mk", "n", "t"]
+        assert len(query.select_items) == 3
+        assert all(item.aggregate is AggregateFunc.MIN for item in query.select_items)
+        joins = query.join_predicates()
+        filters = query.filter_predicates()
+        assert len(joins) == 4
+        assert len(filters) == 3
+
+    def test_filter_types(self):
+        query = parse_select(JOB_LIKE)
+        filters = query.filter_predicates()
+        assert isinstance(filters[0], InPredicate)
+        assert isinstance(filters[1], LikePredicate)
+        assert isinstance(filters[2], ComparisonPredicate)
+        assert filters[2].op is ComparisonOp.GT
+
+    def test_select_star(self):
+        query = parse_select("SELECT * FROM company")
+        assert query.select_items == []
+        assert query.tables[0].table == "company"
+        assert query.tables[0].alias == "company"
+
+    def test_alias_without_as(self):
+        query = parse_select("SELECT c.id FROM company c WHERE c.id = 1")
+        assert query.tables[0].alias == "c"
+
+    def test_between(self):
+        query = parse_select(
+            "SELECT t.id FROM title t WHERE t.production_year BETWEEN 1990 AND 2000"
+        )
+        predicate = query.filter_predicates()[0]
+        assert isinstance(predicate, BetweenPredicate)
+        assert predicate.low == 1990 and predicate.high == 2000
+
+    def test_is_null_and_is_not_null(self):
+        query = parse_select(
+            "SELECT t.id FROM title t WHERE t.kind_id IS NULL AND t.title IS NOT NULL"
+        )
+        first, second = query.filter_predicates()
+        assert isinstance(first, NullPredicate) and not first.negated
+        assert isinstance(second, NullPredicate) and second.negated
+
+    def test_not_like_and_not_in(self):
+        query = parse_select(
+            "SELECT t.id FROM title t WHERE t.title NOT LIKE '%x%' AND t.kind_id NOT IN (1, 2)"
+        )
+        first, second = query.filter_predicates()
+        assert isinstance(first, LikePredicate) and first.negated
+        assert isinstance(second, InPredicate)
+
+    def test_or_predicate_with_parentheses(self):
+        query = parse_select(
+            "SELECT t.id FROM title t WHERE (t.production_year > 2000 OR t.kind_id = 1)"
+        )
+        predicate = query.filter_predicates()[0]
+        assert isinstance(predicate, OrPredicate)
+        assert len(predicate.operands) == 2
+
+    def test_join_predicate_detection(self):
+        query = parse_select(
+            "SELECT a.id FROM a, b WHERE a.id = b.a_id AND a.x = 3"
+        )
+        assert len(query.join_predicates()) == 1
+        assert isinstance(query.join_predicates()[0], JoinPredicate)
+
+    def test_column_comparison_non_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a.id FROM a, b WHERE a.id < b.a_id")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a.id FROM a WHERE a.id = 1 garbage garbage")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a.id WHERE a.id = 1")
+
+    def test_count_aggregate(self):
+        query = parse_select("SELECT count(t.id) AS n FROM title t")
+        assert query.select_items[0].aggregate is AggregateFunc.COUNT
+        assert query.select_items[0].output_name == "n"
+
+    def test_roundtrip_to_sql_reparses(self):
+        query = parse_select(JOB_LIKE)
+        reparsed = parse_select(query.to_sql())
+        assert len(reparsed.predicates) == len(query.predicates)
+        assert [t.alias for t in reparsed.tables] == [t.alias for t in query.tables]
+
+    def test_numeric_literals_typed(self):
+        query = parse_select("SELECT t.id FROM title t WHERE t.x = 1.5 AND t.y = 2")
+        first, second = query.filter_predicates()
+        assert isinstance(first.value, float)
+        assert isinstance(second.value, int)

@@ -1,0 +1,71 @@
+"""Unit tests for equi-depth histograms."""
+
+from repro.stats import EquiDepthHistogram
+
+
+class TestBuild:
+    def test_requires_enough_values(self):
+        assert EquiDepthHistogram.build([]) is None
+        assert EquiDepthHistogram.build([1]) is None
+        assert EquiDepthHistogram.build([5, 5, 5]) is None
+
+    def test_bounds_are_sorted(self):
+        histogram = EquiDepthHistogram.build(list(range(100, 0, -1)), num_buckets=10)
+        assert list(histogram.bounds) == sorted(histogram.bounds)
+        assert histogram.low == 1
+        assert histogram.high == 100
+
+    def test_nulls_ignored(self):
+        histogram = EquiDepthHistogram.build([None, 1, 2, 3, None, 4])
+        assert histogram.low == 1
+        assert histogram.high == 4
+
+    def test_bucket_count_capped_by_distinct_values(self):
+        histogram = EquiDepthHistogram.build([1, 2, 3, 4] * 10, num_buckets=100)
+        assert histogram.num_buckets <= 3
+
+
+class TestSelectivity:
+    def test_uniform_range(self):
+        histogram = EquiDepthHistogram.build(list(range(1, 1001)), num_buckets=100)
+        # P(value < 500) should be close to 0.5 for uniform data.
+        assert abs(histogram.selectivity_less_than(500) - 0.5) < 0.05
+
+    def test_out_of_range(self):
+        histogram = EquiDepthHistogram.build(list(range(1, 101)))
+        assert histogram.selectivity_less_than(0) == 0.0
+        assert histogram.selectivity_less_than(1000) == 1.0
+
+    def test_range_selectivity(self):
+        histogram = EquiDepthHistogram.build(list(range(1, 1001)), num_buckets=50)
+        sel = histogram.selectivity_range(low=250, high=750)
+        assert abs(sel - 0.5) < 0.06
+
+    def test_open_ranges(self):
+        histogram = EquiDepthHistogram.build(list(range(1, 101)))
+        assert histogram.selectivity_range() == 1.0
+        assert abs(
+            histogram.selectivity_range(low=50)
+            + histogram.selectivity_range(high=50)
+            - 1.0
+        ) < 0.05
+
+    def test_skewed_data(self):
+        # 90% of the data is the value 1; the histogram should reflect that
+        # most mass is below 2.
+        values = [1] * 900 + list(range(2, 102))
+        histogram = EquiDepthHistogram.build(values, num_buckets=20)
+        assert histogram.selectivity_less_than(2) > 0.6
+
+    def test_text_histogram(self):
+        values = [f"k{i:03d}" for i in range(200)]
+        histogram = EquiDepthHistogram.build(values, num_buckets=10)
+        assert 0.0 <= histogram.selectivity_less_than("k100") <= 1.0
+
+    def test_monotonic(self):
+        histogram = EquiDepthHistogram.build(list(range(1, 500)), num_buckets=25)
+        previous = 0.0
+        for value in range(0, 520, 20):
+            current = histogram.selectivity_less_than(value)
+            assert current >= previous - 1e-9
+            previous = current

@@ -1,0 +1,35 @@
+"""Unit tests for most-common-value lists."""
+
+from repro.stats import MostCommonValues
+
+
+class TestBuild:
+    def test_empty(self):
+        assert MostCommonValues.build([]) is None
+        assert MostCommonValues.build([None, None]) is None
+
+    def test_frequencies_sum(self):
+        values = ["a"] * 50 + ["b"] * 30 + ["c"] * 20
+        mcv = MostCommonValues.build(values)
+        assert mcv.values[0] == "a"
+        assert abs(mcv.total_frequency - 1.0) < 1e-9
+        assert abs(mcv.frequency_of("a") - 0.5) < 1e-9
+        assert mcv.frequency_of("zzz") is None
+
+    def test_max_entries_respected(self):
+        values = list(range(500)) * 2
+        mcv = MostCommonValues.build(values, max_entries=10)
+        assert len(mcv) <= 10
+
+    def test_only_truly_common_values_kept_for_wide_domains(self):
+        # One heavy hitter in an otherwise uniform wide domain.
+        values = ["hot"] * 200 + [f"v{i}" for i in range(400)]
+        mcv = MostCommonValues.build(values, max_entries=50)
+        assert "hot" in mcv.values
+        assert abs(mcv.frequency_of("hot") - 200 / 600) < 1e-9
+
+    def test_small_domain_fully_covered(self):
+        values = ["m"] * 60 + ["f"] * 40
+        mcv = MostCommonValues.build(values)
+        assert set(mcv.values) == {"m", "f"}
+        assert abs(mcv.total_frequency - 1.0) < 1e-9
