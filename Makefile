@@ -1,0 +1,22 @@
+# Convenience targets; every recipe matches what CI runs.
+#
+#   make test    - tier-1 suite (unit + integration + property + differential)
+#   make bench   - paper-figure benchmarks plus the engine speedup guard
+#   make diff    - just the vectorized-vs-reference differential suite
+#   make all     - everything
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench diff all
+
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+diff:
+	$(PYTHON) -m pytest -x -q tests/test_executor_differential.py tests/test_executor_edge_cases.py
+
+bench:
+	$(PYTHON) -m pytest -x -q -s benchmarks
+
+all: test bench

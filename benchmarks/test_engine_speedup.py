@@ -1,0 +1,169 @@
+"""Micro-benchmark guard: vectorized vs reference engine on a 3-join query.
+
+Two assertions protect the tentpole claim of the columnar executor:
+
+* **charged work is engine-invariant** — the simulated work model (the
+  quantity every paper figure is built from) must be bit-identical between
+  engines, so the speedup is a pure wall-clock effect;
+* **the vectorized engine is measurably faster** — at least 3x the
+  operator throughput (rows processed per wall-clock second, best of three
+  runs) on a selective 3-join star query.
+
+The timing table is emitted like every other benchmark artifact so the
+harness report (``BENCH_*.json``) captures the speedup.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+from conftest import print_experiment
+
+from repro.bench.reporting import ExperimentResult
+from repro.catalog import ColumnType, make_schema
+from repro.engine import Database, ExecutionEngine
+
+# The acceptance floor is 3x; REPRO_SPEEDUP_FLOOR exists so noisy shared
+# runners can lower the gate without editing code (never raise it in CI).
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "3.0"))
+BEST_OF = 5
+
+THREE_JOIN_SQL = (
+    "SELECT count(i.id) AS n "
+    "FROM customers AS c, orders AS o, items AS i, products AS p "
+    "WHERE c.region = 'west' "
+    "AND c.id = o.customer_id AND o.id = i.order_id AND i.product_id = p.id"
+)
+
+
+def _build_database(
+    num_customers: int = 2000,
+    num_orders: int = 12000,
+    num_items: int = 48000,
+    num_products: int = 400,
+    seed: int = 5,
+) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        make_schema(
+            "customers",
+            [("id", ColumnType.INT), ("region", ColumnType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        make_schema(
+            "orders",
+            [("id", ColumnType.INT), ("customer_id", ColumnType.INT)],
+            primary_key="id",
+            foreign_keys=[("customer_id", "customers", "id")],
+        )
+    )
+    db.create_table(
+        make_schema(
+            "products",
+            [("id", ColumnType.INT), ("category", ColumnType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        make_schema(
+            "items",
+            [
+                ("id", ColumnType.INT),
+                ("order_id", ColumnType.INT),
+                ("product_id", ColumnType.INT),
+                ("quantity", ColumnType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ("order_id", "orders", "id"),
+                ("product_id", "products", "id"),
+            ],
+        )
+    )
+    regions = ["west", "east", "north", "south"]
+    db.load_rows(
+        "customers", [(i + 1, regions[i % len(regions)]) for i in range(num_customers)]
+    )
+    db.load_rows(
+        "orders",
+        [(i + 1, rng.randint(1, num_customers)) for i in range(num_orders)],
+    )
+    db.load_rows(
+        "products",
+        [(i + 1, f"cat{i % 20}") for i in range(num_products)],
+    )
+    db.load_rows(
+        "items",
+        [
+            (i + 1, rng.randint(1, num_orders), rng.randint(1, num_products), rng.randint(1, 9))
+            for i in range(num_items)
+        ],
+    )
+    db.finalize_load()
+    return db
+
+
+def _best_execution(executor, plan):
+    """Best-of-N execution (min wall-clock) to shave scheduler noise."""
+    best = None
+    for _ in range(BEST_OF):
+        execution = executor.execute(plan)
+        if best is None or execution.wall_seconds < best.wall_seconds:
+            best = execution
+    return best
+
+
+def test_vectorized_engine_speedup_on_three_join_query():
+    db = _build_database()
+    planned = db.plan(THREE_JOIN_SQL)
+    assert len(planned.plan.join_nodes()) == 3, "expected a 3-join plan"
+
+    vectorized = _best_execution(
+        db.executor_for(ExecutionEngine.VECTORIZED), planned.plan
+    )
+    reference = _best_execution(
+        db.executor_for(ExecutionEngine.REFERENCE), planned.plan
+    )
+
+    # Guard 1: the vectorized path does no more charged work (it is exactly
+    # the same work — the accounting is engine-invariant by construction).
+    assert vectorized.total_work == reference.total_work
+    assert vectorized.rows_processed == reference.rows_processed
+    assert vectorized.result.rows == reference.result.rows
+
+    result = ExperimentResult(
+        experiment_id="engine-speedup",
+        title="vectorized vs reference engine, 3-join star query (best of "
+        f"{BEST_OF})",
+        headers=[
+            "engine",
+            "rows_processed",
+            "wall_ms",
+            "rows_per_sec",
+            "charged_work",
+        ],
+    )
+    for execution in (vectorized, reference):
+        result.add_row(
+            execution.engine.value,
+            execution.rows_processed,
+            execution.wall_seconds * 1e3,
+            execution.rows_per_second,
+            execution.total_work,
+        )
+    speedup = vectorized.rows_per_second / max(reference.rows_per_second, 1e-12)
+    result.add_note(f"speedup: {speedup:.1f}x (floor: {SPEEDUP_FLOOR}x)")
+    result.metadata["speedup"] = speedup
+    result.metadata["vectorized_rows_per_sec"] = vectorized.rows_per_second
+    result.metadata["reference_rows_per_sec"] = reference.rows_per_second
+    print_experiment(result)
+
+    # Guard 2: the columnar engine is measurably faster.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized engine only {speedup:.2f}x faster than reference "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )

@@ -8,6 +8,8 @@ from repro.bench.harness import (
     run_matrix,
     run_query,
     run_workload,
+    throughput,
+    ThroughputSummary,
     total_seconds,
 )
 from repro.bench.regimes import (
@@ -36,5 +38,7 @@ __all__ = [
     "run_matrix",
     "run_query",
     "run_workload",
+    "throughput",
+    "ThroughputSummary",
     "total_seconds",
 ]

@@ -155,3 +155,33 @@ def total_seconds(outcomes: Iterable[QueryOutcome]) -> Tuple[float, float]:
         execution += outcome.execution_seconds
         planning += outcome.planning_seconds
     return execution, planning
+
+
+@dataclass
+class ThroughputSummary:
+    """Aggregate wall-clock operator throughput over a set of outcomes.
+
+    This is the metric the vectorized executor improves.  Experiments attach
+    it to their artifacts (e.g. ``fig1``'s metadata and note) next to the
+    simulated times, which are engine-invariant by design.
+    """
+
+    rows_processed: int
+    wall_seconds: float
+
+    @property
+    def rows_per_second(self) -> float:
+        """Rows produced by all plan operators per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_processed / self.wall_seconds
+
+
+def throughput(outcomes: Iterable[QueryOutcome]) -> ThroughputSummary:
+    """Aggregate ``rows_processed`` / ``wall_seconds`` over outcomes."""
+    rows = 0
+    wall = 0.0
+    for outcome in outcomes:
+        rows += outcome.rows_processed
+        wall += outcome.wall_seconds
+    return ThroughputSummary(rows_processed=rows, wall_seconds=wall)

@@ -30,7 +30,13 @@ from repro.sql.binder import BoundQuery
 
 @dataclass
 class QueryOutcome:
-    """Planning/execution accounting of one query under one regime."""
+    """Planning/execution accounting of one query under one regime.
+
+    ``rows_processed`` / ``wall_seconds`` capture the *real* operator
+    throughput of the run (rows produced across all plan nodes per
+    wall-clock second) — the quantity the vectorized engine improves —
+    while the simulated ``*_seconds`` fields stay engine-invariant.
+    """
 
     query_name: str
     regime: str
@@ -38,11 +44,20 @@ class QueryOutcome:
     execution_seconds: float
     rows: int
     reoptimization_steps: int = 0
+    rows_processed: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
         """Planning plus execution."""
         return self.planning_seconds + self.execution_seconds
+
+    @property
+    def rows_per_second(self) -> float:
+        """Wall-clock operator throughput (0.0 when not measured)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_processed / self.wall_seconds
 
 
 class Regime:
@@ -71,6 +86,8 @@ class PostgresRegime(Regime):
             planning_seconds=run.planning_seconds,
             execution_seconds=run.execution_seconds,
             rows=len(run.rows),
+            rows_processed=run.execution.rows_processed,
+            wall_seconds=run.execution.wall_seconds,
         )
 
 
@@ -91,6 +108,8 @@ class PerfectRegime(Regime):
             planning_seconds=run.planning_seconds,
             execution_seconds=run.execution_seconds,
             rows=len(run.rows),
+            rows_processed=run.execution.rows_processed,
+            wall_seconds=run.execution.wall_seconds,
         )
 
 
@@ -129,6 +148,8 @@ class ReoptimizedRegime(Regime):
             execution_seconds=report.execution_seconds,
             rows=len(report.rows),
             reoptimization_steps=len(report.steps),
+            rows_processed=report.rows_processed,
+            wall_seconds=report.wall_seconds,
         )
 
 
@@ -151,4 +172,6 @@ class MidQueryRegime(ReoptimizedRegime):
             execution_seconds=report.execution_seconds,
             rows=len(report.rows),
             reoptimization_steps=len(report.steps),
+            rows_processed=report.rows_processed,
+            wall_seconds=report.wall_seconds,
         )

@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional
 from repro.bench import experiments as exp
 from repro.bench.harness import WorkloadContext, build_context
 from repro.bench.reporting import ExperimentResult
+from repro.engine.settings import EngineSettings
+from repro.executor.executor import ExecutionEngine
 
 #: Experiment registry: id -> (description, needs_context, runner).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -63,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--query-limit", type=int, default=None, help="restrict the workload to the first N queries"
     )
+    run.add_argument(
+        "--engine",
+        choices=[engine.value for engine in ExecutionEngine],
+        default=None,
+        help=(
+            "execution engine: 'vectorized' (columnar batches, default) or "
+            "'reference' (row-at-a-time oracle); simulated times are identical, "
+            "only wall-clock changes"
+        ),
+    )
     run.add_argument("--output", type=str, default=None, help="also write results to this file")
     return parser
 
@@ -81,10 +93,14 @@ def run_experiments(
     scale: Optional[float] = None,
     seed: int = 42,
     query_limit: Optional[int] = None,
+    engine: Optional[str] = None,
     emit: Callable[[str], None] = print,
 ) -> List[ExperimentResult]:
     """Run the requested experiments and emit their text artifacts."""
     ids = _resolve_ids(ids)
+    settings: Optional[EngineSettings] = None
+    if engine is not None:
+        settings = EngineSettings(engine=ExecutionEngine.from_name(engine))
     context: Optional[WorkloadContext] = None
     results: List[ExperimentResult] = []
     for experiment_id in ids:
@@ -92,8 +108,13 @@ def run_experiments(
         start = time.perf_counter()
         if needs_context:
             if context is None:
-                emit(f"# building workload context (scale={scale or 'default'})...")
-                context = build_context(scale=scale, seed=seed, query_limit=query_limit)
+                emit(
+                    f"# building workload context (scale={scale or 'default'}, "
+                    f"engine={engine or 'vectorized'})..."
+                )
+                context = build_context(
+                    scale=scale, seed=seed, query_limit=query_limit, settings=settings
+                )
             result = runner(context)
         else:
             result = runner()
@@ -125,6 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         scale=args.scale,
         seed=args.seed,
         query_limit=args.query_limit,
+        engine=args.engine,
         emit=emit,
     )
     if args.output:

@@ -23,7 +23,6 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.engine.database import Database
 from repro.errors import CardinalityError
-from repro.executor.operators import scan_table
 from repro.optimizer.injection import PerfectInjection
 from repro.optimizer.joingraph import JoinGraph
 from repro.sql.binder import BoundQuery
@@ -177,15 +176,18 @@ class TrueCardinalityOracle:
     def _materialize_base(self, query: BoundQuery, alias: str) -> GroupedRelation:
         table = query.table_for(alias)
         filters = query.filters_for(alias)
-        result, _ = scan_table(self._database.catalog, alias, table, filters)
+        # Scan through the database's configured engine so an --engine
+        # selection covers the oracle's scans too.
+        scan = self._database.executor.operators.scan_table
+        result, _ = scan(self._database.catalog, alias, table, filters)
         keep = self._external_columns(query, frozenset((alias,)))
         counts: Counter = Counter()
         if keep:
-            positions = [result.column_position(a, c) for a, c in keep]
-            for row in result.rows:
-                counts[tuple(row[p] for p in positions)] += 1
+            # Count group tuples column-wise: only the retained join columns
+            # are materialized, never whole rows.
+            counts.update(zip(*(result.column_values(a, c) for a, c in keep)))
         else:
-            counts[()] = len(result.rows)
+            counts[()] = len(result)
         return GroupedRelation(keep, counts)
 
     def _materialize_join(self, query: BoundQuery, subset: AliasSet) -> GroupedRelation:

@@ -62,6 +62,11 @@ class ReoptimizationReport:
     final_query: Optional[BoundQuery] = None
     total_planning_work: float = 0.0
     total_execution_work: float = 0.0
+    # Executor throughput accumulated across all iterations (every probing
+    # execution, trigger-subtree materialization and the final execution),
+    # named to match the ExecutionResult interface.
+    rows_processed: int = 0
+    wall_seconds: float = 0.0
 
     @property
     def reoptimized(self) -> bool:
@@ -137,6 +142,8 @@ class ReoptimizationSimulator:
                 planned = db.plan(current, injector=injector)
                 report.total_planning_work += planned.stats.planning_work
                 execution = db.execute_plan(planned)
+                report.rows_processed += execution.rows_processed
+                report.wall_seconds += execution.wall_seconds
 
                 trigger = None
                 can_still_rewrite = (
@@ -185,6 +192,8 @@ class ReoptimizationSimulator:
     ) -> BoundQuery:
         db = self._database
         sub_execution = db.executor.execute(trigger)
+        report.rows_processed += sub_execution.rows_processed
+        report.wall_seconds += sub_execution.wall_seconds
         needed = referenced_columns(current, trigger.aliases)
         if not needed:
             # Nothing above references the sub-join (it is the whole query);

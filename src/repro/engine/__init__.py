@@ -2,5 +2,6 @@
 
 from repro.engine.database import Database, QueryRun
 from repro.engine.settings import EngineSettings
+from repro.executor.executor import ExecutionEngine
 
-__all__ = ["Database", "EngineSettings", "QueryRun"]
+__all__ = ["Database", "EngineSettings", "ExecutionEngine", "QueryRun"]

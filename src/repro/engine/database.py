@@ -18,7 +18,7 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.schema import ColumnDef, ColumnType, TableSchema
 from repro.engine.settings import EngineSettings
 from repro.errors import CatalogError
-from repro.executor.executor import ExecutionResult, Executor
+from repro.executor.executor import ExecutionEngine, ExecutionResult, Executor
 from repro.executor.explain import explain_plan
 from repro.executor.operators import ResultSet
 from repro.optimizer.cost import CostModel
@@ -71,9 +71,17 @@ class Database:
             planner_config=self.settings.planner,
         )
         self.cost_model = CostModel(self.catalog, self.settings.cost)
-        self.executor = Executor(self.catalog, self.cost_model)
+        self.executor = Executor(self.catalog, self.cost_model, engine=self.settings.engine)
         self.binder = Binder(self.catalog)
         self._temp_counter = 0
+
+    def executor_for(self, engine: ExecutionEngine) -> Executor:
+        """A second executor over the same catalog using ``engine``.
+
+        Used by the differential-testing harness to run one planned query
+        through both the vectorized and the reference engine.
+        """
+        return Executor(self.catalog, self.cost_model, engine=engine)
 
     # -- DDL and loading ----------------------------------------------------
 
@@ -206,21 +214,21 @@ class Database:
         if name in self.catalog:
             raise CatalogError(f"temporary table {name!r} already exists")
         column_defs = []
-        positions = []
+        column_data = []
         for (source_alias, source_column), new_name in columns:
+            values = result.column_values(source_alias, source_column)
             col_type = None
             if alias_tables and source_alias in alias_tables:
                 source_schema = self.catalog.schema(alias_tables[source_alias])
                 if source_schema.has_column(source_column):
                     col_type = source_schema.column(source_column).col_type
             if col_type is None:
-                col_type = _infer_type(result.column_values(source_alias, source_column))
+                col_type = _infer_type(values)
             column_defs.append(ColumnDef(new_name, col_type))
-            positions.append(result.column_position(source_alias, source_column))
+            column_data.append(values)
         schema = TableSchema(name=name, columns=tuple(column_defs))
         table = self.create_table(schema)
-        for row in result.rows:
-            table.insert_row([row[p] for p in positions])
+        table.load_columns(column_data)
         do_analyze = self.settings.analyze_temp_tables if analyze is None else analyze
         if do_analyze:
             self.catalog.set_stats(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.executor.executor import ExecutionEngine
 from repro.optimizer.cost import CostParameters
 from repro.optimizer.enumeration import PlannerConfig
 
@@ -28,6 +29,10 @@ class EngineSettings:
             access-path selection harder).
         analyze_temp_tables: whether temporary tables created by the
             re-optimizer are ANALYZEd before re-planning (ablation knob).
+        engine: operator implementation used to execute plans — the
+            vectorized columnar engine (default) or the row-at-a-time
+            reference oracle.  Charged work is engine-invariant; only
+            wall-clock changes.
     """
 
     statistics_target: int = 100
@@ -35,3 +40,4 @@ class EngineSettings:
     cost: CostParameters = field(default_factory=CostParameters)
     auto_foreign_key_indexes: bool = True
     analyze_temp_tables: bool = True
+    engine: ExecutionEngine = ExecutionEngine.VECTORIZED

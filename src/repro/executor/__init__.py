@@ -1,15 +1,33 @@
-"""Executor subsystem: operators, instrumented execution, EXPLAIN rendering."""
+"""Executor subsystem: operators, instrumented execution, EXPLAIN rendering.
 
+Two engines implement the plan operators:
+
+* :mod:`repro.executor.operators` — the vectorized columnar engine (default);
+* :mod:`repro.executor.reference` — the row-at-a-time oracle used for
+  differential testing.
+
+Select one per :class:`Executor` via :class:`ExecutionEngine`.
+"""
+
+from repro.executor.batch import ColumnBatch
 from repro.executor.executor import (
+    ExecutionEngine,
     ExecutionResult,
     Executor,
     NodeMetrics,
     WORK_UNITS_PER_SECOND,
 )
 from repro.executor.explain import estimation_errors, explain_plan
-from repro.executor.operators import ResultSet, aggregate_result, join_results, scan_table
+from repro.executor.operators import (
+    ResultSet,
+    aggregate_result,
+    join_results,
+    scan_table,
+)
 
 __all__ = [
+    "ColumnBatch",
+    "ExecutionEngine",
     "ExecutionResult",
     "Executor",
     "NodeMetrics",

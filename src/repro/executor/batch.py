@@ -1,0 +1,178 @@
+"""Columnar result batches.
+
+A :class:`ColumnBatch` is the vectorized executor's intermediate result
+representation: a set of qualified columns whose values live in parallel
+backing lists, each viewed through an optional *selection vector* (a list of
+row indices into the backing list).  Operators never copy payload columns:
+
+* a sequential scan hands the storage layer's raw column lists straight into
+  a batch (zero-copy);
+* a filter produces a new batch that shares the backing lists and only
+  narrows the selection vectors;
+* a hash join gathers two index vectors (one per side) and composes them
+  with the inputs' selection vectors — the cost of a join is proportional to
+  the number of matches, not ``matches x columns``.
+
+Columns coming from the same side of a join share one selection-vector
+*object*; :meth:`restrict` preserves that sharing so composition work is paid
+once per side, not once per column.
+
+The class is duck-type compatible with the reference engine's
+:class:`~repro.executor.reference.ResultSet` (``columns``, ``rows``,
+``column_values``, ``column_position``, ``project``, ``__len__``), so every
+consumer of execution results — temp-table materialization, the true
+cardinality oracle, benchmarks — works with either engine's output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.executor.expressions import ColumnResolver
+
+QualifiedColumn = Tuple[str, str]
+
+
+class ColumnBatch:
+    """A columnar intermediate result with per-column selection vectors."""
+
+    __slots__ = ("columns", "resolver", "_data", "_sels", "_length", "_rows")
+
+    def __init__(
+        self,
+        columns: Sequence[QualifiedColumn],
+        data: Sequence[List[object]],
+        sels: Optional[Sequence[Optional[List[int]]]] = None,
+        length: Optional[int] = None,
+    ) -> None:
+        self.columns: Tuple[QualifiedColumn, ...] = tuple(columns)
+        self._data: List[List[object]] = list(data)
+        if len(self._data) != len(self.columns):
+            raise ValueError(
+                f"{len(self.columns)} columns but {len(self._data)} data lists"
+            )
+        self._sels: List[Optional[List[int]]] = (
+            list(sels) if sels is not None else [None] * len(self._data)
+        )
+        if length is None:
+            if not self._data:
+                length = 0
+            else:
+                sel = self._sels[0]
+                length = len(sel) if sel is not None else len(self._data[0])
+        self._length = length
+        self.resolver = ColumnResolver(self.columns)
+        self._rows: Optional[List[tuple]] = None
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, columns: Sequence[QualifiedColumn], rows: Sequence[tuple]
+    ) -> "ColumnBatch":
+        """Build a batch from row tuples (transposes once)."""
+        if rows:
+            data = [list(values) for values in zip(*rows)]
+        else:
+            data = [[] for _ in columns]
+        return cls(columns, data, length=len(rows))
+
+    @classmethod
+    def from_result(cls, result) -> "ColumnBatch":
+        """Coerce any result-set-like object (e.g. a ``ResultSet``) to a batch."""
+        if isinstance(result, cls):
+            return result
+        return cls.from_rows(result.columns, result.rows)
+
+    # -- basic accessors ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column_position(self, alias: str, column: str) -> int:
+        """Position of ``alias.column`` among the batch's columns."""
+        return self.resolver.position(alias, column)
+
+    def column_storage(self, position: int) -> Tuple[List[object], Optional[List[int]]]:
+        """Raw ``(backing list, selection vector)`` of one column.
+
+        The backing list may be longer than the batch when the selection is
+        ``None`` and the underlying storage grew after the batch was created;
+        callers that iterate it directly must bound the scan by ``len(self)``.
+        """
+        return self._data[position], self._sels[position]
+
+    def values(self, position: int) -> List[object]:
+        """Compacted values of the column at ``position`` (selection applied)."""
+        data = self._data[position]
+        sel = self._sels[position]
+        if sel is None:
+            if len(data) != self._length:
+                return data[: self._length]
+            return data
+        return [data[i] for i in sel]
+
+    def column_values(self, alias: str, column: str) -> List[object]:
+        """All values of one column (selection applied; may alias storage)."""
+        return self.values(self.column_position(alias, column))
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Row-tuple view of the batch (materialized lazily, then cached)."""
+        if self._rows is None:
+            if not self._data:
+                self._rows = [() for _ in range(self._length)]
+            else:
+                self._rows = list(
+                    zip(*(self.values(p) for p in range(len(self._data))))
+                )
+        return self._rows
+
+    # -- batch algebra ------------------------------------------------------
+
+    def restrict(self, indices: List[int]) -> "ColumnBatch":
+        """Keep only the batch rows at ``indices`` (composes selections).
+
+        Columns sharing a selection-vector object keep sharing the composed
+        vector, so the composition cost is paid once per distinct source.
+        """
+        composed: Dict[int, List[int]] = {}
+        new_sels: List[Optional[List[int]]] = []
+        for sel in self._sels:
+            key = id(sel)
+            if key not in composed:
+                composed[key] = (
+                    indices if sel is None else [sel[i] for i in indices]
+                )
+            new_sels.append(composed[key])
+        return ColumnBatch(self.columns, self._data, new_sels, length=len(indices))
+
+    def with_columns(
+        self, columns: Sequence[QualifiedColumn], positions: Sequence[int]
+    ) -> "ColumnBatch":
+        """Project to ``positions``, renaming the output to ``columns``."""
+        return ColumnBatch(
+            columns,
+            [self._data[p] for p in positions],
+            [self._sels[p] for p in positions],
+            length=self._length,
+        )
+
+    def project(self, columns: Sequence[QualifiedColumn]) -> "ColumnBatch":
+        """Return a batch with only the requested columns (zero-copy)."""
+        positions = [self.column_position(alias, column) for alias, column in columns]
+        return self.with_columns(columns, positions)
+
+    @staticmethod
+    def concat(left: "ColumnBatch", right: "ColumnBatch") -> "ColumnBatch":
+        """Glue two equal-length batches side by side (zero-copy)."""
+        if len(left) != len(right):
+            raise ValueError(
+                f"cannot concatenate batches of {len(left)} and {len(right)} rows"
+            )
+        return ColumnBatch(
+            left.columns + right.columns,
+            left._data + right._data,
+            left._sels + right._sels,
+            length=len(left),
+        )

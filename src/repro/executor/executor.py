@@ -6,25 +6,34 @@ model evaluated with true row counts.  This plays the role of
 ``EXPLAIN ANALYZE`` in the paper: the re-optimization driver compares each
 join's estimated and actual cardinality to decide whether to re-plan.
 
+Two interchangeable operator sets implement the plan nodes:
+
+* :data:`ExecutionEngine.VECTORIZED` (default) — the columnar batch engine
+  in :mod:`repro.executor.operators`;
+* :data:`ExecutionEngine.REFERENCE` — the original row-at-a-time oracle in
+  :mod:`repro.executor.reference`.
+
+Work accounting is **engine-invariant**: charged work depends only on row
+counts (rows fetched, join input/output cardinalities, index probe matches),
+which both engines compute identically; only wall-clock differs.  This is
+what makes differential testing between the engines meaningful.
+
 See DESIGN.md (Metrics) for why deterministic work units, not wall-clock,
 are the primary execution-time proxy.
 """
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import repro.executor.operators as vectorized_operators
+import repro.executor.reference as reference_operators
 from repro.catalog.catalog import Catalog
 from repro.errors import ExecutionError
-from repro.executor.operators import (
-    ResultSet,
-    aggregate_result,
-    count_index_probe_matches,
-    join_results,
-    scan_table,
-)
+from repro.executor.reference import ResultSet
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import (
     AccessPath,
@@ -43,6 +52,32 @@ from repro.optimizer.plan import (
 WORK_UNITS_PER_SECOND = 2_000.0
 
 
+class ExecutionEngine(enum.Enum):
+    """Which operator implementation executes plans."""
+
+    VECTORIZED = "vectorized"
+    REFERENCE = "reference"
+
+    @classmethod
+    def from_name(cls, name: "str | ExecutionEngine") -> "ExecutionEngine":
+        """Coerce a CLI/config string (or an engine) to an engine."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(str(name).lower())
+        except ValueError:
+            options = ", ".join(engine.value for engine in cls)
+            raise ExecutionError(
+                f"unknown execution engine {name!r} (expected one of: {options})"
+            ) from None
+
+
+_ENGINE_OPERATORS = {
+    ExecutionEngine.VECTORIZED: vectorized_operators,
+    ExecutionEngine.REFERENCE: reference_operators,
+}
+
+
 @dataclass
 class NodeMetrics:
     """Per-node instrumentation collected during execution."""
@@ -56,12 +91,18 @@ class NodeMetrics:
 
 @dataclass
 class ExecutionResult:
-    """The outcome of executing one physical plan."""
+    """The outcome of executing one physical plan.
+
+    ``result`` is a :class:`~repro.executor.batch.ColumnBatch` under the
+    vectorized engine and a :class:`ResultSet` under the reference engine;
+    the two are duck-type compatible.
+    """
 
     result: ResultSet
     total_work: float
     wall_seconds: float
     node_metrics: Dict[int, NodeMetrics] = field(default_factory=dict)
+    engine: ExecutionEngine = ExecutionEngine.VECTORIZED
 
     @property
     def simulated_seconds(self) -> float:
@@ -73,13 +114,49 @@ class ExecutionResult:
         """Number of rows in the final result."""
         return len(self.result)
 
+    @property
+    def rows_processed(self) -> int:
+        """Rows produced across all plan nodes (the throughput numerator)."""
+        return sum(metric.actual_rows for metric in self.node_metrics.values())
+
+    @property
+    def rows_per_second(self) -> float:
+        """Real (wall-clock) operator throughput in rows/sec."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.rows_processed / self.wall_seconds
+
 
 class Executor:
-    """Executes physical plans against a catalog."""
+    """Executes physical plans against a catalog.
 
-    def __init__(self, catalog: Catalog, cost_model: Optional[CostModel] = None) -> None:
+    Args:
+        catalog: tables and indexes to execute against.
+        cost_model: work-accounting model (built from the catalog by default).
+        engine: which operator implementation to use; work accounting is
+            identical across engines by construction.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost_model: Optional[CostModel] = None,
+        engine: ExecutionEngine = ExecutionEngine.VECTORIZED,
+    ) -> None:
         self._catalog = catalog
         self.cost_model = cost_model or CostModel(catalog)
+        self.engine = ExecutionEngine.from_name(engine)
+        self._ops = _ENGINE_OPERATORS[self.engine]
+
+    @property
+    def operators(self):
+        """The operator module implementing this executor's engine.
+
+        Exposed so collaborators that evaluate relational operators outside
+        a plan (e.g. the true-cardinality oracle's base-table scans) follow
+        the configured engine instead of hard-pinning one implementation.
+        """
+        return self._ops
 
     def execute(self, plan: PlanNode) -> ExecutionResult:
         """Execute ``plan`` and return its result with instrumentation."""
@@ -88,7 +165,11 @@ class Executor:
         result, work = self._execute_node(plan, metrics)
         wall = time.perf_counter() - start
         return ExecutionResult(
-            result=result, total_work=work, wall_seconds=wall, node_metrics=metrics
+            result=result,
+            total_work=work,
+            wall_seconds=wall,
+            node_metrics=metrics,
+            engine=self.engine,
         )
 
     # -- node dispatch -----------------------------------------------------------
@@ -102,7 +183,7 @@ class Executor:
             result, work = self._execute_join(node, metrics)
         elif isinstance(node, AggregateNode):
             child_result, child_work = self._execute_node(node.child, metrics)
-            result = aggregate_result(child_result, list(node.select_items))
+            result = self._ops.aggregate_result(child_result, list(node.select_items))
             work = child_work + self.cost_model.aggregate_cost(
                 len(child_result), max(1, len(node.select_items))
             )
@@ -141,7 +222,7 @@ class Executor:
         if node.access_path is AccessPath.INDEX_SCAN:
             index_column = node.index_column
             index_filter = node.index_filter
-        result, rows_fetched = scan_table(
+        result, rows_fetched = self._ops.scan_table(
             self._catalog,
             node.alias,
             node.table,
@@ -167,7 +248,7 @@ class Executor:
         inner_result, inner_work = self._execute_node(
             node.right, metrics, charge=not inner_is_index_probed
         )
-        joined = join_results(outer_result, inner_result, list(node.join_predicates))
+        joined = self._ops.join_results(outer_result, inner_result, list(node.join_predicates))
 
         outer_rows = len(outer_result)
         inner_rows = len(inner_result)
@@ -202,7 +283,7 @@ class Executor:
         inner_column = join.column_for(inner.alias)
         outer_alias, outer_column = join.other(inner.alias)
         outer_position = outer_result.column_position(outer_alias, outer_column)
-        probe_matches = count_index_probe_matches(
+        probe_matches = self._ops.count_index_probe_matches(
             outer_result, [outer_position], self._catalog, inner.table, inner_column
         )
         # Probes pay one index lookup per outer row; every index match is

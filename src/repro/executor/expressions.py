@@ -1,20 +1,31 @@
 """Predicate compilation and evaluation.
 
-Filter predicates are compiled once per plan into plain Python callables that
-take a row tuple and return a boolean.  SQL ``LIKE`` patterns are translated
-to compiled regular expressions (with caching) so repeated evaluation stays
-cheap.
+Two compilation targets share this module:
+
+* **Row predicates** (the reference engine): a predicate becomes a plain
+  Python callable taking a row tuple and returning a boolean.
+* **Batch predicates** (the vectorized engine): a predicate becomes a
+  callable taking a :class:`~repro.executor.batch.ColumnBatch` plus an
+  optional candidate-index list and returning the surviving batch-row
+  indices.  Conjunctions narrow the candidate list predicate by predicate,
+  so later predicates only look at rows that survived earlier ones.
+
+Both targets are compiled from the same AST and must agree exactly — the
+differential test suite and the property tests enforce this.  SQL ``LIKE``
+patterns are translated to compiled regular expressions (with caching) so
+repeated evaluation stays cheap.
 """
 
 from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.sql.ast import (
     BetweenPredicate,
+    ComparisonOp,
     ComparisonPredicate,
     InPredicate,
     LikePredicate,
@@ -24,6 +35,10 @@ from repro.sql.ast import (
 )
 
 RowPredicate = Callable[[tuple], bool]
+
+#: A compiled batch predicate: ``(batch, candidate_indices | None) -> indices``.
+#: ``None`` candidates mean "all rows of the batch".
+BatchPredicate = Callable[[object, Optional[Sequence[int]]], List[int]]
 
 
 @lru_cache(maxsize=4096)
@@ -113,3 +128,129 @@ def compile_conjunction(
     if len(compiled) == 1:
         return compiled[0]
     return lambda row: all(check(row) for check in compiled)
+
+
+# -- batch (vectorized) compilation ------------------------------------------
+
+
+def _candidates(batch, candidates: Optional[Sequence[int]]) -> Iterable[int]:
+    return range(len(batch)) if candidates is None else candidates
+
+
+def _filter_column(position: int, keep: Callable[[object], bool]) -> BatchPredicate:
+    """Batch predicate keeping rows whose column value satisfies ``keep``.
+
+    The selection-vector indirection is resolved once per call, outside the
+    row loop, so the common zero-copy scan case (no selection vector) runs a
+    bare ``data[i]`` list access per row.
+    """
+
+    def run(batch, candidates: Optional[Sequence[int]]) -> List[int]:
+        data, sel = batch.column_storage(position)
+        it = _candidates(batch, candidates)
+        if sel is None:
+            return [i for i in it if keep(data[i])]
+        return [i for i in it if keep(data[sel[i]])]
+
+    return run
+
+
+def compile_batch_predicate(
+    predicate: Predicate, resolver: ColumnResolver
+) -> BatchPredicate:
+    """Compile a filter predicate into a columnar (batch-at-a-time) evaluator.
+
+    The returned callable must keep exactly the rows the row-level compilation
+    of the same predicate keeps; NULL semantics follow SQL (NULL never
+    satisfies a comparison, ``IS NULL`` excepted).
+    """
+    if isinstance(predicate, ComparisonPredicate):
+        position = resolver.position(predicate.column.alias, predicate.column.column)
+        value = predicate.value
+        if value is None:
+            return lambda batch, candidates: []
+        op = predicate.op
+        if op is ComparisonOp.EQ:
+            return _filter_column(position, lambda v: v == value)
+        if op is ComparisonOp.NE:
+            return _filter_column(position, lambda v: v is not None and v != value)
+        if op is ComparisonOp.LT:
+            return _filter_column(position, lambda v: v is not None and v < value)
+        if op is ComparisonOp.LE:
+            return _filter_column(position, lambda v: v is not None and v <= value)
+        if op is ComparisonOp.GT:
+            return _filter_column(position, lambda v: v is not None and v > value)
+        return _filter_column(position, lambda v: v is not None and v >= value)
+    if isinstance(predicate, InPredicate):
+        position = resolver.position(predicate.column.alias, predicate.column.column)
+        values = {v for v in predicate.values if v is not None}
+        return _filter_column(position, lambda v: v in values)
+    if isinstance(predicate, LikePredicate):
+        position = resolver.position(predicate.column.alias, predicate.column.column)
+        regex = like_pattern_to_regex(predicate.pattern)
+        if predicate.negated:
+            return _filter_column(
+                position, lambda v: v is not None and not regex.match(str(v))
+            )
+        return _filter_column(
+            position, lambda v: v is not None and bool(regex.match(str(v)))
+        )
+    if isinstance(predicate, BetweenPredicate):
+        position = resolver.position(predicate.column.alias, predicate.column.column)
+        low = predicate.low
+        high = predicate.high
+        return _filter_column(position, lambda v: v is not None and low <= v <= high)
+    if isinstance(predicate, NullPredicate):
+        position = resolver.position(predicate.column.alias, predicate.column.column)
+        if predicate.negated:
+            return _filter_column(position, lambda v: v is not None)
+        return _filter_column(position, lambda v: v is None)
+    if isinstance(predicate, OrPredicate):
+        compiled = [
+            compile_batch_predicate(operand, resolver) for operand in predicate.operands
+        ]
+
+        def run_or(batch, candidates: Optional[Sequence[int]]) -> List[int]:
+            keep = set()
+            for check in compiled:
+                keep.update(check(batch, candidates))
+            if candidates is None:
+                return sorted(keep)
+            return [i for i in candidates if i in keep]
+
+        return run_or
+    raise ExecutionError(f"unsupported predicate type {type(predicate).__name__}")
+
+
+def compile_batch_conjunction(
+    predicates: Sequence[Predicate], resolver: ColumnResolver
+) -> Optional[Callable[[object], List[int]]]:
+    """Compile a conjunction into a ``batch -> surviving indices`` function.
+
+    Returns ``None`` for the empty conjunction so callers can skip building a
+    selection vector entirely (every row passes).
+    """
+    compiled = [compile_batch_predicate(predicate, resolver) for predicate in predicates]
+    if not compiled:
+        return None
+
+    def run(batch) -> List[int]:
+        candidates: Optional[List[int]] = None
+        for check in compiled:
+            candidates = check(batch, candidates)
+            if not candidates:
+                return []
+        return candidates
+
+    return run
+
+
+def index_probe_keys(index_filter: Predicate) -> List[object]:
+    """Keys to probe an equality index with, from the index-driving filter."""
+    if isinstance(index_filter, ComparisonPredicate):
+        return [index_filter.value]
+    if isinstance(index_filter, InPredicate):
+        return list(index_filter.values)
+    raise ExecutionError(
+        f"unsupported index filter of type {type(index_filter).__name__}"
+    )

@@ -1,13 +1,21 @@
-"""Relational operators over in-memory result sets.
+"""Vectorized (columnar, batch-at-a-time) relational operators.
 
-The executor is a *functional simulator*: every operator produces exactly the
-rows a real implementation would produce, but the physical algorithm chosen
-by the optimizer is reflected in the deterministic work accounting (see
-:mod:`repro.executor.executor`), not in how the rows are computed.  In
-particular a plan node labelled ``NESTED_LOOP`` is evaluated with a hash
-table internally — same output, bounded wall-clock — while its *charged* work
-is quadratic, exactly what the paper's execution times show when the
-optimizer picks a nested loop on an underestimated input.
+This is the default execution engine.  Every operator consumes and produces
+:class:`~repro.executor.batch.ColumnBatch` objects:
+
+* ``scan_table`` wraps the storage layer's raw column lists into a batch
+  without copying and narrows it with a compiled batch predicate;
+* ``join_results`` hash-joins two batches by materializing only the key
+  columns, then represents the output as two shared selection vectors — no
+  payload column is touched until something downstream reads it;
+* ``aggregate_result`` folds aggregates directly over column lists.
+
+The engine mirrors :mod:`repro.executor.reference` exactly: same output
+multiset (in fact the same row order: probe-side-major, build insertion
+order within a key) and same work-accounting inputs.  Like the reference
+engine it is a *functional simulator* — the optimizer's physical algorithm
+choice (``NESTED_LOOP`` vs ``HASH_JOIN`` …) only affects the deterministic
+work charged by :mod:`repro.executor.executor`, never the rows produced.
 """
 
 from __future__ import annotations
@@ -17,38 +25,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.errors import ExecutionError
-from repro.executor.expressions import ColumnResolver, compile_conjunction
+from repro.executor.batch import ColumnBatch
+from repro.executor.expressions import compile_batch_conjunction, index_probe_keys
+from repro.executor.reference import ResultSet, resolve_join_positions
 from repro.sql.ast import AggregateFunc, SelectItem
 from repro.sql.binder import BoundJoin
 
 QualifiedColumn = Tuple[str, str]
 
-
-class ResultSet:
-    """An intermediate result: qualified column names plus row tuples."""
-
-    def __init__(self, columns: Sequence[QualifiedColumn], rows: List[tuple]) -> None:
-        self.columns: Tuple[QualifiedColumn, ...] = tuple(columns)
-        self.rows = rows
-        self.resolver = ColumnResolver(self.columns)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def column_position(self, alias: str, column: str) -> int:
-        """Position of ``alias.column`` in each row tuple."""
-        return self.resolver.position(alias, column)
-
-    def column_values(self, alias: str, column: str) -> List[object]:
-        """All values of one column."""
-        position = self.column_position(alias, column)
-        return [row[position] for row in self.rows]
-
-    def project(self, columns: Sequence[QualifiedColumn]) -> "ResultSet":
-        """Return a new result set with only the requested columns."""
-        positions = [self.column_position(alias, column) for alias, column in columns]
-        rows = [tuple(row[p] for p in positions) for row in self.rows]
-        return ResultSet(columns, rows)
+__all__ = [
+    "ColumnBatch",
+    "ResultSet",
+    "aggregate_result",
+    "count_index_probe_matches",
+    "join_results",
+    "scan_table",
+]
 
 
 def scan_table(
@@ -58,11 +50,14 @@ def scan_table(
     filters: Sequence,
     index_column: Optional[str] = None,
     index_filter=None,
-) -> Tuple[ResultSet, int]:
-    """Scan a base table, optionally through an index.
+) -> Tuple[ColumnBatch, int]:
+    """Scan a base table column-wise, optionally through an index.
+
+    The sequential path hands the table's backing column lists straight into
+    the batch (zero-copy); filtering only builds a selection vector.
 
     Returns:
-        ``(result, rows_fetched)`` where ``rows_fetched`` is the number of
+        ``(batch, rows_fetched)`` where ``rows_fetched`` is the number of
         rows read from storage before residual filtering (used for work
         accounting: an index scan reads fewer rows than a sequential scan).
     """
@@ -70,7 +65,7 @@ def scan_table(
     columns: List[QualifiedColumn] = [
         (alias, name) for name in table.schema.column_names
     ]
-    resolver = ColumnResolver(columns)
+    batch = ColumnBatch(columns, table.column_data(), length=table.row_count)
 
     if index_column is not None and index_filter is not None:
         index = catalog.indexes(table_name).get(index_column)
@@ -78,61 +73,56 @@ def scan_table(
             raise ExecutionError(
                 f"plan requires an index on {table_name}.{index_column} that does not exist"
             )
-        keys = _index_probe_keys(index_filter)
+        keys = index_probe_keys(index_filter)
         row_ids: List[int] = []
         for key in keys:
             row_ids.extend(index.lookup(key))
-        candidate_rows = [table.row(row_id) for row_id in sorted(set(row_ids))]
+        row_ids = sorted(set(row_ids))
+        batch = batch.restrict(row_ids)
+        rows_fetched = len(row_ids)
     else:
-        candidate_rows = list(table.iter_rows())
+        rows_fetched = table.row_count
 
-    rows_fetched = len(candidate_rows)
-    predicate = compile_conjunction(list(filters), resolver)
-    rows = [row for row in candidate_rows if predicate(row)]
-    return ResultSet(columns, rows), rows_fetched
+    predicate = compile_batch_conjunction(list(filters), batch.resolver)
+    if predicate is not None:
+        batch = batch.restrict(predicate(batch))
+    return batch, rows_fetched
 
 
-def _index_probe_keys(index_filter) -> List[object]:
-    """Keys to probe the index with, derived from the index-driving filter."""
-    from repro.sql.ast import ComparisonPredicate, InPredicate
+def _key_rows(
+    batch: ColumnBatch, positions: Sequence[int]
+) -> List[object]:
+    """Per-row join keys: the bare value for one column, tuples otherwise."""
+    if len(positions) == 1:
+        return batch.values(positions[0])
+    return list(zip(*(batch.values(p) for p in positions)))
 
-    if isinstance(index_filter, ComparisonPredicate):
-        return [index_filter.value]
-    if isinstance(index_filter, InPredicate):
-        return list(index_filter.values)
-    raise ExecutionError(
-        f"unsupported index filter of type {type(index_filter).__name__}"
-    )
+
+def _key_is_null(key: object, composite: bool) -> bool:
+    if composite:
+        return any(v is None for v in key)
+    return key is None
 
 
 def join_results(
-    left: ResultSet,
-    right: ResultSet,
+    left: ColumnBatch,
+    right: ColumnBatch,
     joins: Sequence[BoundJoin],
-) -> ResultSet:
-    """Equi-join two result sets on all given join predicates.
+) -> ColumnBatch:
+    """Equi-join two batches on all given join predicates.
 
     The physical evaluation always builds a hash table on the smaller input;
-    the optimizer's algorithm choice only affects work accounting.
+    the optimizer's algorithm choice only affects work accounting.  Only the
+    key columns are materialized — the output batch reuses both inputs'
+    backing columns through composed selection vectors.
     """
     if not joins:
         raise ExecutionError("join_results requires at least one join predicate")
-    left_positions: List[int] = []
-    right_positions: List[int] = []
-    for join in joins:
-        if left.resolver.has(join.left_alias, join.left_column):
-            left_positions.append(left.column_position(join.left_alias, join.left_column))
-            right_positions.append(
-                right.column_position(join.right_alias, join.right_column)
-            )
-        else:
-            left_positions.append(left.column_position(join.right_alias, join.right_column))
-            right_positions.append(
-                right.column_position(join.left_alias, join.left_column)
-            )
+    left = ColumnBatch.from_result(left)
+    right = ColumnBatch.from_result(right)
+    left_positions, right_positions = resolve_join_positions(left, right, joins)
 
-    columns = list(left.columns) + list(right.columns)
-    build_on_left = len(left.rows) <= len(right.rows)
+    build_on_left = len(left) <= len(right)
     if build_on_left:
         build, probe = left, right
         build_positions, probe_positions = left_positions, right_positions
@@ -140,31 +130,35 @@ def join_results(
         build, probe = right, left
         build_positions, probe_positions = right_positions, left_positions
 
-    buckets: Dict[tuple, List[tuple]] = {}
-    for row in build.rows:
-        key = tuple(row[p] for p in build_positions)
-        if any(v is None for v in key):
+    composite = len(build_positions) > 1
+    build_keys = _key_rows(build, build_positions)
+    buckets: Dict[object, List[int]] = {}
+    for i, key in enumerate(build_keys):
+        if _key_is_null(key, composite):
             continue
-        buckets.setdefault(key, []).append(row)
+        buckets.setdefault(key, []).append(i)
 
-    out_rows: List[tuple] = []
-    for row in probe.rows:
-        key = tuple(row[p] for p in probe_positions)
-        if any(v is None for v in key):
+    build_idx: List[int] = []
+    probe_idx: List[int] = []
+    probe_keys = _key_rows(probe, probe_positions)
+    for i, key in enumerate(probe_keys):
+        if _key_is_null(key, composite):
             continue
         matches = buckets.get(key)
         if not matches:
             continue
-        for match in matches:
-            if build_on_left:
-                out_rows.append(match + row)
-            else:
-                out_rows.append(row + match)
-    return ResultSet(columns, out_rows)
+        build_idx.extend(matches)
+        probe_idx.extend([i] * len(matches))
+
+    if build_on_left:
+        left_sel, right_sel = build_idx, probe_idx
+    else:
+        left_sel, right_sel = probe_idx, build_idx
+    return ColumnBatch.concat(left.restrict(left_sel), right.restrict(right_sel))
 
 
 def count_index_probe_matches(
-    outer: ResultSet,
+    outer: ColumnBatch,
     outer_positions: Sequence[int],
     catalog: Catalog,
     inner_table: str,
@@ -179,25 +173,27 @@ def count_index_probe_matches(
     index = catalog.indexes(inner_table).get(inner_column)
     if index is None:
         return 0
-    key_counts: Counter = Counter()
-    for row in outer.rows:
-        key = tuple(row[p] for p in outer_positions)
-        if any(v is None for v in key):
-            continue
-        key_counts[key[0] if len(key) == 1 else key] += 1
+    outer = ColumnBatch.from_result(outer)
+    composite = len(outer_positions) > 1
+    key_counts: Counter = Counter(
+        key
+        for key in _key_rows(outer, outer_positions)
+        if not _key_is_null(key, composite)
+    )
     matches = 0
     for key, count in key_counts.items():
-        probe_key = key if not isinstance(key, tuple) else key[0]
+        probe_key = key[0] if isinstance(key, tuple) else key
         matches += count * len(index.lookup(probe_key))
     return matches
 
 
 def aggregate_result(
-    result: ResultSet, select_items: Sequence[SelectItem]
-) -> ResultSet:
-    """Apply the final aggregation / projection."""
+    result: ColumnBatch, select_items: Sequence[SelectItem]
+) -> ColumnBatch:
+    """Apply the final aggregation / projection column-wise."""
     if not select_items:
         return result
+    result = ColumnBatch.from_result(result)
     has_aggregate = any(item.aggregate is not None for item in select_items)
     columns: List[QualifiedColumn] = []
     for i, item in enumerate(select_items):
@@ -207,19 +203,17 @@ def aggregate_result(
         row: List[object] = []
         for item in select_items:
             values = result.column_values(item.column.alias, item.column.column)
-            non_null = [v for v in values if v is not None]
             if item.aggregate is AggregateFunc.COUNT:
-                row.append(len(non_null))
+                row.append(sum(1 for v in values if v is not None))
             elif item.aggregate is AggregateFunc.MIN:
-                row.append(min(non_null) if non_null else None)
+                row.append(min((v for v in values if v is not None), default=None))
             elif item.aggregate is AggregateFunc.MAX:
-                row.append(max(non_null) if non_null else None)
+                row.append(max((v for v in values if v is not None), default=None))
             else:
-                row.append(non_null[0] if non_null else None)
-        return ResultSet(columns, [tuple(row)])
+                row.append(next((v for v in values if v is not None), None))
+        return ColumnBatch.from_rows(columns, [tuple(row)])
     positions = [
         result.column_position(item.column.alias, item.column.column)
         for item in select_items
     ]
-    rows = [tuple(row[p] for p in positions) for row in result.rows]
-    return ResultSet(columns, rows)
+    return result.with_columns(columns, positions)

@@ -53,8 +53,17 @@ class Column:
         for value in values:
             self.append(value)
 
+    def truncate(self, length: int) -> None:
+        """Discard values beyond ``length`` (bulk-load rollback support)."""
+        del self._values[length:]
+
     def values(self) -> List[object]:
-        """Return the underlying value list (not a copy; treat as read-only)."""
+        """Return the underlying value list (not a copy; treat as read-only).
+
+        This is the zero-copy handle the vectorized executor wraps into a
+        :class:`~repro.executor.batch.ColumnBatch` — scans never copy column
+        payloads.
+        """
         return self._values
 
     def non_null_values(self) -> List[object]:

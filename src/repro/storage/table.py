@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.catalog.schema import TableSchema
-from repro.errors import StorageError
+from repro.errors import ReproError, StorageError
 from repro.storage.column import Column
 
 
@@ -74,6 +74,55 @@ class Table:
             self._columns[col_def.name].append(value)
         self._row_count += 1
         return self._row_count - 1
+
+    def column_data(self) -> List[List[object]]:
+        """Backing value lists of all columns, in schema order (zero-copy).
+
+        The vectorized executor wraps these directly into a scan batch;
+        callers must treat the lists as read-only.
+        """
+        return [self._columns[name].values() for name in self.schema.column_names]
+
+    def load_columns(self, columns: Sequence[Sequence[object]]) -> int:
+        """Append rows given column-wise (one value sequence per schema column).
+
+        This is the bulk-load path used when materializing a columnar result
+        into a table (temporary tables during re-optimization): values are
+        appended column by column, skipping per-row tuple packing.
+
+        Returns:
+            The number of rows appended.
+
+        Raises:
+            StorageError: if the column count or lengths are inconsistent.
+        """
+        if len(columns) != len(self.schema.columns):
+            raise StorageError(
+                f"table {self.name!r} expects {len(self.schema.columns)} columns, "
+                f"got {len(columns)}"
+            )
+        lengths = {len(values) for values in columns}
+        if len(lengths) > 1:
+            raise StorageError(
+                f"column-wise load into {self.name!r} got ragged columns "
+                f"of lengths {sorted(lengths)}"
+            )
+        count = lengths.pop() if lengths else 0
+        loaded = []
+        try:
+            for col_def, values in zip(self.schema.columns, columns):
+                column = self._columns[col_def.name]
+                loaded.append(column)
+                column.extend(values)
+        except ReproError:
+            # Roll back so a mid-load failure (StorageError for NULL into a
+            # non-nullable column, CatalogError for a failed type coercion)
+            # cannot leave ragged columns behind.
+            for column in loaded:
+                column.truncate(self._row_count)
+            raise
+        self._row_count += count
+        return count
 
     def insert_rows(self, rows: Iterable[Sequence[object]]) -> int:
         """Insert many rows; returns the number inserted."""

@@ -5,8 +5,26 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.catalog import ColumnType, make_schema
 from repro.core import q_error
 from repro.engine import Database
-from repro.executor.expressions import like_match
+from repro.executor import reference
+from repro.executor.batch import ColumnBatch
+from repro.executor.expressions import (
+    ColumnResolver,
+    compile_batch_conjunction,
+    compile_conjunction,
+    like_match,
+)
 from repro.executor.operators import ResultSet, join_results
+from repro.optimizer.plan import JoinAlgorithm, ScanNode
+from repro.sql.ast import (
+    BetweenPredicate,
+    ColumnRef,
+    ComparisonOp,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+)
 from repro.sql.binder import BoundJoin
 from repro.stats import EquiDepthHistogram, MostCommonValues
 from repro.workloads import ZipfSampler
@@ -100,6 +118,168 @@ class TestJoinProperties:
             left_keys.count(key) * right_keys.count(key) for key in set(left_keys)
         )
         assert len(joined) == expected
+
+
+_int_or_null = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+_text_or_null = st.one_of(st.none(), st.text(alphabet="abc", max_size=3))
+_random_rows = st.lists(st.tuples(_int_or_null, _text_or_null), max_size=60)
+
+_int_column = ColumnRef("t", "a")
+_text_column = ColumnRef("t", "b")
+
+_comparison = st.builds(
+    ComparisonPredicate,
+    st.just(_int_column),
+    st.sampled_from(list(ComparisonOp)),
+    st.integers(min_value=-5, max_value=5),
+)
+_in = st.builds(
+    InPredicate,
+    st.just(_int_column),
+    st.lists(st.integers(min_value=-5, max_value=5), max_size=4).map(tuple),
+)
+_like = st.builds(
+    LikePredicate,
+    st.just(_text_column),
+    st.text(alphabet="abc%_", max_size=4),
+    st.booleans(),
+)
+_between = st.builds(
+    BetweenPredicate,
+    st.just(_int_column),
+    st.integers(min_value=-5, max_value=0),
+    st.integers(min_value=0, max_value=5),
+)
+_null = st.builds(
+    NullPredicate, st.sampled_from([_int_column, _text_column]), st.booleans()
+)
+_simple_predicate = st.one_of(_comparison, _in, _like, _between, _null)
+_predicate = st.one_of(
+    _simple_predicate,
+    st.lists(_simple_predicate, min_size=2, max_size=3)
+    .map(tuple)
+    .map(OrPredicate),
+)
+
+
+class TestBatchPredicateProperties:
+    """Batch (columnar) predicate evaluation must match per-row evaluation."""
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(_random_rows, st.lists(_predicate, max_size=3))
+    def test_batch_conjunction_matches_row_conjunction(self, rows, predicates):
+        columns = [("t", "a"), ("t", "b")]
+        resolver = ColumnResolver(columns)
+        row_predicate = compile_conjunction(predicates, resolver)
+        expected = [row for row in rows if row_predicate(row)]
+
+        batch = ColumnBatch.from_rows(columns, rows)
+        batch_predicate = compile_batch_conjunction(predicates, resolver)
+        if batch_predicate is None:
+            survivors = batch
+        else:
+            survivors = batch.restrict(batch_predicate(batch))
+        assert survivors.rows == expected
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(_random_rows, _predicate)
+    def test_batch_predicate_survives_prior_selection(self, rows, predicate):
+        """Predicates applied to an already-restricted batch stay correct."""
+        columns = [("t", "a"), ("t", "b")]
+        resolver = ColumnResolver(columns)
+        keep_even = [i for i in range(len(rows)) if i % 2 == 0]
+        batch = ColumnBatch.from_rows(columns, rows).restrict(keep_even)
+        row_predicate = compile_conjunction([predicate], resolver)
+        expected = [rows[i] for i in keep_even if row_predicate(rows[i])]
+        batch_predicate = compile_batch_conjunction([predicate], resolver)
+        assert batch.restrict(batch_predicate(batch)).rows == expected
+
+
+def _join_sort_key(row):
+    return tuple((value is None, value) for value in row)
+
+
+class TestEngineJoinEquivalence:
+    """Vectorized and reference joins agree, including NULL join keys."""
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=40)
+    @given(
+        st.lists(st.tuples(_int_or_null, _text_or_null), max_size=40),
+        st.lists(st.tuples(_int_or_null, _int_or_null), max_size=40),
+    )
+    def test_vectorized_join_matches_reference(self, left_rows, right_rows):
+        columns_left = [("l", "k"), ("l", "payload")]
+        columns_right = [("r", "k"), ("r", "extra")]
+        join = [BoundJoin("l", "k", "r", "k")]
+        vectorized = join_results(
+            ColumnBatch.from_rows(columns_left, left_rows),
+            ColumnBatch.from_rows(columns_right, right_rows),
+            join,
+        )
+        oracle = reference.join_results(
+            ResultSet(columns_left, left_rows),
+            ResultSet(columns_right, right_rows),
+            join,
+        )
+        assert sorted(vectorized.rows, key=_join_sort_key) == sorted(
+            oracle.rows, key=_join_sort_key
+        )
+
+
+class TestJoinAlgorithmPermutationEquality:
+    """All four physical join algorithms produce the same result multiset."""
+
+    @settings(
+        suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=10
+    )
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=50)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_all_algorithms_permutation_equal(self, trade_rows):
+        db = Database()
+        db.create_table(
+            make_schema(
+                "company",
+                [("id", ColumnType.INT), ("symbol", ColumnType.TEXT)],
+                primary_key="id",
+            )
+        )
+        db.create_table(
+            make_schema(
+                "trades",
+                [("id", ColumnType.INT), ("company_id", ColumnType.INT), ("shares", ColumnType.INT)],
+                primary_key="id",
+                foreign_keys=[("company_id", "company", "id")],
+            )
+        )
+        db.load_rows("company", [(i, f"S{i}") for i in range(1, 9)])
+        db.load_rows(
+            "trades",
+            [(i + 1, cid, shares) for i, (cid, shares) in enumerate(trade_rows)],
+        )
+        db.finalize_load()
+        planned = db.plan(
+            "SELECT c.symbol, t.id FROM company AS c, trades AS t "
+            "WHERE c.id = t.company_id"
+        )
+        join = planned.plan.join_nodes()[0]
+        results = {}
+        for algorithm in JoinAlgorithm:
+            if algorithm is JoinAlgorithm.INDEX_NESTED_LOOP and not isinstance(
+                join.right, ScanNode
+            ):
+                continue
+            join.algorithm = algorithm
+            execution = db.execute_plan(planned)
+            results[algorithm] = sorted(execution.result.rows, key=_join_sort_key)
+        assert len(results) >= 3
+        baseline = results[JoinAlgorithm.HASH_JOIN]
+        for algorithm, rows in results.items():
+            assert rows == baseline, f"{algorithm} output differs from hash join"
 
 
 class TestEngineCountProperties:
