@@ -3,12 +3,13 @@
 #   make test    - tier-1 suite (unit + integration + property + differential)
 #   make bench   - paper-figure benchmarks plus the engine speedup guard
 #   make diff    - just the vectorized-vs-reference differential suite
+#   make lint    - ruff check (same invocation as the CI lint job)
 #   make all     - everything
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff all
+.PHONY: test bench diff lint all
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -19,4 +20,7 @@ diff:
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks
 
-all: test bench
+lint:
+	ruff check .
+
+all: lint test bench

@@ -1,0 +1,54 @@
+"""Prepared statements, the plan cache and epoch-based invalidation.
+
+Demonstrates the serving-API lifecycle on the synthetic IMDB database:
+
+* ``Connection.prepare`` lowers ``?`` placeholders through the
+  lexer/parser/binder once;
+* repeated executions hit the LRU plan cache (planning is skipped);
+* ANALYZE and index DDL bump the catalog epoch, so stale plans miss.
+
+Run with::
+
+    python examples/prepared_statements.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.workloads import ImdbConfig, build_imdb_database
+
+
+def main() -> None:
+    print("building the synthetic IMDB database (scale 0.1)...")
+    db, _ = build_imdb_database(ImdbConfig(scale=0.1))
+    conn = repro.connect(db, reoptimize=False)
+
+    stmt = conn.prepare(
+        "SELECT count(t.id) AS movies FROM title AS t, kind_type AS kt "
+        "WHERE t.production_year > ? AND t.kind_id = kt.id AND kt.kind = ?"
+    )
+    print(f"prepared statement with {stmt.param_count} parameter(s)\n")
+
+    for year, kind in [(1990, "movie"), (2000, "movie"), (1990, "movie")]:
+        cursor = stmt.execute((year, kind))
+        source = "cache hit " if cursor.context.plan_cached else "cold plan"
+        plan_wall = cursor.context.stage_seconds["plan"]
+        print(
+            f"year>{year}, kind={kind!r}: {cursor.fetchone()[0]:7d} movies  "
+            f"[{source}, plan stage {plan_wall * 1e3:7.3f} ms]"
+        )
+
+    stats = conn.cache_stats
+    print(f"\nplan cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+          f"hit rate {stats.hit_rate:.0%}")
+
+    print(f"\ncatalog epoch before ANALYZE: {db.catalog.epoch}")
+    conn.analyze(["title"])
+    print(f"catalog epoch after ANALYZE:  {db.catalog.epoch}")
+    cursor = stmt.execute((1990, "movie"))
+    source = "cache hit" if cursor.context.plan_cached else "cold plan (invalidated)"
+    print(f"same statement again: {source}")
+
+
+if __name__ == "__main__":
+    main()

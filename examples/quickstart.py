@@ -1,4 +1,8 @@
-"""Quickstart: load a small database, run a query, watch re-optimization work.
+"""Quickstart: connect, run SQL through a cursor, watch re-optimization work.
+
+The serving surface is DB-API-2.0 style: ``repro.connect()`` returns a
+``Connection`` whose query pipeline re-optimizes mis-estimated plans
+transparently and caches plans for repeated statements.
 
 Run with::
 
@@ -9,15 +13,16 @@ from __future__ import annotations
 
 import random
 
+import repro
 from repro.catalog import ColumnType, make_schema
-from repro.core import ReoptimizationPolicy, ReoptimizingSession
-from repro.engine import Database
+from repro.core import ReoptimizationPolicy
 
 
-def build_database() -> Database:
+def build_connection() -> repro.Connection:
     """A tiny trading database with a heavily skewed join key."""
     rng = random.Random(7)
-    db = Database()
+    conn = repro.connect(policy=ReoptimizationPolicy(threshold=4))
+    db = conn.database
     db.create_table(
         make_schema(
             "company",
@@ -44,11 +49,11 @@ def build_database() -> Database:
         trades.append((i + 1, company_id, rng.randint(1, 10_000)))
     db.load_rows("trades", trades)
     db.finalize_load()  # build FK indexes + ANALYZE, as the paper's setup does
-    return db
+    return conn
 
 
 def main() -> None:
-    db = build_database()
+    conn = build_connection()
     sql = """
         SELECT count(t.id) AS num_trades, min(c.company) AS company
         FROM company AS c, trades AS t
@@ -56,24 +61,44 @@ def main() -> None:
           AND c.id = t.company_id;
     """
 
-    print("=== plain optimizer (EXPLAIN ANALYZE) ===")
-    print(db.explain(sql, analyze=True))
-    plain = db.run(sql)
-    print(f"\nresult rows: {plain.rows}")
-    print(f"simulated execution time: {plain.execution_seconds:.3f} s")
-
-    print("\n=== with automatic re-optimization ===")
-    session = ReoptimizingSession(db, ReoptimizationPolicy(threshold=4))
-    result = session.execute(sql)
-    print(f"re-optimized: {result.reoptimized}")
-    for step in result.report.steps:
+    print("=== one statement through the pipeline ===")
+    cursor = conn.execute(sql)
+    print(f"columns: {[d[0] for d in cursor.description]}")
+    print(f"rows:    {cursor.fetchall()}")
+    context = cursor.context
+    print(f"re-optimized: {context.reoptimized}")
+    for step in context.report.steps:
         print(
             f"  step {step.index}: materialized {step.trigger_aliases} "
             f"(estimated {step.estimated_rows:.0f} rows, actual {step.actual_rows}, "
             f"q-error {step.q_error:.0f}) into {step.temp_table}"
         )
-    print(f"result rows: {result.rows}")
-    print(f"simulated execution time: {result.execution_seconds:.3f} s")
+    print(f"simulated: {context.planning_seconds:.3f} s planning, "
+          f"{context.execution_seconds:.3f} s execution")
+
+    print("\n=== prepared statement + plan cache ===")
+    # A second connection over the same database, without the re-optimization
+    # interceptor: re-optimizing statements create/drop temp tables, which
+    # bumps the catalog epoch and (conservatively) invalidates cached plans.
+    serving = repro.connect(conn.database, reoptimize=False)
+    stmt = serving.prepare(
+        "SELECT count(t.id) AS n FROM company AS c, trades AS t "
+        "WHERE c.symbol = ? AND c.id = t.company_id"
+    )
+    for symbol in ("S001", "S002", "S001"):
+        result = stmt.execute((symbol,))
+        cached = "cache hit" if result.context.plan_cached else "cold plan"
+        print(f"{symbol}: {result.fetchall()[0][0]:6d} trades  ({cached})")
+    stats = serving.cache_stats
+    print(f"plan cache: {stats.hits} hit(s), {stats.misses} miss(es)")
+
+    print("\n=== connection metrics ===")
+    m = conn.metrics
+    print(
+        f"{m.statements} statement(s), {m.reoptimized_statements} re-optimized, "
+        f"{m.planning_seconds:.3f} s planning + {m.execution_seconds:.3f} s "
+        f"execution (simulated)"
+    )
 
 
 if __name__ == "__main__":

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import ReoptimizationPolicy, ReoptimizationSimulator
+import repro
+from repro.core import ReoptimizationPolicy
 from repro.executor import explain_plan
 from repro.workloads import (
     ImdbConfig,
@@ -50,8 +51,8 @@ def main() -> None:
     print(f"\nbaseline simulated execution time: {execution.simulated_seconds:.2f} s")
 
     print("\n=== re-optimization (threshold 32) ===")
-    simulator = ReoptimizationSimulator(db, ReoptimizationPolicy(threshold=32))
-    report = simulator.reoptimize(query)
+    conn = repro.connect(db, policy=ReoptimizationPolicy(threshold=32))
+    report = conn.run_bound(query).report
     for step in report.steps:
         print(
             f"step {step.index}: join over {step.trigger_aliases} estimated "

@@ -11,7 +11,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.core import ReoptimizationPolicy, ReoptimizationSimulator, TrueCardinalityOracle
+import repro
+from repro.core import ReoptimizationPolicy, TrueCardinalityOracle
 from repro.workloads import StocksConfig, build_stocks_database, example_query
 
 
@@ -38,8 +39,8 @@ def main() -> None:
     print(db.explain(sql, analyze=True))
 
     print("\n=== re-optimizing it ===")
-    simulator = ReoptimizationSimulator(db, ReoptimizationPolicy(threshold=8))
-    report = simulator.reoptimize(db.parse(sql, name="stocks-demo"))
+    conn = repro.connect(db, policy=ReoptimizationPolicy(threshold=8))
+    report = conn.execute(sql).context.report
     print(f"re-optimized: {report.reoptimized} ({len(report.steps)} step(s))")
     print(f"result: {report.rows}")
     print(f"simulated execution time: {report.execution_seconds:.3f} s")

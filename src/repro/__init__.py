@@ -8,15 +8,18 @@ regenerates every table and figure of the paper's evaluation.
 
 Typical entry points:
 
-* :class:`repro.engine.Database` — the engine substrate.
-* :class:`repro.core.ReoptimizingSession` — run queries with automatic
-  re-optimization.
+* :func:`repro.connect` — open a DB-API-2.0-style :class:`Connection`; run
+  SQL through cursors and prepared statements, with plan caching and
+  transparent mid-query re-optimization.
+* :class:`repro.engine.Database` — the engine substrate underneath a
+  connection.
 * :func:`repro.workloads.build_imdb_database` /
   :func:`repro.workloads.generate_job_workload` — the benchmark workload.
 * :mod:`repro.bench.experiments` — one function per paper table/figure.
 """
 
 from repro.core import (
+    ReoptimizationInterceptor,
     ReoptimizationPolicy,
     ReoptimizationReport,
     ReoptimizationSimulator,
@@ -24,15 +27,40 @@ from repro.core import (
     TrueCardinalityOracle,
     q_error,
 )
-from repro.engine import Database, EngineSettings, QueryRun
+from repro.engine import (
+    Connection,
+    Cursor,
+    Database,
+    EngineSettings,
+    PlanCache,
+    PlanCacheStats,
+    PreparedStatement,
+    QueryContext,
+    QueryInterceptor,
+    QueryPipeline,
+    QueryRun,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Connection",
+    "Cursor",
     "Database",
     "EngineSettings",
+    "PlanCache",
+    "PlanCacheStats",
+    "PreparedStatement",
+    "QueryContext",
+    "QueryInterceptor",
+    "QueryPipeline",
     "QueryRun",
+    "ReoptimizationInterceptor",
     "ReoptimizationPolicy",
     "ReoptimizationReport",
     "ReoptimizationSimulator",
@@ -40,5 +68,9 @@ __all__ = [
     "ReproError",
     "TrueCardinalityOracle",
     "__version__",
+    "apilevel",
+    "connect",
+    "paramstyle",
     "q_error",
+    "threadsafety",
 ]

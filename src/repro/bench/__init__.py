@@ -30,6 +30,7 @@ __all__ = [
     "QueryOutcome",
     "Regime",
     "ReoptimizedRegime",
+    "ThroughputSummary",
     "WorkloadContext",
     "build_context",
     "env_query_limit",
@@ -39,6 +40,5 @@ __all__ = [
     "run_query",
     "run_workload",
     "throughput",
-    "ThroughputSummary",
     "total_seconds",
 ]

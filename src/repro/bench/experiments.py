@@ -27,8 +27,9 @@ from repro.bench.regimes import (
 )
 from repro.bench.reporting import ExperimentResult
 from repro.core.feedback import FeedbackLoop
-from repro.core.reoptimizer import ReoptimizationSimulator
+from repro.core.interceptor import ReoptimizationInterceptor
 from repro.core.triggers import ReoptimizationPolicy
+from repro.engine.pipeline import QueryPipeline
 from repro.core.oracle import TrueCardinalityOracle
 from repro.optimizer.optimizer import Optimizer
 from repro.workloads.job import table_count_distribution
@@ -335,24 +336,24 @@ def figure6(
     context: WorkloadContext, query_name: Optional[str] = None, threshold: float = 32.0
 ) -> ExperimentResult:
     """The CREATE TEMP TABLE rewrite produced by re-optimization (Figure 6)."""
+    def reoptimize(name: str):
+        pipeline = QueryPipeline(
+            context.database,
+            [ReoptimizationInterceptor(ReoptimizationPolicy(threshold=threshold))],
+        )
+        return pipeline.run(bound=context.query(name)).report
+
     if query_name is None:
         for candidate in _longest_query_names(context, 10):
-            simulator = ReoptimizationSimulator(
-                context.database, ReoptimizationPolicy(threshold=threshold)
-            )
-            report = simulator.reoptimize(context.query(candidate))
+            report = reoptimize(candidate)
             if report.reoptimized:
                 query_name = candidate
                 break
         else:  # pragma: no cover - the workload always triggers at least once
             query_name = context.query_names()[0]
-            report = ReoptimizationSimulator(
-                context.database, ReoptimizationPolicy(threshold=threshold)
-            ).reoptimize(context.query(query_name))
+            report = reoptimize(query_name)
     else:
-        report = ReoptimizationSimulator(
-            context.database, ReoptimizationPolicy(threshold=threshold)
-        ).reoptimize(context.query(query_name))
+        report = reoptimize(query_name)
     result = ExperimentResult(
         experiment_id="fig6",
         title=f"Re-optimization rewrite of {query_name}",

@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.interceptor import ReoptimizationInterceptor
 from repro.core.midquery import MidQueryReoptimizer
 from repro.core.oracle import TrueCardinalityOracle
-from repro.core.reoptimizer import ReoptimizationSimulator
 from repro.core.triggers import ReoptimizationPolicy
 from repro.engine.database import Database
+from repro.engine.pipeline import QueryPipeline
 from repro.optimizer.injection import CardinalityInjector
 from repro.sql.binder import BoundQuery
 
@@ -61,13 +62,38 @@ class QueryOutcome:
 
 
 class Regime:
-    """Interface: run one bound query and account for it."""
+    """Interface: run one bound query and account for it.
+
+    Every regime serves queries through the engine's
+    :class:`~repro.engine.pipeline.QueryPipeline`; a regime differs only in
+    the interceptors it installs and the cardinality injector it plans with.
+    Plan caching is deliberately absent here: the paper's figures charge
+    every query a full planning round.
+    """
 
     name = "regime"
 
     def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
         """Execute ``query`` under this regime."""
         raise NotImplementedError
+
+    def _pipeline(self, database: Database) -> QueryPipeline:
+        """The lifecycle pipeline this regime runs queries through."""
+        return QueryPipeline(database)
+
+    def _outcome(self, query: BoundQuery, context) -> QueryOutcome:
+        """Fold a finished lifecycle context into the regime's accounting."""
+        steps = len(context.report.steps) if context.report is not None else 0
+        return QueryOutcome(
+            query_name=query.name or "",
+            regime=self.name,
+            planning_seconds=context.planning_seconds,
+            execution_seconds=context.execution_seconds,
+            rows=len(context.rows),
+            reoptimization_steps=steps,
+            rows_processed=context.rows_processed,
+            wall_seconds=context.wall_seconds,
+        )
 
 
 class PostgresRegime(Regime):
@@ -79,16 +105,8 @@ class PostgresRegime(Regime):
         self._injector = injector
 
     def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
-        run = database.run(query, injector=self._injector)
-        return QueryOutcome(
-            query_name=query.name or "",
-            regime=self.name,
-            planning_seconds=run.planning_seconds,
-            execution_seconds=run.execution_seconds,
-            rows=len(run.rows),
-            rows_processed=run.execution.rows_processed,
-            wall_seconds=run.execution.wall_seconds,
-        )
+        context = self._pipeline(database).run(bound=query, injector=self._injector)
+        return self._outcome(query, context)
 
 
 class PerfectRegime(Regime):
@@ -101,16 +119,8 @@ class PerfectRegime(Regime):
 
     def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
         injector = self._oracle.perfect_injection(self.max_tables)
-        run = database.run(query, injector=injector)
-        return QueryOutcome(
-            query_name=query.name or "",
-            regime=self.name,
-            planning_seconds=run.planning_seconds,
-            execution_seconds=run.execution_seconds,
-            rows=len(run.rows),
-            rows_processed=run.execution.rows_processed,
-            wall_seconds=run.execution.wall_seconds,
-        )
+        context = self._pipeline(database).run(bound=query, injector=injector)
+        return self._outcome(query, context)
 
 
 class ReoptimizedRegime(Regime):
@@ -139,18 +149,9 @@ class ReoptimizedRegime(Regime):
         return None
 
     def run(self, database: Database, query: BoundQuery) -> QueryOutcome:
-        simulator = ReoptimizationSimulator(database, self.policy)
-        report = simulator.reoptimize(query, injector=self._injector())
-        return QueryOutcome(
-            query_name=query.name or "",
-            regime=self.name,
-            planning_seconds=report.planning_seconds,
-            execution_seconds=report.execution_seconds,
-            rows=len(report.rows),
-            reoptimization_steps=len(report.steps),
-            rows_processed=report.rows_processed,
-            wall_seconds=report.wall_seconds,
-        )
+        pipeline = QueryPipeline(database, [ReoptimizationInterceptor(self.policy)])
+        context = pipeline.run(bound=query, injector=self._injector())
+        return self._outcome(query, context)
 
 
 class MidQueryRegime(ReoptimizedRegime):

@@ -38,10 +38,28 @@ class CatalogEntry:
 
 
 class Catalog:
-    """Registry of tables known to a :class:`~repro.engine.database.Database`."""
+    """Registry of tables known to a :class:`~repro.engine.database.Database`.
+
+    The catalog carries a monotonically increasing *epoch* that is bumped by
+    every event that can invalidate a cached plan: table DDL (including the
+    re-optimizer's temporary tables), ANALYZE refreshing statistics, and
+    index creation.  The plan cache keys entries on the epoch, so stale
+    plans simply miss instead of needing explicit invalidation hooks.
+    """
 
     def __init__(self) -> None:
         self._entries: Dict[str, CatalogEntry] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Current catalog/statistics epoch (see class docstring)."""
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Advance the epoch, invalidating every plan cached against it."""
+        self._epoch += 1
+        return self._epoch
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -66,6 +84,7 @@ class Catalog:
             raise CatalogError(f"table {schema.name!r} already exists")
         entry = CatalogEntry(schema, table)
         self._entries[schema.name] = entry
+        self.bump_epoch()
         return entry
 
     def drop(self, name: str) -> None:
@@ -77,6 +96,7 @@ class Catalog:
         if name not in self._entries:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._entries[name]
+        self.bump_epoch()
 
     def entry(self, name: str) -> CatalogEntry:
         """Return the :class:`CatalogEntry` for ``name``.
@@ -102,13 +122,19 @@ class Catalog:
         return self.entry(name).stats
 
     def set_stats(self, name: str, stats: "TableStats") -> None:
-        """Attach ANALYZE statistics to table ``name``."""
+        """Attach ANALYZE statistics to table ``name`` (bumps the epoch)."""
         self.entry(name).stats = stats
+        self.bump_epoch()
 
     def add_index(self, table_name: str, index: "Index") -> None:
-        """Register a secondary index on ``table_name`` keyed by its column."""
+        """Register a secondary index on ``table_name`` keyed by its column.
+
+        Bumps the epoch: an index changes the access paths available to the
+        planner, so previously cached plans may no longer be optimal.
+        """
         entry = self.entry(table_name)
         entry.indexes[index.column] = index
+        self.bump_epoch()
 
     def indexes(self, table_name: str) -> Dict[str, "Index"]:
         """Return the indexes of ``table_name`` keyed by column name."""

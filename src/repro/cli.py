@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper artifact from a shell.
+"""Command-line interface: paper artifacts and an ad-hoc SQL shell.
 
 Usage (after ``python setup.py develop``)::
 
@@ -6,10 +6,14 @@ Usage (after ``python setup.py develop``)::
     python -m repro.cli run fig1 --scale 0.3
     python -m repro.cli run table2 fig7 --scale 0.25 --query-limit 60
     python -m repro.cli run all --scale 0.2 --output results.txt
+    python -m repro.cli sql --scale 0.1 -e "SELECT count(t.id) AS n FROM title AS t"
+    python -m repro.cli sql --scale 0.1          # REPL on stdin, ';' terminated
 
 Every experiment prints the same text table the corresponding benchmark
 prints, so the CLI is the quickest way to eyeball a single figure without
-going through pytest.
+going through pytest.  The ``sql`` command serves statements over a
+:class:`~repro.engine.connection.Connection` — re-optimization, plan caching
+and metrics included — against a freshly built synthetic IMDB database.
 """
 
 from __future__ import annotations
@@ -17,13 +21,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, TextIO
 
 from repro.bench import experiments as exp
 from repro.bench.harness import WorkloadContext, build_context
 from repro.bench.reporting import ExperimentResult
+from repro.core.triggers import ReoptimizationPolicy
+from repro.engine.connection import Connection, connect
 from repro.engine.settings import EngineSettings
+from repro.errors import ReproError
 from repro.executor.executor import ExecutionEngine
+from repro.workloads.imdb import ImdbConfig, build_imdb_database
 
 #: Experiment registry: id -> (description, needs_context, runner).
 EXPERIMENTS: Dict[str, tuple] = {
@@ -76,6 +84,45 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument("--output", type=str, default=None, help="also write results to this file")
+
+    sql = subparsers.add_parser(
+        "sql",
+        help="serve ad-hoc SQL over a Connection to the synthetic IMDB database",
+    )
+    sql.add_argument("--scale", type=float, default=0.1, help="dataset scale factor")
+    sql.add_argument("--seed", type=int, default=42, help="dataset seed")
+    sql.add_argument(
+        "--engine",
+        choices=[engine.value for engine in ExecutionEngine],
+        default=None,
+        help="execution engine (vectorized default)",
+    )
+    sql.add_argument(
+        "--execute",
+        "-e",
+        action="append",
+        metavar="SQL",
+        help="statement to run (repeatable); omit for a ';'-terminated REPL on stdin",
+    )
+    sql.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="re-optimization Q-error threshold (default: the paper's 32)",
+    )
+    sql.add_argument(
+        "--no-reoptimize",
+        action="store_true",
+        help="serve statements without the re-optimization interceptor",
+    )
+    sql.add_argument(
+        "--explain",
+        action="store_true",
+        help="print EXPLAIN ANALYZE for every statement",
+    )
+    sql.add_argument(
+        "--max-rows", type=int, default=20, help="rows printed per result (default 20)"
+    )
     return parser
 
 
@@ -126,9 +173,111 @@ def run_experiments(
     return results
 
 
+def _iter_statements(stream: TextIO, interactive: bool) -> Iterator[str]:
+    """Yield ``;``-terminated statements from a stream (REPL-style).
+
+    Multiple statements on one line are split; a trailing statement without
+    a terminating ``;`` is still executed at EOF.
+    """
+    buffer = ""
+    if interactive:
+        print("repro sql shell — end statements with ';', exit with Ctrl-D", flush=True)
+    while True:
+        if interactive:
+            print("sql> " if not buffer.strip() else "...> ", end="", flush=True)
+        line = stream.readline()
+        if not line:
+            break
+        buffer += line
+        while ";" in buffer:
+            statement, _, buffer = buffer.partition(";")
+            if statement.strip():
+                yield statement.strip() + ";"
+    if buffer.strip():
+        yield buffer.strip()
+
+
+def _print_statement(
+    connection: Connection, sql: str, show_explain: bool, max_rows: int,
+    emit: Callable[[str], None] = print,
+) -> None:
+    """Execute one statement on a cursor and print rows plus accounting."""
+    cursor = connection.execute(sql)
+    context = cursor.context
+    names = [column[0] for column in cursor.description or []]
+    if names:
+        emit("  ".join(names))
+    rows = cursor.fetchmany(max_rows)
+    for row in rows:
+        emit("  ".join(str(value) for value in row))
+    remaining = cursor.rowcount - len(rows)
+    if remaining > 0:
+        emit(f"... ({remaining} more row(s))")
+    reopt = ""
+    if context.reoptimized:
+        reopt = f", re-optimized in {len(context.report.steps)} step(s)"
+    cached = ", cached plan" if context.plan_cached else ""
+    emit(
+        f"-- {cursor.rowcount} row(s); planning {context.planning_seconds:.3f}s, "
+        f"execution {context.execution_seconds:.3f}s simulated{cached}{reopt}"
+    )
+    if show_explain and context.planned is not None:
+        from repro.executor.explain import explain_plan
+
+        emit(explain_plan(context.planned.plan, context.execution))
+
+
+def run_sql(args, stdin: Optional[TextIO] = None) -> int:
+    """The ``sql`` command: a Connection-backed statement shell."""
+    settings = None
+    if args.engine is not None:
+        settings = EngineSettings(engine=ExecutionEngine.from_name(args.engine))
+    print(
+        f"# building the synthetic IMDB database (scale={args.scale})...",
+        flush=True,
+    )
+    database, _ = build_imdb_database(
+        ImdbConfig(scale=args.scale, seed=args.seed), settings=settings
+    )
+    policy = (
+        ReoptimizationPolicy(threshold=args.threshold)
+        if args.threshold is not None
+        else None
+    )
+    connection = connect(
+        database, policy=policy, reoptimize=not args.no_reoptimize
+    )
+    stream = stdin if stdin is not None else sys.stdin
+    interactive = args.execute is None and stream.isatty()
+    statements = (
+        iter(args.execute)
+        if args.execute is not None
+        else _iter_statements(stream, interactive)
+    )
+    failures = 0
+    for statement in statements:
+        try:
+            _print_statement(connection, statement, args.explain, args.max_rows)
+        except ReproError as error:
+            failures += 1
+            print(f"error: {error}", file=sys.stderr, flush=True)
+    metrics = connection.metrics
+    stats = connection.cache_stats
+    print(
+        f"# served {metrics.statements} statement(s): "
+        f"{metrics.planning_seconds:.3f}s planning + "
+        f"{metrics.execution_seconds:.3f}s execution (simulated), "
+        f"{metrics.reoptimized_statements} re-optimized; "
+        f"plan cache {stats.hits} hit(s) / {stats.misses} miss(es)"
+    )
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if args.command == "sql":
+        return run_sql(args)
     if args.command == "list":
         width = max(len(key) for key in EXPERIMENTS)
         for key, (description, _, _) in EXPERIMENTS.items():

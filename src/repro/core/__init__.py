@@ -1,6 +1,7 @@
 """Core contribution: re-optimization, perfect-(n) oracles, feedback loops."""
 
 from repro.core.feedback import FeedbackIteration, FeedbackLoop, FeedbackResult
+from repro.core.interceptor import ReoptimizationInterceptor
 from repro.core.midquery import MidQueryReoptimizer
 from repro.core.oracle import TrueCardinalityOracle
 from repro.core.reoptimizer import (
@@ -23,6 +24,7 @@ __all__ = [
     "FeedbackLoop",
     "FeedbackResult",
     "MidQueryReoptimizer",
+    "ReoptimizationInterceptor",
     "ReoptimizationPolicy",
     "ReoptimizationReport",
     "ReoptimizationSimulator",

@@ -1,0 +1,220 @@
+"""The paper's re-optimization scheme as a query-lifecycle interceptor.
+
+This module owns the materialize-and-re-plan loop (paper Section V): for a
+planned query, compare every join's actual cardinality with the optimizer's
+estimate; if the lowest join in the plan tree is off by more than a Q-error
+threshold, materialize that sub-join into a temporary table, rewrite the
+remainder of the query to use it, re-plan, and repeat until no join violates
+the threshold.
+
+:class:`ReoptimizationInterceptor` wraps the *execute* stage of a
+:class:`~repro.engine.pipeline.QueryPipeline`: the pipeline's plan stage
+(possibly served by the plan cache) provides the initial plan, ``proceed``
+runs the initial execution, and the interceptor takes over from there.
+
+Accounting follows the paper:
+
+* execution time = the work to create every temporary table plus the work of
+  the final SELECT;
+* planning time = planning of the original query (zero when it came from the
+  plan cache) plus planning of every rewritten query;
+* the exploratory executions used (like the paper's ``EXPLAIN ANALYZE``) to
+  discover actual cardinalities are *not* charged — a real mid-query
+  implementation would obtain them for free while executing the sub-join it
+  is about to materialize anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.reoptimizer import ReoptimizationReport, ReoptimizationStep
+from repro.core.triggers import ReoptimizationPolicy, find_trigger_join, q_error
+from repro.engine.pipeline import Proceed, QueryContext, QueryInterceptor
+from repro.errors import ReoptimizationError
+from repro.executor.executor import ExecutionResult
+from repro.optimizer.optimizer import PlannedQuery
+from repro.sql.ast import ColumnRef, SelectItem
+from repro.sql.binder import BoundQuery
+from repro.sql.builder import collapse_aliases, referenced_columns
+
+
+class ReoptimizationInterceptor(QueryInterceptor):
+    """Runs the materialize-and-re-plan loop around the execute stage."""
+
+    name = "reoptimization"
+
+    def __init__(
+        self,
+        policy: Optional[ReoptimizationPolicy] = None,
+        keep_temp_tables: bool = False,
+    ) -> None:
+        self.policy = policy or ReoptimizationPolicy()
+        self.keep_temp_tables = keep_temp_tables
+
+    def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        db = ctx.database
+        policy = self.policy
+        report = ReoptimizationReport(query_name=ctx.bound.name)
+        if not ctx.plan_cached:
+            # A cache hit skipped planning, so there is nothing to charge
+            # for round zero; re-planning rounds are always charged below.
+            report.total_planning_work += ctx.planned.stats.planning_work
+        current = ctx.bound
+        planned = ctx.planned
+        temp_tables: List[str] = []
+
+        try:
+            for iteration in range(policy.max_iterations + 1):
+                if iteration == 0:
+                    ctx = proceed(ctx)
+                    execution = ctx.execution
+                else:
+                    planned = db.plan(current, injector=ctx.injector)
+                    report.total_planning_work += planned.stats.planning_work
+                    execution = db.execute_plan(planned)
+                report.rows_processed += execution.rows_processed
+                report.wall_seconds += execution.wall_seconds
+
+                trigger = None
+                can_still_rewrite = (
+                    iteration < policy.max_iterations and current.num_tables() > 1
+                )
+                if can_still_rewrite and not self._too_short(iteration, execution):
+                    trigger = find_trigger_join(planned.plan, policy)
+
+                if trigger is None:
+                    report.total_execution_work += execution.total_work
+                    report.final_planned = planned
+                    report.final_execution = execution
+                    report.final_query = current
+                    break
+
+                current = self._materialize_and_rewrite(
+                    db, current, planned, trigger, iteration, report, temp_tables
+                )
+            else:  # pragma: no cover - loop always breaks
+                raise ReoptimizationError(
+                    f"re-optimization of {ctx.bound.name!r} did not terminate"
+                )
+        finally:
+            if not self.keep_temp_tables:
+                for name in temp_tables:
+                    if name in db.catalog:
+                        db.drop_table(name)
+
+        ctx.report = report
+        ctx.planned = report.final_planned
+        ctx.execution = report.final_execution
+        return ctx
+
+    # -- internals ----------------------------------------------------------
+
+    def _too_short(self, iteration: int, execution: ExecutionResult) -> bool:
+        """Skip re-optimization for queries below the policy's length cutoff."""
+        if iteration > 0:
+            return False
+        return execution.simulated_seconds < self.policy.min_query_seconds
+
+    def _materialize_and_rewrite(
+        self,
+        db,
+        current: BoundQuery,
+        planned: PlannedQuery,
+        trigger,
+        iteration: int,
+        report: ReoptimizationReport,
+        temp_tables: List[str],
+    ) -> BoundQuery:
+        sub_execution = db.executor.execute(trigger)
+        report.rows_processed += sub_execution.rows_processed
+        report.wall_seconds += sub_execution.wall_seconds
+        needed = referenced_columns(current, trigger.aliases)
+        if not needed:
+            # Nothing above references the sub-join (it is the whole query);
+            # still expose one join column so the rewrite stays well-formed.
+            alias = sorted(trigger.aliases)[0]
+            table = current.table_for(alias)
+            first_column = db.catalog.schema(table).column_names[0]
+            needed = [(alias, first_column)]
+        mapping: Dict[Tuple[str, str], str] = {
+            (alias, column): f"{alias}_{column}" for alias, column in needed
+        }
+        temp_name = db.next_temp_table_name()
+        db.create_temp_table_from_result(
+            temp_name,
+            sub_execution.result,
+            [((alias, column), mapping[(alias, column)]) for alias, column in needed],
+            alias_tables=current.alias_tables,
+            analyze=self.policy.analyze_temp_tables,
+        )
+        temp_tables.append(temp_name)
+
+        materialize_work = db.cost_model.materialize_cost(
+            len(sub_execution.result), len(needed)
+        )
+        charged = sub_execution.total_work + materialize_work
+        report.total_execution_work += charged
+
+        error = q_error(trigger.estimated_rows, trigger.actual_rows or 0)
+        create_sql = self._render_create_sql(current, trigger.aliases, temp_name, mapping)
+        report.steps.append(
+            ReoptimizationStep(
+                index=iteration,
+                trigger_label=trigger.label(),
+                trigger_aliases=tuple(sorted(trigger.aliases)),
+                estimated_rows=trigger.estimated_rows,
+                actual_rows=trigger.actual_rows or 0,
+                q_error=error,
+                temp_table=temp_name,
+                temp_rows=len(sub_execution.result),
+                charged_work=charged,
+                materialize_work=materialize_work,
+                create_sql=create_sql,
+            )
+        )
+
+        rewritten = collapse_aliases(
+            current,
+            sorted(trigger.aliases),
+            temp_table=temp_name,
+            temp_alias=temp_name,
+            column_mapping=mapping,
+        )
+        base_name = report.query_name or "query"
+        rewritten.name = f"{base_name}#reopt{iteration + 1}"
+        return rewritten
+
+    @staticmethod
+    def _render_create_sql(
+        query: BoundQuery,
+        aliases,
+        temp_name: str,
+        mapping: Dict[Tuple[str, str], str],
+    ) -> str:
+        """Render the CREATE TEMP TABLE statement of one materialization step."""
+        alias_list = sorted(aliases)
+        sub_query = BoundQuery(
+            name=None,
+            aliases=alias_list,
+            alias_tables={alias: query.table_for(alias) for alias in alias_list},
+            select_items=[
+                SelectItem(
+                    column=ColumnRef(alias=alias, column=column),
+                    output_name=new_name,
+                )
+                for (alias, column), new_name in mapping.items()
+            ],
+            filters={
+                alias: list(query.filters_for(alias))
+                for alias in alias_list
+                if query.filters_for(alias)
+            },
+            joins=[
+                join
+                for join in query.joins
+                if join.left_alias in aliases and join.right_alias in aliases
+            ],
+        )
+        select_sql = sub_query.to_sql()
+        return f"CREATE TEMP TABLE {temp_name} AS\n{select_sql}"

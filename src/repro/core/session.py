@@ -1,19 +1,24 @@
-"""High-level session API.
+"""Legacy high-level session API (deprecated shim).
 
-:class:`ReoptimizingSession` is the public "product" interface a downstream
-user would adopt: point it at a loaded :class:`~repro.engine.database.Database`
-and run SQL; every query is transparently re-optimized when its plan's
-cardinality estimates turn out to be badly wrong, following the paper's
-recommendation to re-optimize only long-running queries.
+:class:`ReoptimizingSession` predates the Connection/Cursor serving API; it
+is preserved as a thin shim over :class:`repro.engine.connection.Connection`
+with re-optimization enabled and the plan cache disabled (the old session
+re-planned every statement, and the shim keeps that accounting
+bit-for-bit).  New code should use::
+
+    conn = repro.connect(database, policy=ReoptimizationPolicy(...))
+    cursor = conn.execute(sql)
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
-from repro.core.reoptimizer import ReoptimizationReport, ReoptimizationSimulator
+from repro.core.reoptimizer import ReoptimizationReport
 from repro.core.triggers import ReoptimizationPolicy
+from repro.engine.connection import Connection
 from repro.engine.database import Database, QueryRun
 from repro.sql.binder import BoundQuery
 
@@ -46,23 +51,31 @@ class SessionQueryResult:
 
 
 class ReoptimizingSession:
-    """Runs queries with automatic mid-query re-optimization."""
+    """Deprecated: runs queries with automatic mid-query re-optimization."""
 
     def __init__(
         self,
         database: Database,
         policy: Optional[ReoptimizationPolicy] = None,
     ) -> None:
+        warnings.warn(
+            "ReoptimizingSession is deprecated; use repro.connect() and run "
+            "statements through a cursor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.database = database
         self.policy = policy or ReoptimizationPolicy()
-        self._simulator = ReoptimizationSimulator(database, self.policy)
+        self._connection = Connection(
+            database, policy=self.policy, reoptimize=True, plan_cache_size=0
+        )
         self.history: List[SessionQueryResult] = []
 
     def execute(self, query: Union[str, BoundQuery]) -> SessionQueryResult:
         """Plan, execute and (when triggered) re-optimize one query."""
         bound = self.database.parse(query) if isinstance(query, str) else query
-        report = self._simulator.reoptimize(bound)
-        result = SessionQueryResult(report=report)
+        context = self._connection.run_bound(bound)
+        result = SessionQueryResult(report=context.report)
         self.history.append(result)
         return result
 

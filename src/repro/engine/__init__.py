@@ -1,7 +1,47 @@
-"""Engine facade: the ``Database`` entry point and engine settings."""
+"""Engine facade: the serving API, query pipeline and engine settings."""
 
+from repro.engine.connection import (
+    Connection,
+    Cursor,
+    PreparedStatement,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from repro.engine.database import Database, QueryRun
+from repro.engine.pipeline import (
+    ConnectionMetrics,
+    ExplainCaptureInterceptor,
+    MetricsInterceptor,
+    PlanCacheInterceptor,
+    QueryContext,
+    QueryInterceptor,
+    QueryPipeline,
+)
+from repro.engine.plancache import PlanCache, PlanCacheStats
 from repro.engine.settings import EngineSettings
 from repro.executor.executor import ExecutionEngine
 
-__all__ = ["Database", "EngineSettings", "ExecutionEngine", "QueryRun"]
+__all__ = [
+    "Connection",
+    "ConnectionMetrics",
+    "Cursor",
+    "Database",
+    "EngineSettings",
+    "ExecutionEngine",
+    "ExplainCaptureInterceptor",
+    "MetricsInterceptor",
+    "PlanCache",
+    "PlanCacheInterceptor",
+    "PlanCacheStats",
+    "PreparedStatement",
+    "QueryContext",
+    "QueryInterceptor",
+    "QueryPipeline",
+    "QueryRun",
+    "apilevel",
+    "connect",
+    "paramstyle",
+    "threadsafety",
+]

@@ -17,7 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import ColumnDef, ColumnType, TableSchema
 from repro.engine.settings import EngineSettings
-from repro.errors import CatalogError
+from repro.errors import StorageError, TempTableExists
 from repro.executor.executor import ExecutionEngine, ExecutionResult, Executor
 from repro.executor.explain import explain_plan
 from repro.executor.operators import ResultSet
@@ -94,15 +94,31 @@ class Database:
     def load_rows(
         self, table_name: str, rows: Iterable[Union[Sequence, Dict[str, object]]]
     ) -> int:
-        """Load rows (tuples in schema order, or dicts) into ``table_name``."""
+        """Load rows (tuples in schema order, or dicts) into ``table_name``.
+
+        Rows are accumulated column-wise and appended with a single
+        :meth:`~repro.storage.table.Table.load_columns` call — the bulk-load
+        path the columnar executor scans zero-copy — instead of packing and
+        unpacking one tuple per row.  The load is atomic: a bad value rolls
+        the whole batch back.
+        """
         table = self.catalog.table(table_name)
+        width = len(table.schema.columns)
+        columns: List[List[object]] = [[] for _ in range(width)]
         count = 0
         for row in rows:
             if isinstance(row, dict):
-                table.insert_dicts([row])
-            else:
-                table.insert_row(row)
+                row = table.row_values_from_dict(row)
+            elif len(row) != width:
+                raise StorageError(
+                    f"table {table.name!r} expects {width} values, "
+                    f"got {len(row)}"
+                )
+            for position, value in enumerate(row):
+                columns[position].append(value)
             count += 1
+        if count:
+            table.load_columns(columns)
         return count
 
     def build_indexes(self, table_name: Optional[str] = None) -> None:
@@ -212,7 +228,7 @@ class Database:
             The storage object of the created table.
         """
         if name in self.catalog:
-            raise CatalogError(f"temporary table {name!r} already exists")
+            raise TempTableExists(f"temporary table {name!r} already exists")
         column_defs = []
         column_data = []
         for (source_alias, source_column), new_name in columns:

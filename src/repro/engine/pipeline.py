@@ -1,0 +1,341 @@
+"""The query lifecycle pipeline: parse → bind → plan → execute.
+
+Every statement served by a :class:`~repro.engine.connection.Connection`
+flows through one :class:`QueryPipeline`.  The pipeline owns the four core
+lifecycle stages and threads a :class:`QueryContext` through them; ordered
+:class:`QueryInterceptor` middleware wraps each stage, which is how the
+cross-cutting behaviors that used to be parallel code paths are expressed:
+
+* plan caching (:class:`PlanCacheInterceptor`) short-circuits the plan stage;
+* re-optimization (:class:`repro.core.interceptor.ReoptimizationInterceptor`)
+  wraps the execute stage with the paper's materialize-and-re-plan loop;
+* EXPLAIN capture (:class:`ExplainCaptureInterceptor`) and timing/metrics
+  (:class:`MetricsInterceptor`) observe the finished lifecycle.
+
+Interceptors are listed outermost first: for a chain ``[a, b]`` the plan
+stage runs as ``a.around_plan(ctx, b.around_plan(ctx, core))``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.errors import InterfaceError
+from repro.executor.explain import explain_plan
+from repro.sql.params import bind_parameters
+from repro.sql.parser import parse_select
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reoptimizer import ReoptimizationReport
+    from repro.engine.database import Database
+    from repro.executor.executor import ExecutionResult
+    from repro.optimizer.injection import CardinalityInjector
+    from repro.optimizer.optimizer import PlannedQuery
+    from repro.sql.ast import SelectQuery
+    from repro.sql.binder import BoundQuery
+
+#: Lifecycle stages, in order.
+STAGES: Tuple[str, ...] = ("parse", "bind", "plan", "execute")
+
+
+@dataclass
+class QueryContext:
+    """Everything the lifecycle knows about one statement.
+
+    The pipeline fills the ``parsed``/``bound``/``planned``/``execution``
+    slots stage by stage; interceptors may read or replace them.  When the
+    re-optimization interceptor ran, ``report`` carries the full
+    materialize-and-re-plan accounting and the ``planned``/``execution``
+    slots hold the *final* round.  ``bound`` always remains the original
+    statement (before any temp-table rewrite).
+    """
+
+    database: "Database"
+    sql: Optional[str] = None
+    name: Optional[str] = None
+    params: Optional[Tuple[object, ...]] = None
+    injector: Optional["CardinalityInjector"] = None
+    parsed: Optional["SelectQuery"] = None
+    bound: Optional["BoundQuery"] = None
+    planned: Optional["PlannedQuery"] = None
+    execution: Optional["ExecutionResult"] = None
+    report: Optional["ReoptimizationReport"] = None
+    plan_cached: bool = False
+    explain_text: Optional[str] = None
+    #: Wall-clock seconds spent per stage (filled by :class:`MetricsInterceptor`).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    # -- result accessors ---------------------------------------------------
+
+    @property
+    def rows(self) -> List[tuple]:
+        """Rows of the final result."""
+        if self.report is not None:
+            return self.report.rows
+        if self.execution is not None:
+            return self.execution.result.rows
+        return []
+
+    @property
+    def planning_seconds(self) -> float:
+        """Simulated planning time charged to this statement.
+
+        A plan-cache hit charges nothing; a re-optimized statement charges
+        every planning round (the initial round only when it was not served
+        from the cache).
+        """
+        if self.report is not None:
+            return self.report.planning_seconds
+        if self.plan_cached or self.planned is None:
+            return 0.0
+        return self.planned.stats.planning_seconds
+
+    @property
+    def execution_seconds(self) -> float:
+        """Simulated execution time (including temp-table materialization)."""
+        if self.report is not None:
+            return self.report.execution_seconds
+        if self.execution is None:
+            return 0.0
+        return self.execution.simulated_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Planning plus execution, in simulated seconds."""
+        return self.planning_seconds + self.execution_seconds
+
+    @property
+    def reoptimized(self) -> bool:
+        """True if the re-optimization interceptor re-planned the statement."""
+        return self.report is not None and self.report.reoptimized
+
+    @property
+    def rows_processed(self) -> int:
+        """Rows produced across all plan operators (throughput numerator)."""
+        if self.report is not None:
+            return self.report.rows_processed
+        if self.execution is not None:
+            return self.execution.rows_processed
+        return 0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock time spent inside plan operators."""
+        if self.report is not None:
+            return self.report.wall_seconds
+        if self.execution is not None:
+            return self.execution.wall_seconds
+        return 0.0
+
+
+#: An interceptor's continuation: runs the rest of the stage chain.
+Proceed = Callable[[QueryContext], QueryContext]
+
+
+class QueryInterceptor:
+    """Middleware around the lifecycle stages.
+
+    Subclasses override the ``around_*`` hooks they care about.  A hook
+    receives the context and a ``proceed`` continuation; calling ``proceed``
+    runs the interceptors further down the chain and the core stage, while
+    returning without calling it short-circuits the stage (the plan cache
+    does this on a hit).
+    """
+
+    name = "interceptor"
+
+    def around_parse(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        """Wrap the parse stage."""
+        return proceed(ctx)
+
+    def around_bind(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        """Wrap the bind (and parameter substitution) stage."""
+        return proceed(ctx)
+
+    def around_plan(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        """Wrap the plan stage."""
+        return proceed(ctx)
+
+    def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        """Wrap the execute stage."""
+        return proceed(ctx)
+
+
+class QueryPipeline:
+    """Runs statements through the staged lifecycle with interceptors."""
+
+    def __init__(
+        self,
+        database: "Database",
+        interceptors: Iterable[QueryInterceptor] = (),
+    ) -> None:
+        self.database = database
+        self.interceptors: List[QueryInterceptor] = list(interceptors)
+
+    def run(
+        self,
+        sql: Optional[str] = None,
+        *,
+        bound: Optional["BoundQuery"] = None,
+        params: Optional[Sequence[object]] = None,
+        name: Optional[str] = None,
+        injector: Optional["CardinalityInjector"] = None,
+    ) -> QueryContext:
+        """Run one statement through the full lifecycle.
+
+        Either ``sql`` text or an already-bound query must be given; a bound
+        query skips the parse and bind stages (the harness and prepared
+        statements use this entry).
+        """
+        if sql is None and bound is None:
+            raise InterfaceError("QueryPipeline.run needs SQL text or a bound query")
+        ctx = QueryContext(
+            database=self.database,
+            sql=sql,
+            name=name,
+            params=tuple(params) if params is not None else None,
+            injector=injector,
+            bound=bound,
+        )
+        for stage in STAGES:
+            ctx = self._run_stage(stage, ctx)
+        return ctx
+
+    # -- stage plumbing -----------------------------------------------------
+
+    def _run_stage(self, stage: str, ctx: QueryContext) -> QueryContext:
+        handler: Proceed = getattr(self, f"_stage_{stage}")
+        for interceptor in reversed(self.interceptors):
+            hook = getattr(interceptor, f"around_{stage}")
+            handler = _chain(hook, handler)
+        return handler(ctx)
+
+    def _stage_parse(self, ctx: QueryContext) -> QueryContext:
+        if ctx.bound is None and ctx.parsed is None:
+            ctx.parsed = parse_select(ctx.sql, name=ctx.name)
+        return ctx
+
+    def _stage_bind(self, ctx: QueryContext) -> QueryContext:
+        if ctx.bound is None:
+            ctx.bound = self.database.binder.bind(ctx.parsed)
+        if ctx.params is not None or ctx.bound.param_count:
+            ctx.bound = bind_parameters(ctx.bound, ctx.params or ())
+        return ctx
+
+    def _stage_plan(self, ctx: QueryContext) -> QueryContext:
+        ctx.planned = self.database.plan(ctx.bound, injector=ctx.injector)
+        return ctx
+
+    def _stage_execute(self, ctx: QueryContext) -> QueryContext:
+        ctx.execution = self.database.execute_plan(ctx.planned)
+        return ctx
+
+
+def _chain(hook, nxt: Proceed) -> Proceed:
+    """Bind one interceptor hook around the rest of the stage chain."""
+    def run(ctx: QueryContext) -> QueryContext:
+        return hook(ctx, nxt)
+
+    return run
+
+
+# -- bundled interceptors ---------------------------------------------------
+
+
+class PlanCacheInterceptor(QueryInterceptor):
+    """Serves the plan stage from an LRU cache keyed on SQL + catalog epoch.
+
+    Statements planned with a cardinality injector bypass the cache: the
+    injector changes the chosen plan but is not part of the key.
+    """
+
+    name = "plan-cache"
+
+    def __init__(self, cache) -> None:
+        self.cache = cache
+
+    def around_plan(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        if not self.cache.enabled or ctx.injector is not None:
+            return proceed(ctx)
+        key = (ctx.bound.to_sql(), ctx.database.catalog.epoch)
+        planned = self.cache.get(key)
+        if planned is not None:
+            ctx.planned = planned
+            ctx.plan_cached = True
+            return ctx
+        ctx = proceed(ctx)
+        self.cache.put(key, ctx.planned)
+        return ctx
+
+
+class ExplainCaptureInterceptor(QueryInterceptor):
+    """Captures EXPLAIN ANALYZE text of the final plan after execution."""
+
+    name = "explain-capture"
+
+    def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        ctx = proceed(ctx)
+        if ctx.planned is not None:
+            ctx.explain_text = explain_plan(ctx.planned.plan, ctx.execution)
+        return ctx
+
+
+@dataclass
+class ConnectionMetrics:
+    """Aggregate accounting of every statement served by a connection."""
+
+    statements: int = 0
+    rows_returned: int = 0
+    planning_seconds: float = 0.0
+    execution_seconds: float = 0.0
+    reoptimized_statements: int = 0
+    stage_wall_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total simulated time across all statements."""
+        return self.planning_seconds + self.execution_seconds
+
+
+class MetricsInterceptor(QueryInterceptor):
+    """Times every stage and folds per-statement accounting into metrics.
+
+    Place it first (outermost) so its stage timings include the work of the
+    interceptors further down the chain.
+    """
+
+    name = "metrics"
+
+    def __init__(self, metrics: Optional[ConnectionMetrics] = None) -> None:
+        self.metrics = metrics if metrics is not None else ConnectionMetrics()
+
+    def _timed(self, stage: str, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        start = time.perf_counter()
+        try:
+            return proceed(ctx)
+        finally:
+            elapsed = time.perf_counter() - start
+            ctx.stage_seconds[stage] = ctx.stage_seconds.get(stage, 0.0) + elapsed
+            totals = self.metrics.stage_wall_seconds
+            totals[stage] = totals.get(stage, 0.0) + elapsed
+
+    def around_parse(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        return self._timed("parse", ctx, proceed)
+
+    def around_bind(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        return self._timed("bind", ctx, proceed)
+
+    def around_plan(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        return self._timed("plan", ctx, proceed)
+
+    def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        ctx = self._timed("execute", ctx, proceed)
+        self.metrics.statements += 1
+        self.metrics.rows_returned += len(ctx.rows)
+        self.metrics.planning_seconds += ctx.planning_seconds
+        self.metrics.execution_seconds += ctx.execution_seconds
+        if ctx.reoptimized:
+            self.metrics.reoptimized_statements += 1
+        return ctx

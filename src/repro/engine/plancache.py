@@ -1,0 +1,88 @@
+"""LRU plan cache for the Connection/Cursor serving API.
+
+Plans are cached under ``(normalized SQL, catalog epoch)``.  The normalized
+SQL is the canonical rendering of the *bound* query (whitespace, keyword
+case and parameter values already resolved), so an ad-hoc statement and a
+prepared statement executed with the same values share one entry.  Keying on
+the catalog epoch makes invalidation implicit: ANALYZE, index creation and
+(temp-)table DDL all bump the epoch, so stale entries miss and age out of
+the LRU instead of requiring invalidation callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.optimizer import PlannedQuery
+
+#: Default number of plans kept per connection.
+DEFAULT_PLAN_CACHE_SIZE = 64
+
+CacheKey = Tuple[Hashable, ...]
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting exposed on :class:`~repro.engine.connection.Connection`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PlanCache:
+    """A bounded LRU mapping of cache keys to planned queries."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be non-negative")
+        self.capacity = capacity
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[CacheKey, PlannedQuery]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        """False when the cache was configured with zero capacity."""
+        return self.capacity > 0
+
+    def get(self, key: CacheKey) -> Optional["PlannedQuery"]:
+        """Look up a plan, counting the probe as a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, planned: "PlannedQuery") -> None:
+        """Insert (or refresh) a plan, evicting the least recently used."""
+        if not self.enabled:
+            return
+        self._entries[key] = planned
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the stats counters are kept)."""
+        self._entries.clear()

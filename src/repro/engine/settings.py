@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.plancache import DEFAULT_PLAN_CACHE_SIZE
 from repro.executor.executor import ExecutionEngine
 from repro.optimizer.cost import CostParameters
 from repro.optimizer.enumeration import PlannerConfig
@@ -33,6 +34,8 @@ class EngineSettings:
             vectorized columnar engine (default) or the row-at-a-time
             reference oracle.  Charged work is engine-invariant; only
             wall-clock changes.
+        plan_cache_size: default LRU capacity of a connection's plan cache
+            (0 disables caching; per-connection override on ``connect()``).
     """
 
     statistics_target: int = 100
@@ -41,3 +44,4 @@ class EngineSettings:
     auto_foreign_key_indexes: bool = True
     analyze_temp_tables: bool = True
     engine: ExecutionEngine = ExecutionEngine.VECTORIZED
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE

@@ -18,6 +18,10 @@ class CatalogError(ReproError):
     """Schema or catalog level problem (unknown table, duplicate column...)."""
 
 
+class TempTableExists(CatalogError):
+    """A temporary table with the requested name already exists."""
+
+
 class StorageError(ReproError):
     """Problem at the storage layer (bad row width, type mismatch on load)."""
 
@@ -40,6 +44,14 @@ class ParseError(SQLError):
 
 class BindError(SQLError):
     """A parsed query references tables or columns that do not exist."""
+
+
+class ParameterError(SQLError):
+    """A ``?`` placeholder was bound with the wrong arity or value type."""
+
+
+class InterfaceError(ReproError):
+    """Misuse of the Connection/Cursor serving API (e.g. after close())."""
 
 
 class PlanningError(ReproError):

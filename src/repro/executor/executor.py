@@ -27,7 +27,7 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import repro.executor.operators as vectorized_operators
 import repro.executor.reference as reference_operators

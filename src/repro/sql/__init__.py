@@ -11,6 +11,7 @@ from repro.sql.ast import (
     LikePredicate,
     NullPredicate,
     OrPredicate,
+    Parameter,
     Predicate,
     SelectItem,
     SelectQuery,
@@ -19,6 +20,7 @@ from repro.sql.ast import (
 from repro.sql.binder import Binder, BoundJoin, BoundQuery
 from repro.sql.builder import QueryBuilder, collapse_aliases, referenced_columns
 from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.params import bind_parameters, parameterize
 from repro.sql.parser import parse_select
 
 __all__ = [
@@ -35,6 +37,7 @@ __all__ = [
     "LikePredicate",
     "NullPredicate",
     "OrPredicate",
+    "Parameter",
     "Predicate",
     "QueryBuilder",
     "SelectItem",
@@ -42,7 +45,9 @@ __all__ = [
     "TableRef",
     "Token",
     "TokenType",
+    "bind_parameters",
     "collapse_aliases",
+    "parameterize",
     "parse_select",
     "referenced_columns",
     "tokenize",

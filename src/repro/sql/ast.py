@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 
 class ComparisonOp(enum.Enum):
@@ -62,6 +62,21 @@ class AggregateFunc(enum.Enum):
     MIN = "min"
     MAX = "max"
     COUNT = "count"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A positional ``?`` placeholder in a prepared statement.
+
+    Parameters stand in for literals inside filter predicates; they are
+    numbered left to right in parse order and replaced with concrete values
+    by :func:`repro.sql.params.bind_parameters` before planning.
+    """
+
+    index: int
+
+    def __str__(self) -> str:
+        return "?"
 
 
 @dataclass(frozen=True)
@@ -124,7 +139,9 @@ class Predicate:
 
 
 def _sql_literal(value: object) -> str:
-    """Render a Python value as a SQL literal."""
+    """Render a Python value as a SQL literal (or a ``?`` placeholder)."""
+    if isinstance(value, Parameter):
+        return "?"
     if value is None:
         return "NULL"
     if isinstance(value, str):
@@ -266,6 +283,8 @@ class SelectQuery:
     tables: List[TableRef]
     predicates: List[Predicate] = field(default_factory=list)
     name: Optional[str] = None
+    #: Number of ``?`` placeholders, in parse order (0 for literal-only SQL).
+    param_count: int = 0
 
     def table_aliases(self) -> List[str]:
         """Aliases of all FROM-clause tables, in declaration order."""

@@ -84,6 +84,8 @@ class BoundQuery:
         select_items: bound output columns.
         filters: per-alias single-table filter predicates.
         joins: equi-join predicates.
+        param_count: number of unbound ``?`` placeholders still present in
+            the filter predicates (0 once parameters are substituted).
     """
 
     name: Optional[str]
@@ -92,6 +94,7 @@ class BoundQuery:
     select_items: List[SelectItem]
     filters: Dict[str, List[Predicate]] = field(default_factory=dict)
     joins: List[BoundJoin] = field(default_factory=list)
+    param_count: int = 0
 
     def table_for(self, alias: str) -> str:
         """Catalog table name for ``alias``."""
@@ -168,6 +171,7 @@ class Binder:
             aliases=aliases,
             alias_tables=alias_tables,
             select_items=[],
+            param_count=query.param_count,
         )
         bound.select_items = [
             self._bind_select_item(item, bound) for item in query.select_items

@@ -46,6 +46,7 @@ class TokenType(enum.Enum):
     RPAREN = "rparen"
     STAR = "star"
     SEMICOLON = "semicolon"
+    PARAMETER = "parameter"
     EOF = "eof"
 
 
@@ -131,6 +132,8 @@ def _iter_tokens(sql: str) -> Iterator[Token]:
             yield Token(TokenType.STAR, ch, i)
         elif ch == ";":
             yield Token(TokenType.SEMICOLON, ch, i)
+        elif ch == "?":
+            yield Token(TokenType.PARAMETER, ch, i)
         else:
             raise LexerError(f"unexpected character {ch!r}", i)
         i += 1

@@ -1,0 +1,133 @@
+"""Positional query parameters (``?`` placeholders).
+
+Prepared statements parse and bind SQL containing ``?`` placeholders once;
+each execution substitutes concrete values into the bound template with
+:func:`bind_parameters`.  :func:`parameterize` is the inverse: it lifts every
+filter literal of a bound query out into a parameter list, which is how the
+test suite checks that the prepared path returns exactly the rows of the
+literal SQL for every workload query.
+
+Parameters only ever appear in filter predicates: join predicates are
+column-to-column and the select list carries no literals in this dialect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ParameterError
+from repro.sql.ast import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    NullPredicate,
+    OrPredicate,
+    Parameter,
+    Predicate,
+)
+from repro.sql.binder import BoundQuery
+
+
+def bind_parameters(query: BoundQuery, params: Sequence[object]) -> BoundQuery:
+    """Substitute positional values for every ``?`` in a bound query.
+
+    Returns a new :class:`BoundQuery` with ``param_count`` 0; the template
+    query is left untouched so a prepared statement can be executed many
+    times.
+
+    Raises:
+        ParameterError: if the number of values does not match the number of
+            placeholders, or a LIKE pattern is bound to a non-string.
+    """
+    values = tuple(params)
+    if len(values) != query.param_count:
+        raise ParameterError(
+            f"query {query.name!r} takes {query.param_count} parameter(s), "
+            f"got {len(values)}"
+        )
+    if query.param_count == 0:
+        return query
+
+    def lookup(value: object) -> object:
+        if isinstance(value, Parameter):
+            return values[value.index]
+        return value
+
+    filters = {
+        alias: [_map_predicate(predicate, lookup) for predicate in predicates]
+        for alias, predicates in query.filters.items()
+    }
+    return BoundQuery(
+        name=query.name,
+        aliases=list(query.aliases),
+        alias_tables=dict(query.alias_tables),
+        select_items=list(query.select_items),
+        filters=filters,
+        joins=list(query.joins),
+        param_count=0,
+    )
+
+
+def parameterize(query: BoundQuery) -> Tuple[BoundQuery, List[object]]:
+    """Replace every filter literal with a ``?`` and return the values.
+
+    The parameters are numbered in the order ``BoundQuery.to_sql`` renders
+    the predicates (per-alias filters in FROM order, then joins), so the
+    returned values line up with the placeholders of the re-parsed SQL text.
+    """
+    values: List[object] = []
+
+    def lift(value: object) -> Parameter:
+        values.append(value)
+        return Parameter(len(values) - 1)
+
+    filters: Dict[str, List[Predicate]] = {}
+    for alias in query.aliases:
+        predicates = query.filters_for(alias)
+        if predicates:
+            filters[alias] = [_map_predicate(p, lift) for p in predicates]
+    parameterized = BoundQuery(
+        name=query.name,
+        aliases=list(query.aliases),
+        alias_tables=dict(query.alias_tables),
+        select_items=list(query.select_items),
+        filters=filters,
+        joins=list(query.joins),
+        param_count=len(values),
+    )
+    return parameterized, values
+
+
+def _map_predicate(
+    predicate: Predicate, transform: Callable[[object], object]
+) -> Predicate:
+    """Rebuild a filter predicate with every literal slot transformed."""
+    if isinstance(predicate, ComparisonPredicate):
+        return ComparisonPredicate(
+            predicate.column, predicate.op, transform(predicate.value)
+        )
+    if isinstance(predicate, InPredicate):
+        return InPredicate(
+            predicate.column, tuple(transform(v) for v in predicate.values)
+        )
+    if isinstance(predicate, LikePredicate):
+        pattern = transform(predicate.pattern)
+        if not isinstance(pattern, (str, Parameter)):
+            raise ParameterError(
+                f"LIKE pattern parameter must be a string, got {pattern!r}"
+            )
+        return LikePredicate(predicate.column, pattern, predicate.negated)
+    if isinstance(predicate, BetweenPredicate):
+        return BetweenPredicate(
+            predicate.column, transform(predicate.low), transform(predicate.high)
+        )
+    if isinstance(predicate, NullPredicate):
+        return predicate
+    if isinstance(predicate, OrPredicate):
+        return OrPredicate(
+            tuple(_map_predicate(op, transform) for op in predicate.operands)
+        )
+    raise ParameterError(
+        f"unsupported predicate type {type(predicate).__name__} for parameters"
+    )

@@ -37,6 +37,7 @@ from repro.sql.ast import (
     LikePredicate,
     NullPredicate,
     OrPredicate,
+    Parameter,
     Predicate,
     SelectItem,
     SelectQuery,
@@ -68,6 +69,7 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self._param_count = 0
 
     # -- token helpers ---------------------------------------------------
 
@@ -122,7 +124,12 @@ class _Parser:
             raise ParseError(
                 f"unexpected trailing input {token.value!r} at offset {token.position}"
             )
-        return SelectQuery(select_items=select_items, tables=tables, predicates=predicates)
+        return SelectQuery(
+            select_items=select_items,
+            tables=tables,
+            predicates=predicates,
+            param_count=self._param_count,
+        )
 
     def _parse_select_list(self) -> List[SelectItem]:
         if self._peek().type is TokenType.STAR:
@@ -204,15 +211,13 @@ class _Parser:
             if self._accept_keyword("in"):
                 return InPredicate(column, self._parse_literal_list())
             self._expect_keyword("like")
-            pattern = self._expect(TokenType.STRING).value
-            return LikePredicate(column, pattern, negated=True)
+            return LikePredicate(column, self._parse_like_pattern(), negated=True)
         if token.matches_keyword("in"):
             self._advance()
             return InPredicate(column, self._parse_literal_list())
         if token.matches_keyword("like"):
             self._advance()
-            pattern = self._expect(TokenType.STRING).value
-            return LikePredicate(column, pattern)
+            return LikePredicate(column, self._parse_like_pattern())
         if token.matches_keyword("between"):
             self._advance()
             low = self._parse_literal()
@@ -260,6 +265,9 @@ class _Parser:
 
     def _parse_literal(self) -> object:
         token = self._peek()
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return self._next_parameter()
         if token.type is TokenType.STRING:
             self._advance()
             return token.value
@@ -274,3 +282,14 @@ class _Parser:
         raise ParseError(
             f"expected a literal but found {token.value!r} at offset {token.position}"
         )
+
+    def _parse_like_pattern(self) -> object:
+        if self._peek().type is TokenType.PARAMETER:
+            self._advance()
+            return self._next_parameter()
+        return self._expect(TokenType.STRING).value
+
+    def _next_parameter(self) -> Parameter:
+        parameter = Parameter(self._param_count)
+        self._param_count += 1
+        return parameter

@@ -132,20 +132,28 @@ class Table:
             count += 1
         return count
 
+    def row_values_from_dict(self, row: Dict[str, object]) -> List[object]:
+        """Order a ``{column: value}`` dict into schema order (missing → NULL).
+
+        Raises:
+            StorageError: if the dict names columns the schema lacks.
+        """
+        names = self.schema.column_names
+        unknown = set(row) - set(names)
+        if unknown:
+            raise StorageError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        return [row.get(name) for name in names]
+
     def insert_dicts(self, rows: Iterable[Dict[str, object]]) -> int:
         """Insert rows given as ``{column: value}`` dictionaries.
 
         Missing columns are stored as NULL.
         """
-        names = self.schema.column_names
         count = 0
         for row in rows:
-            unknown = set(row) - set(names)
-            if unknown:
-                raise StorageError(
-                    f"unknown columns {sorted(unknown)} for table {self.name!r}"
-                )
-            self.insert_row([row.get(name) for name in names])
+            self.insert_row(self.row_values_from_dict(row))
             count += 1
         return count
 

@@ -52,3 +52,57 @@ class TestRun:
         for required in ("fig1", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9",
                          "table1", "table2", "table3", "table45", "table6"):
             assert required in EXPERIMENTS
+
+
+class TestSqlCommand:
+    def test_execute_statements_over_connection(self, capsys):
+        code = main(
+            [
+                "sql",
+                "--scale",
+                "0.05",
+                "-e",
+                "SELECT count(t.id) AS n FROM title AS t",
+                "-e",
+                "SELECT count(t.id) AS n FROM title AS t",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n" in out
+        # The repeated statement was served from the plan cache.
+        assert "cached plan" in out
+        assert "plan cache 1 hit(s)" in out
+        assert "served 2 statement(s)" in out
+
+    def test_stdin_repl_statements(self, capsys, monkeypatch):
+        import io
+
+        stdin = io.StringIO("SELECT count(t.id) AS n FROM title AS t;\n")
+        monkeypatch.setattr("sys.stdin", stdin)
+        code = main(["sql", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 1 statement(s)" in out
+
+    def test_stdin_splits_and_flushes_statements(self, capsys, monkeypatch):
+        import io
+
+        # Two statements on one line plus a trailing one without ';' — all
+        # three must be served.
+        stdin = io.StringIO(
+            "SELECT count(t.id) AS n FROM title AS t; "
+            "SELECT count(kt.id) AS n FROM kind_type AS kt;\n"
+            "SELECT count(t.id) AS n FROM title AS t\n"
+        )
+        monkeypatch.setattr("sys.stdin", stdin)
+        code = main(["sql", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 3 statement(s)" in out
+
+    def test_bad_statement_reports_error(self, capsys):
+        code = main(["sql", "--scale", "0.05", "-e", "SELECT nope FROM nowhere"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err

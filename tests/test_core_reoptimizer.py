@@ -124,3 +124,46 @@ class TestReoptimizingSession:
         session = ReoptimizingSession(stock_db)
         run = session.execute_without_reoptimization(UNSKEWED_SQL)
         assert run.rows == [(expected_count(stock_db, 99),)]
+
+    def test_history_totals_equal_per_query_sums(self, stock_db):
+        """Session totals must be the exact sum of per-query accounting.
+
+        The mix deliberately includes a re-optimized run (multiple planning
+        rounds, temp-table surcharge), a plain run, and a single-table query
+        (never re-optimized), so the totals cover both accounting paths.
+        """
+        session = ReoptimizingSession(stock_db, ReoptimizationPolicy(threshold=4))
+        statements = [
+            SKEWED_SQL,
+            UNSKEWED_SQL,
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'tech'",
+            SKEWED_SQL,
+        ]
+        for sql in statements:
+            session.execute(sql)
+
+        assert len(session.history) == len(statements)
+        reoptimized = [r for r in session.history if r.reoptimized]
+        plain = [r for r in session.history if not r.reoptimized]
+        assert reoptimized and plain  # genuinely mixed
+
+        execution_sum = sum(r.execution_seconds for r in session.history)
+        planning_sum = sum(r.planning_seconds for r in session.history)
+        assert session.total_execution_seconds() == pytest.approx(execution_sum)
+        assert session.total_planning_seconds() == pytest.approx(planning_sum)
+
+        # Each per-query figure is itself the sum of that query's rounds:
+        # planning work of every round and execution work of every step
+        # plus the final SELECT.
+        for result in session.history:
+            report = result.report
+            step_work = sum(step.charged_work for step in report.steps)
+            final_work = report.final_execution.total_work
+            assert report.total_execution_work == pytest.approx(step_work + final_work)
+            # A re-optimized query planned more than once, so it must charge
+            # strictly more planning than its final round alone.
+            final_planning = report.final_planned.stats.planning_work
+            if result.reoptimized:
+                assert report.total_planning_work > final_planning
+            else:
+                assert report.total_planning_work == pytest.approx(final_planning)

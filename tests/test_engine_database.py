@@ -4,7 +4,7 @@ import pytest
 
 from repro.catalog import ColumnType, make_schema
 from repro.engine import Database, EngineSettings
-from repro.errors import CatalogError
+from repro.errors import CatalogError, StorageError, TempTableExists
 
 
 class TestDatabaseDDL:
@@ -19,6 +19,46 @@ class TestDatabaseDDL:
         count = db.load_rows("t", [{"id": 1, "x": "a"}, {"id": 2}])
         assert count == 2
         assert db.catalog.table("t").row(1) == (2, None)
+
+    def test_load_rows_mixes_tuples_and_dicts(self):
+        db = Database()
+        db.create_table(make_schema("t", [("id", ColumnType.INT), ("x", ColumnType.TEXT)]))
+        count = db.load_rows("t", [(1, "a"), {"id": 2, "x": "b"}, (3, None)])
+        assert count == 3
+        assert list(db.catalog.table("t").iter_rows()) == [(1, "a"), (2, "b"), (3, None)]
+
+    def test_load_rows_empty_iterable(self):
+        db = Database()
+        db.create_table(make_schema("t", [("id", ColumnType.INT)]))
+        assert db.load_rows("t", []) == 0
+        assert db.catalog.table("t").row_count == 0
+
+    def test_load_rows_rejects_bad_width_and_unknown_columns(self):
+        db = Database()
+        db.create_table(make_schema("t", [("id", ColumnType.INT), ("x", ColumnType.TEXT)]))
+        with pytest.raises(StorageError):
+            db.load_rows("t", [(1,)])
+        with pytest.raises(StorageError):
+            db.load_rows("t", [{"id": 1, "nope": 2}])
+
+    def test_load_rows_is_atomic_on_bad_value(self):
+        # The bulk path loads column-wise in one load_columns call; a NULL in
+        # a non-nullable column must roll the whole batch back.
+        from repro.catalog import ColumnDef, TableSchema
+
+        db = Database()
+        db.create_table(
+            TableSchema(
+                name="t",
+                columns=(
+                    ColumnDef("id", ColumnType.INT, nullable=False),
+                    ColumnDef("x", ColumnType.TEXT),
+                ),
+            )
+        )
+        with pytest.raises(StorageError):
+            db.load_rows("t", [(1, "a"), (None, "b")])
+        assert db.catalog.table("t").row_count == 0
 
     def test_drop_table(self, stock_db):
         stock_db.drop_table("trades")
@@ -83,8 +123,22 @@ class TestDatabaseQuerying:
         execution = stock_db.executor.execute(planned.plan.child)
         columns = [(("c", "id"), "c_id")]
         stock_db.create_temp_table_from_result("dup", execution.result, columns)
-        with pytest.raises(CatalogError):
+        # The collision raises the dedicated subclass, which still satisfies
+        # callers catching the broader CatalogError.
+        with pytest.raises(TempTableExists):
             stock_db.create_temp_table_from_result("dup", execution.result, columns)
+        assert issubclass(TempTableExists, CatalogError)
+
+    def test_temp_table_collision_leaves_original_intact(self, stock_db):
+        planned = stock_db.plan("SELECT c.id FROM company AS c WHERE c.id = 1")
+        execution = stock_db.executor.execute(planned.plan.child)
+        columns = [(("c", "id"), "c_id")]
+        table = stock_db.create_temp_table_from_result("dup2", execution.result, columns)
+        rows_before = table.row_count
+        with pytest.raises(TempTableExists):
+            stock_db.create_temp_table_from_result("dup2", execution.result, columns)
+        assert stock_db.catalog.table("dup2") is table
+        assert table.row_count == rows_before
 
     def test_temp_table_names_unique(self, stock_db):
         assert stock_db.next_temp_table_name() != stock_db.next_temp_table_name()

@@ -1,0 +1,239 @@
+"""Unit tests for the query-lifecycle pipeline, interceptors and plan cache."""
+
+import pytest
+
+from repro.core import ReoptimizationInterceptor, ReoptimizationPolicy
+from repro.engine import (
+    ExplainCaptureInterceptor,
+    MetricsInterceptor,
+    PlanCache,
+    PlanCacheInterceptor,
+    QueryInterceptor,
+    QueryPipeline,
+)
+from repro.errors import InterfaceError, ParameterError
+
+SKEWED_SQL = (
+    "SELECT count(t.id) AS n FROM company AS c, trades AS t "
+    "WHERE c.symbol = 'SYM1' AND c.id = t.company_id"
+)
+SIMPLE_SQL = "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'tech'"
+
+
+class TestLifecycleStages:
+    def test_stages_fill_context(self, stock_db):
+        ctx = QueryPipeline(stock_db).run(SIMPLE_SQL)
+        assert ctx.parsed is not None
+        assert ctx.bound is not None
+        assert ctx.planned is not None
+        assert ctx.execution is not None
+        assert ctx.rows == stock_db.run(SIMPLE_SQL).rows
+        assert ctx.planning_seconds > 0
+        assert ctx.execution_seconds > 0
+        assert not ctx.reoptimized
+
+    def test_bound_query_skips_parse_and_bind(self, stock_db):
+        bound = stock_db.parse(SIMPLE_SQL)
+        ctx = QueryPipeline(stock_db).run(bound=bound)
+        assert ctx.parsed is None
+        assert ctx.bound is bound
+
+    def test_requires_sql_or_bound(self, stock_db):
+        with pytest.raises(InterfaceError):
+            QueryPipeline(stock_db).run()
+
+    def test_params_substituted_in_bind_stage(self, stock_db):
+        ctx = QueryPipeline(stock_db).run(
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = ?",
+            params=("tech",),
+        )
+        assert ctx.rows == stock_db.run(SIMPLE_SQL).rows
+
+    def test_unbound_parameters_rejected(self, stock_db):
+        with pytest.raises(ParameterError):
+            QueryPipeline(stock_db).run(
+                "SELECT c.id FROM company AS c WHERE c.sector = ?"
+            )
+
+
+class TestInterceptorOrdering:
+    def test_interceptors_wrap_outermost_first(self, stock_db):
+        calls = []
+
+        class Tracer(QueryInterceptor):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def around_plan(self, ctx, proceed):
+                calls.append(f"enter-{self.tag}")
+                ctx = proceed(ctx)
+                calls.append(f"exit-{self.tag}")
+                return ctx
+
+        QueryPipeline(stock_db, [Tracer("a"), Tracer("b")]).run(SIMPLE_SQL)
+        assert calls == ["enter-a", "enter-b", "exit-b", "exit-a"]
+
+    def test_short_circuit_skips_inner_interceptors(self, stock_db):
+        seen = []
+
+        class ShortCircuit(QueryInterceptor):
+            def around_plan(self, ctx, proceed):
+                ctx.planned = stock_db.plan(ctx.bound)
+                return ctx
+
+        class Inner(QueryInterceptor):
+            def around_plan(self, ctx, proceed):
+                seen.append("inner")
+                return proceed(ctx)
+
+        ctx = QueryPipeline(stock_db, [ShortCircuit(), Inner()]).run(SIMPLE_SQL)
+        assert seen == []
+        assert ctx.execution is not None
+
+
+class TestPlanCacheInterceptor:
+    def _pipeline(self, db, cache):
+        return QueryPipeline(db, [PlanCacheInterceptor(cache)])
+
+    def test_repeat_statement_hits(self, stock_db):
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        first = pipeline.run(SIMPLE_SQL)
+        second = pipeline.run(SIMPLE_SQL)
+        assert not first.plan_cached
+        assert second.plan_cached
+        assert second.planned is first.planned
+        assert second.rows == first.rows
+        assert second.planning_seconds == 0.0
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_normalized_sql_shares_entries(self, stock_db):
+        # Same statement, different whitespace/keyword case: one cache entry.
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        pipeline.run(SIMPLE_SQL)
+        ctx = pipeline.run(
+            "select   count(c.id) AS n\nFROM company AS c\nwhere c.sector = 'tech'"
+        )
+        assert ctx.plan_cached
+
+    def test_analyze_invalidates(self, stock_db):
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        pipeline.run(SIMPLE_SQL)
+        epoch = stock_db.catalog.epoch
+        stock_db.analyze(["company"])
+        assert stock_db.catalog.epoch > epoch
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert not ctx.plan_cached
+
+    def test_index_creation_invalidates(self, stock_db):
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        pipeline.run(SIMPLE_SQL)
+        stock_db.create_index("company", "sector")
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert not ctx.plan_cached
+
+    def test_temp_table_ddl_invalidates(self, stock_db):
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        pipeline.run(SIMPLE_SQL)
+        planned = stock_db.plan("SELECT c.id FROM company AS c WHERE c.id = 1")
+        execution = stock_db.executor.execute(planned.plan.child)
+        name = stock_db.next_temp_table_name()
+        stock_db.create_temp_table_from_result(
+            name, execution.result, [(("c", "id"), "c_id")]
+        )
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert not ctx.plan_cached
+        stock_db.drop_table(name)
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert not ctx.plan_cached  # drop bumped the epoch again
+
+    def test_injector_bypasses_cache(self, stock_db):
+        from repro.core import TrueCardinalityOracle
+
+        cache = PlanCache(8)
+        pipeline = self._pipeline(stock_db, cache)
+        injector = TrueCardinalityOracle(stock_db).perfect_injection(17)
+        bound = stock_db.parse(SKEWED_SQL)
+        pipeline.run(bound=bound, injector=injector)
+        pipeline.run(bound=bound, injector=injector)
+        assert cache.stats.lookups == 0
+        assert len(cache) == 0
+
+    def test_lru_eviction(self, stock_db):
+        cache = PlanCache(2)
+        pipeline = self._pipeline(stock_db, cache)
+        statements = [
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'tech'",
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'energy'",
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'health'",
+        ]
+        for sql in statements:
+            pipeline.run(sql)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest statement was evicted; the newest two still hit.
+        assert pipeline.run(statements[0]).plan_cached is False
+        assert pipeline.run(statements[2]).plan_cached is True
+
+    def test_zero_capacity_disables(self, stock_db):
+        cache = PlanCache(0)
+        pipeline = self._pipeline(stock_db, cache)
+        pipeline.run(SIMPLE_SQL)
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert not ctx.plan_cached
+        assert cache.stats.lookups == 0
+
+
+class TestObservabilityInterceptors:
+    def test_metrics_interceptor_accumulates(self, stock_db):
+        metrics_interceptor = MetricsInterceptor()
+        pipeline = QueryPipeline(stock_db, [metrics_interceptor])
+        ctx = pipeline.run(SIMPLE_SQL)
+        pipeline.run(SKEWED_SQL)
+        metrics = metrics_interceptor.metrics
+        assert metrics.statements == 2
+        assert metrics.rows_returned == 2
+        assert metrics.planning_seconds > 0
+        assert metrics.execution_seconds > 0
+        assert set(ctx.stage_seconds) == {"parse", "bind", "plan", "execute"}
+        for stage in ("parse", "bind", "plan", "execute"):
+            assert metrics.stage_wall_seconds[stage] >= ctx.stage_seconds[stage]
+
+    def test_explain_capture(self, stock_db):
+        pipeline = QueryPipeline(stock_db, [ExplainCaptureInterceptor()])
+        ctx = pipeline.run(SIMPLE_SQL)
+        assert ctx.explain_text is not None
+        assert "actual_rows" in ctx.explain_text
+
+
+class TestReoptimizationInterceptor:
+    def test_reoptimizes_skewed_query(self, stock_db):
+        pipeline = QueryPipeline(
+            stock_db,
+            [ReoptimizationInterceptor(ReoptimizationPolicy(threshold=4))],
+        )
+        ctx = pipeline.run(SKEWED_SQL)
+        assert ctx.reoptimized
+        assert ctx.report is not None and ctx.report.steps
+        baseline = stock_db.run(SKEWED_SQL)
+        assert ctx.rows == baseline.rows
+        # Temp tables are cleaned up by default.
+        assert all(not name.startswith("__temp") for name in stock_db.catalog)
+
+    def test_cached_initial_plan_charges_no_initial_planning(self, stock_db):
+        cache = PlanCache(8)
+        policy = ReoptimizationPolicy(threshold=4)
+        pipeline = QueryPipeline(
+            stock_db,
+            [PlanCacheInterceptor(cache), ReoptimizationInterceptor(policy)],
+        )
+        cold = pipeline.run(SIMPLE_SQL)
+        warm = pipeline.run(SIMPLE_SQL)
+        assert warm.plan_cached
+        assert cold.report.total_planning_work > 0
+        assert warm.report.total_planning_work == 0.0
+        assert warm.rows == cold.rows

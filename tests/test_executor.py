@@ -14,7 +14,6 @@ from repro.sql.ast import (
     ComparisonOp,
     ComparisonPredicate,
     InPredicate,
-    LikePredicate,
     SelectItem,
 )
 from repro.sql.binder import BoundJoin
