@@ -1,15 +1,17 @@
 # Convenience targets; every recipe matches what CI runs.
 #
 #   make test    - tier-1 suite (unit + integration + property + differential)
-#   make bench   - paper-figure benchmarks plus the engine speedup guard
+#   make bench   - paper-figure benchmarks plus the engine speedup guards
 #   make diff    - just the vectorized-vs-reference differential suite
+#   make fuzz    - the random-query differential fuzzer, CI profile (pinned,
+#                  derandomized, 220+ generated queries)
 #   make lint    - ruff check (same invocation as the CI lint job)
 #   make all     - everything
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench diff lint all
+.PHONY: test bench diff fuzz lint all
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -17,10 +19,13 @@ test:
 diff:
 	$(PYTHON) -m pytest -x -q tests/test_executor_differential.py tests/test_executor_edge_cases.py
 
+fuzz:
+	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
+
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks
 
 lint:
 	ruff check .
 
-all: lint test bench
+all: lint test fuzz bench

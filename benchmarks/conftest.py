@@ -29,3 +29,54 @@ def print_experiment(result) -> None:
     """Print an experiment artifact (pytest -s shows it; captured otherwise)."""
     print()
     print(result.to_text())
+
+
+def measure_speedup(
+    experiment_id: str,
+    title: str,
+    executors,
+    plan,
+    best_of: int = 5,
+):
+    """Interleaved best-of-N wall-clock comparison of executors on one plan.
+
+    Rounds are interleaved across executors so a load spike on a shared
+    runner degrades every engine's rounds alike instead of biasing whichever
+    engine happened to run during the spike.  Returns ``(executions, result)``
+    where ``executions`` holds each executor's best run (in input order) and
+    ``result`` is the printed :class:`ExperimentResult` with the speedup of
+    the first executor over the second in ``metadata['speedup']``.
+    """
+    from repro.bench.reporting import ExperimentResult
+
+    best = [None] * len(executors)
+    for _ in range(best_of):
+        for i, executor in enumerate(executors):
+            execution = executor.execute(plan)
+            if best[i] is None or execution.wall_seconds < best[i].wall_seconds:
+                best[i] = execution
+
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"{title} (best of {best_of})",
+        headers=[
+            "engine",
+            "rows_processed",
+            "wall_ms",
+            "rows_per_sec",
+            "charged_work",
+        ],
+    )
+    for execution in best:
+        result.add_row(
+            execution.engine.value,
+            execution.rows_processed,
+            execution.wall_seconds * 1e3,
+            execution.rows_per_second,
+            execution.total_work,
+        )
+    speedup = best[0].rows_per_second / max(best[1].rows_per_second, 1e-12)
+    result.metadata["speedup"] = speedup
+    result.metadata["vectorized_rows_per_sec"] = best[0].rows_per_second
+    result.metadata["reference_rows_per_sec"] = best[1].rows_per_second
+    return best, result

@@ -1,0 +1,68 @@
+"""Micro-benchmark guard: vectorized vs reference hash aggregation.
+
+The grouped-aggregation analogue of ``test_engine_speedup.py``: a top-20
+"symbols by traded volume" query over the stocks workload (join + GROUP BY +
+SUM/AVG/COUNT(*) + ORDER BY DESC + LIMIT) must run at least 3x the
+operator throughput (rows processed per wall-clock second, interleaved best
+of N) on the vectorized engine, while charging bit-identical work and
+producing identical rows — the engine-invariance the differential fuzz suite
+pins functionally.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import measure_speedup, print_experiment
+
+from repro.engine import ExecutionEngine
+from repro.workloads.stocks import StocksConfig, build_stocks_database
+
+# The acceptance floor is 3x; REPRO_AGG_SPEEDUP_FLOOR exists so noisy shared
+# runners can lower the gate without editing code (never raise it in CI).
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_AGG_SPEEDUP_FLOOR", "3.0"))
+
+GROUPED_STOCKS_SQL = (
+    "SELECT c.symbol, count(*) AS n, sum(t.shares) AS volume, "
+    "avg(t.shares) AS avg_shares "
+    "FROM company AS c, trades AS t "
+    "WHERE c.id = t.company_id "
+    "GROUP BY c.symbol "
+    "ORDER BY volume DESC "
+    "LIMIT 20"
+)
+
+
+def test_vectorized_hash_aggregation_speedup_on_stocks_workload():
+    db = build_stocks_database(StocksConfig())
+    planned = db.plan(GROUPED_STOCKS_SQL)
+    labels = [node.label() for node in planned.plan.walk()]
+    assert any(label.startswith("HashAggregate") for label in labels)
+    assert any(label.startswith("Sort") for label in labels)
+    assert any(label.startswith("Limit") for label in labels)
+
+    (vectorized, reference), result = measure_speedup(
+        "aggregate-speedup",
+        "vectorized vs reference engine, grouped stocks query",
+        [
+            db.executor_for(ExecutionEngine.VECTORIZED),
+            db.executor_for(ExecutionEngine.REFERENCE),
+        ],
+        planned.plan,
+    )
+
+    # Guard 1: charged work and results are engine-invariant.
+    assert vectorized.total_work == reference.total_work
+    assert vectorized.rows_processed == reference.rows_processed
+    assert vectorized.result.rows == reference.result.rows
+    assert len(vectorized.result.rows) == 20
+
+    speedup = result.metadata["speedup"]
+    result.add_note(f"speedup: {speedup:.1f}x (floor: {SPEEDUP_FLOOR}x)")
+    print_experiment(result)
+
+    # Guard 2: vectorized hash aggregation is measurably faster.
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized grouped aggregation only {speedup:.2f}x faster than "
+        f"reference (floor {SPEEDUP_FLOOR}x)"
+    )

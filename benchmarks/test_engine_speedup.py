@@ -6,8 +6,8 @@ Two assertions protect the tentpole claim of the columnar executor:
   quantity every paper figure is built from) must be bit-identical between
   engines, so the speedup is a pure wall-clock effect;
 * **the vectorized engine is measurably faster** — at least 3x the
-  operator throughput (rows processed per wall-clock second, best of three
-  runs) on a selective 3-join star query.
+  operator throughput (rows processed per wall-clock second, interleaved
+  best-of-N runs) on a selective 3-join star query.
 
 The timing table is emitted like every other benchmark artifact so the
 harness report (``BENCH_*.json``) captures the speedup.
@@ -18,16 +18,14 @@ from __future__ import annotations
 import os
 import random
 
-from conftest import print_experiment
+from conftest import measure_speedup, print_experiment
 
-from repro.bench.reporting import ExperimentResult
 from repro.catalog import ColumnType, make_schema
 from repro.engine import Database, ExecutionEngine
 
 # The acceptance floor is 3x; REPRO_SPEEDUP_FLOOR exists so noisy shared
 # runners can lower the gate without editing code (never raise it in CI).
 SPEEDUP_FLOOR = float(os.environ.get("REPRO_SPEEDUP_FLOOR", "3.0"))
-BEST_OF = 5
 
 THREE_JOIN_SQL = (
     "SELECT count(i.id) AS n "
@@ -107,26 +105,19 @@ def _build_database(
     return db
 
 
-def _best_execution(executor, plan):
-    """Best-of-N execution (min wall-clock) to shave scheduler noise."""
-    best = None
-    for _ in range(BEST_OF):
-        execution = executor.execute(plan)
-        if best is None or execution.wall_seconds < best.wall_seconds:
-            best = execution
-    return best
-
-
 def test_vectorized_engine_speedup_on_three_join_query():
     db = _build_database()
     planned = db.plan(THREE_JOIN_SQL)
     assert len(planned.plan.join_nodes()) == 3, "expected a 3-join plan"
 
-    vectorized = _best_execution(
-        db.executor_for(ExecutionEngine.VECTORIZED), planned.plan
-    )
-    reference = _best_execution(
-        db.executor_for(ExecutionEngine.REFERENCE), planned.plan
+    (vectorized, reference), result = measure_speedup(
+        "engine-speedup",
+        "vectorized vs reference engine, 3-join star query",
+        [
+            db.executor_for(ExecutionEngine.VECTORIZED),
+            db.executor_for(ExecutionEngine.REFERENCE),
+        ],
+        planned.plan,
     )
 
     # Guard 1: the vectorized path does no more charged work (it is exactly
@@ -135,31 +126,8 @@ def test_vectorized_engine_speedup_on_three_join_query():
     assert vectorized.rows_processed == reference.rows_processed
     assert vectorized.result.rows == reference.result.rows
 
-    result = ExperimentResult(
-        experiment_id="engine-speedup",
-        title="vectorized vs reference engine, 3-join star query (best of "
-        f"{BEST_OF})",
-        headers=[
-            "engine",
-            "rows_processed",
-            "wall_ms",
-            "rows_per_sec",
-            "charged_work",
-        ],
-    )
-    for execution in (vectorized, reference):
-        result.add_row(
-            execution.engine.value,
-            execution.rows_processed,
-            execution.wall_seconds * 1e3,
-            execution.rows_per_second,
-            execution.total_work,
-        )
-    speedup = vectorized.rows_per_second / max(reference.rows_per_second, 1e-12)
+    speedup = result.metadata["speedup"]
     result.add_note(f"speedup: {speedup:.1f}x (floor: {SPEEDUP_FLOOR}x)")
-    result.metadata["speedup"] = speedup
-    result.metadata["vectorized_rows_per_sec"] = vectorized.rows_per_second
-    result.metadata["reference_rows_per_sec"] = reference.rows_per_second
     print_experiment(result)
 
     # Guard 2: the columnar engine is measurably faster.

@@ -92,6 +92,26 @@ def main() -> None:
     stats = serving.cache_stats
     print(f"plan cache: {stats.hits} hit(s), {stats.misses} miss(es)")
 
+    print("\n=== grouped aggregation: GROUP BY / ORDER BY / LIMIT ===")
+    # The full analytic surface flows through the same pipeline: grouped
+    # aggregates (including COUNT(*), SUM and AVG), deterministic ordering
+    # and LIMIT — and repeated statements hit the plan cache as usual.
+    top = serving.execute(
+        """
+        SELECT c.symbol, count(*) AS num_trades,
+               sum(t.shares) AS volume, avg(t.shares) AS avg_shares
+        FROM company AS c, trades AS t
+        WHERE c.id = t.company_id
+        GROUP BY c.symbol
+        ORDER BY volume DESC
+        LIMIT 5;
+        """
+    )
+    print("columns:", [(d[0], d[1].value if d[1] else None) for d in top.description])
+    for symbol, num_trades, volume, avg_shares in top:
+        print(f"  {symbol}: {num_trades:5d} trades, {volume:8d} shares "
+              f"(avg {avg_shares:7.1f})")
+
     print("\n=== connection metrics ===")
     m = conn.metrics
     print(

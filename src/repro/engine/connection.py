@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.catalog.schema import ColumnType
 from repro.engine.database import Database
 from repro.engine.pipeline import (
     ConnectionMetrics,
@@ -31,6 +32,7 @@ from repro.engine.plancache import PlanCache, PlanCacheStats
 from repro.engine.settings import EngineSettings
 from repro.errors import InterfaceError
 from repro.optimizer.injection import CardinalityInjector
+from repro.sql.ast import AggregateFunc, ColumnRef
 from repro.sql.binder import BoundQuery
 from repro.sql.params import bind_parameters
 from repro.sql.parser import parse_select
@@ -40,8 +42,14 @@ apilevel = "2.0"
 threadsafety = 1
 paramstyle = "qmark"
 
-#: One column of ``Cursor.description``: a PEP 249 7-tuple.
-ColumnDescription = Tuple[str, None, None, None, None, None, None]
+#: One column of ``Cursor.description``: a PEP 249 7-tuple of
+#: ``(name, type_code, display_size, internal_size, precision, scale,
+#: null_ok)``.  ``type_code`` is the engine's
+#: :class:`~repro.catalog.schema.ColumnType` when it can be derived
+#: (``COUNT`` → INT, ``AVG`` → FLOAT, everything else the column's type).
+ColumnDescription = Tuple[
+    str, Optional[ColumnType], None, None, None, None, None
+]
 
 
 def connect(
@@ -358,15 +366,41 @@ class PreparedStatement:
 def _describe(ctx: QueryContext) -> List[ColumnDescription]:
     """Build PEP 249 column descriptions for a finished statement."""
     bound = ctx.bound
-    names: List[str] = []
+    catalog = ctx.database.catalog
+    columns: List[Tuple[str, Optional[ColumnType]]] = []
+
+    def base_type(ref) -> Optional[ColumnType]:
+        if ref is None or ref.alias is None:
+            return None
+        table = bound.alias_tables.get(ref.alias) if bound is not None else None
+        if table is None or table not in catalog:
+            return None
+        schema = catalog.schema(table)
+        if not schema.has_column(ref.column):
+            return None
+        return schema.column(ref.column).col_type
+
     if bound is not None and bound.select_items:
         for item in bound.select_items:
             if item.output_name:
-                names.append(item.output_name)
+                name = item.output_name
             elif item.aggregate is not None:
-                names.append(f"{item.aggregate.value}({item.column})")
+                target = "*" if item.column is None else str(item.column)
+                name = f"{item.aggregate.value}({target})"
             else:
-                names.append(str(item.column))
+                name = str(item.column)
+            if item.aggregate is AggregateFunc.COUNT:
+                col_type: Optional[ColumnType] = ColumnType.INT
+            elif item.aggregate is AggregateFunc.AVG:
+                col_type = ColumnType.FLOAT
+            else:  # MIN/MAX/SUM and bare columns keep the column's type
+                col_type = base_type(item.column)
+            columns.append((name, col_type))
     elif ctx.execution is not None:
-        names = [f"{alias}.{column}" for alias, column in ctx.execution.result.columns]
-    return [(name, None, None, None, None, None, None) for name in names]
+        for alias, column in ctx.execution.result.columns:
+            columns.append(
+                (f"{alias}.{column}", base_type(ColumnRef(alias=alias, column=column)))
+            )
+    return [
+        (name, col_type, None, None, None, None, None) for name, col_type in columns
+    ]

@@ -39,7 +39,37 @@ class LexerError(SQLError):
 
 
 class ParseError(SQLError):
-    """The token stream does not form a supported SQL statement."""
+    """The token stream does not form a supported SQL statement.
+
+    When the parser can point at the offending token, the rendered message
+    carries the character offset and an excerpt of the SQL text around it
+    (``... (at offset 42, near 'LIMIT 5')``); ``position`` and ``fragment``
+    expose the same information programmatically.
+    """
+
+    def __init__(
+        self, message: str, position: "int | None" = None, sql: "str | None" = None
+    ) -> None:
+        self.position = position
+        self.fragment = sql_excerpt(sql, position) if sql is not None else None
+        if position is not None:
+            detail = f"at offset {position}"
+            if self.fragment:
+                detail += f", near {self.fragment!r}"
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+def sql_excerpt(sql: str, position: "int | None", width: int = 24) -> str:
+    """A short single-line excerpt of ``sql`` starting at ``position``."""
+    if position is None:
+        return ""
+    if position >= len(sql):
+        return "end of input"
+    fragment = " ".join(sql[position : position + width].split())
+    if position + width < len(sql):
+        fragment += "..."
+    return fragment
 
 
 class BindError(SQLError):

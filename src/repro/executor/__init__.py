@@ -21,8 +21,12 @@ from repro.executor.explain import estimation_errors, explain_plan
 from repro.executor.operators import (
     ResultSet,
     aggregate_result,
+    distinct_result,
+    group_aggregate_result,
     join_results,
+    limit_result,
     scan_table,
+    sort_result,
 )
 
 __all__ = [
@@ -34,8 +38,12 @@ __all__ = [
     "ResultSet",
     "WORK_UNITS_PER_SECOND",
     "aggregate_result",
+    "distinct_result",
     "estimation_errors",
     "explain_plan",
+    "group_aggregate_result",
     "join_results",
+    "limit_result",
     "scan_table",
+    "sort_result",
 ]

@@ -38,11 +38,15 @@ from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import (
     AccessPath,
     AggregateNode,
+    DistinctNode,
+    HashAggregateNode,
     JoinAlgorithm,
     JoinNode,
+    LimitNode,
     MaterializeNode,
     PlanNode,
     ScanNode,
+    SortNode,
 )
 
 # Conversion between abstract work units and "simulated seconds" reported by
@@ -187,6 +191,30 @@ class Executor:
             work = child_work + self.cost_model.aggregate_cost(
                 len(child_result), max(1, len(node.select_items))
             )
+        elif isinstance(node, HashAggregateNode):
+            child_result, child_work = self._execute_node(node.child, metrics)
+            result = self._ops.group_aggregate_result(
+                child_result, list(node.group_keys), list(node.select_items)
+            )
+            work = child_work + self.cost_model.hash_aggregate_cost(
+                len(child_result), len(result), max(1, len(node.select_items))
+            )
+        elif isinstance(node, SortNode):
+            child_result, child_work = self._execute_node(node.child, metrics)
+            result = self._ops.sort_result(child_result, list(node.keys))
+            work = child_work + self.cost_model.sort_cost(
+                len(child_result), len(node.keys)
+            )
+        elif isinstance(node, DistinctNode):
+            child_result, child_work = self._execute_node(node.child, metrics)
+            result = self._ops.distinct_result(child_result)
+            work = child_work + self.cost_model.distinct_cost(
+                len(child_result), len(result)
+            )
+        elif isinstance(node, LimitNode):
+            child_result, child_work = self._execute_node(node.child, metrics)
+            result = self._ops.limit_result(child_result, node.limit, node.offset)
+            work = child_work + self.cost_model.limit_cost(len(result))
         elif isinstance(node, MaterializeNode):
             child_result, child_work = self._execute_node(node.child, metrics)
             result = child_result

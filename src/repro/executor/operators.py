@@ -27,9 +27,13 @@ from repro.catalog.catalog import Catalog
 from repro.errors import ExecutionError
 from repro.executor.batch import ColumnBatch
 from repro.executor.expressions import compile_batch_conjunction, index_probe_keys
-from repro.executor.reference import ResultSet, resolve_join_positions
-from repro.sql.ast import AggregateFunc, SelectItem
-from repro.sql.binder import BoundJoin
+from repro.executor.reference import (
+    ResultSet,
+    output_columns,
+    resolve_join_positions,
+)
+from repro.sql.ast import AggregateFunc, ColumnRef, SelectItem
+from repro.sql.binder import BoundJoin, BoundSortKey
 
 QualifiedColumn = Tuple[str, str]
 
@@ -38,8 +42,12 @@ __all__ = [
     "ResultSet",
     "aggregate_result",
     "count_index_probe_matches",
+    "distinct_result",
+    "group_aggregate_result",
     "join_results",
+    "limit_result",
     "scan_table",
+    "sort_result",
 ]
 
 
@@ -187,33 +195,193 @@ def count_index_probe_matches(
     return matches
 
 
+def _fold_column(item: SelectItem, values: List[object]) -> object:
+    """Fold one ungrouped aggregate over a compacted column.
+
+    Deliberately implemented independently of the reference oracle's
+    ``fold_aggregate`` (generator folds here, list folds there) so the
+    differential suite cross-checks the SQL NULL-semantics rules — NULLs are
+    skipped, SUM/AVG over an empty or all-NULL input return NULL, COUNT
+    returns 0 — instead of both engines sharing one implementation.
+    ``SUM``/``AVG`` accumulate in input order, which keeps float results
+    bit-identical with the oracle.
+    """
+    if item.aggregate is AggregateFunc.COUNT:
+        return sum(1 for v in values if v is not None)
+    if item.aggregate is AggregateFunc.MIN:
+        return min((v for v in values if v is not None), default=None)
+    if item.aggregate is AggregateFunc.MAX:
+        return max((v for v in values if v is not None), default=None)
+    if item.aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
+        total = None
+        count = 0
+        for value in values:
+            if value is None:
+                continue
+            total = value if total is None else total + value
+            count += 1
+        if item.aggregate is AggregateFunc.SUM or total is None:
+            return total
+        return total / count
+    # Bare column inside an aggregate context (legacy direct-operator use).
+    return next((v for v in values if v is not None), None)
+
+
 def aggregate_result(
     result: ColumnBatch, select_items: Sequence[SelectItem]
 ) -> ColumnBatch:
-    """Apply the final aggregation / projection column-wise."""
+    """Apply the final (ungrouped) aggregation / projection column-wise."""
     if not select_items:
         return result
     result = ColumnBatch.from_result(result)
     has_aggregate = any(item.aggregate is not None for item in select_items)
-    columns: List[QualifiedColumn] = []
-    for i, item in enumerate(select_items):
-        name = item.output_name or f"col{i}"
-        columns.append(("", name))
+    columns = output_columns(select_items)
     if has_aggregate:
         row: List[object] = []
         for item in select_items:
+            if item.column is None:  # COUNT(*)
+                row.append(len(result))
+                continue
             values = result.column_values(item.column.alias, item.column.column)
-            if item.aggregate is AggregateFunc.COUNT:
-                row.append(sum(1 for v in values if v is not None))
-            elif item.aggregate is AggregateFunc.MIN:
-                row.append(min((v for v in values if v is not None), default=None))
-            elif item.aggregate is AggregateFunc.MAX:
-                row.append(max((v for v in values if v is not None), default=None))
-            else:
-                row.append(next((v for v in values if v is not None), None))
+            row.append(_fold_column(item, values))
         return ColumnBatch.from_rows(columns, [tuple(row)])
     positions = [
         result.column_position(item.column.alias, item.column.column)
         for item in select_items
     ]
     return result.with_columns(columns, positions)
+
+
+def group_aggregate_result(
+    result: ColumnBatch,
+    group_keys: Sequence[ColumnRef],
+    select_items: Sequence[SelectItem],
+) -> ColumnBatch:
+    """Grouped aggregation over compacted key columns.
+
+    Group ids are assigned in first-appearance order (NULL keys form their
+    own group), then every output column is folded column-wise over the
+    per-group value lists — no row tuples are ever built.  Output order and
+    values mirror the reference engine exactly.
+    """
+    result = ColumnBatch.from_result(result)
+    key_positions = [
+        result.column_position(ref.alias, ref.column) for ref in group_keys
+    ]
+    keys = _key_rows(result, key_positions)
+
+    group_index: Dict[object, int] = {}
+    setdefault = group_index.setdefault
+    group_ids = [setdefault(key, len(group_index)) for key in keys]
+    num_groups = len(group_index)
+
+    first_row: List[int] = [-1] * num_groups
+    for i, gid in enumerate(group_ids):
+        if first_row[gid] < 0:
+            first_row[gid] = i
+
+    out_data: List[List[object]] = []
+    for item in select_items:
+        if item.aggregate is None:
+            values = result.column_values(item.column.alias, item.column.column)
+            out_data.append([values[i] for i in first_row])
+            continue
+        if item.column is None:  # COUNT(*): rows per group
+            counts = [0] * num_groups
+            for gid in group_ids:
+                counts[gid] += 1
+            out_data.append(counts)
+            continue
+        values = result.column_values(item.column.alias, item.column.column)
+        out_data.append(
+            _fold_grouped(item.aggregate, group_ids, values, num_groups)
+        )
+    return ColumnBatch(output_columns(select_items), out_data, length=num_groups)
+
+
+def _fold_grouped(
+    aggregate: AggregateFunc,
+    group_ids: List[int],
+    values: List[object],
+    num_groups: int,
+) -> List[object]:
+    """Fold one aggregate column-wise into per-group accumulator slots.
+
+    Accumulation happens in input-row order per group — the same order the
+    reference oracle folds its per-group row lists — so SUM/AVG float
+    results are bit-identical across engines.
+    """
+    if aggregate is AggregateFunc.COUNT:
+        counts = [0] * num_groups
+        for gid, value in zip(group_ids, values):
+            if value is not None:
+                counts[gid] += 1
+        return counts
+    accumulator: List[object] = [None] * num_groups
+    if aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
+        tallies = [0] * num_groups
+        for gid, value in zip(group_ids, values):
+            if value is not None:
+                current = accumulator[gid]
+                accumulator[gid] = value if current is None else current + value
+                tallies[gid] += 1
+        if aggregate is AggregateFunc.SUM:
+            return accumulator
+        return [
+            None if total is None else total / count
+            for total, count in zip(accumulator, tallies)
+        ]
+    if aggregate is AggregateFunc.MIN:
+        for gid, value in zip(group_ids, values):
+            if value is not None:
+                current = accumulator[gid]
+                if current is None or value < current:
+                    accumulator[gid] = value
+        return accumulator
+    for gid, value in zip(group_ids, values):  # MAX
+        if value is not None:
+            current = accumulator[gid]
+            if current is None or value > current:
+                accumulator[gid] = value
+    return accumulator
+
+
+def sort_result(result: ColumnBatch, keys: Sequence[BoundSortKey]) -> ColumnBatch:
+    """Sort the batch on the given keys (multi-pass stable sort, zero-copy).
+
+    One stable pass per key, last key first, each pass keyed on
+    ``(is NULL, value)`` with ``reverse`` for descending — which realizes
+    NULLS LAST for ascending keys and NULLS FIRST for descending, ties in
+    input order.  The reference oracle reaches the same ordering through an
+    independent comparator-based sort; the differential suite pins the two
+    against each other.
+    """
+    result = ColumnBatch.from_result(result)
+    order = list(range(len(result)))
+    for key in reversed(keys):
+        values = result.column_values(key.alias, key.column)
+        order.sort(
+            key=lambda i: (values[i] is None, 0 if values[i] is None else values[i]),
+            reverse=not key.ascending,
+        )
+    return result.restrict(order)
+
+
+def limit_result(result: ColumnBatch, limit: int, offset: int = 0) -> ColumnBatch:
+    """Apply LIMIT/OFFSET by narrowing the selection vectors."""
+    result = ColumnBatch.from_result(result)
+    start = min(max(0, offset), len(result))
+    end = min(start + max(0, limit), len(result))
+    return result.restrict(list(range(start, end)))
+
+
+def distinct_result(result: ColumnBatch) -> ColumnBatch:
+    """Keep the first occurrence of every distinct row (selection-vector only)."""
+    result = ColumnBatch.from_result(result)
+    seen = set()
+    keep: List[int] = []
+    for i, row in enumerate(result.rows):
+        if row not in seen:
+            seen.add(row)
+            keep.append(i)
+    return result.restrict(keep)

@@ -19,6 +19,7 @@ optimizer picks a nested loop on an underestimated input.
 
 from __future__ import annotations
 
+import functools
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -29,8 +30,8 @@ from repro.executor.expressions import (
     compile_conjunction,
     index_probe_keys,
 )
-from repro.sql.ast import AggregateFunc, SelectItem
-from repro.sql.binder import BoundJoin
+from repro.sql.ast import AggregateFunc, ColumnRef, SelectItem
+from repro.sql.binder import BoundJoin, BoundSortKey, output_column_name
 
 QualifiedColumn = Tuple[str, str]
 
@@ -201,30 +202,60 @@ def count_index_probe_matches(
     return matches
 
 
+def output_columns(select_items: Sequence[SelectItem]) -> List[QualifiedColumn]:
+    """Output column names of a projected/aggregated result (shared rule)."""
+    return [("", output_column_name(item, i)) for i, item in enumerate(select_items)]
+
+
+def fold_aggregate(item: SelectItem, values: List[object]) -> object:
+    """Fold one aggregate over the raw (NULL-inclusive) values of a group.
+
+    Every aggregate skips NULLs and returns NULL (COUNT: 0) over an empty or
+    all-NULL input, per SQL semantics; callers handle ``COUNT(*)`` themselves
+    (there is no single values column to fold).  ``SUM``/``AVG`` accumulate
+    in input order so float results are identical across engines.  The
+    vectorized engine implements the same rules independently
+    (``operators._fold_column`` / ``operators._fold_grouped``) so the
+    differential suite cross-checks them rather than testing one shared
+    implementation against itself.
+    """
+    if item.aggregate is AggregateFunc.COUNT:
+        return sum(1 for v in values if v is not None)
+    non_null = [v for v in values if v is not None]
+    if item.aggregate is AggregateFunc.MIN:
+        return min(non_null) if non_null else None
+    if item.aggregate is AggregateFunc.MAX:
+        return max(non_null) if non_null else None
+    if item.aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
+        if not non_null:
+            return None
+        # Seed from the first value rather than sum()'s integer 0 so IEEE
+        # signed zeros survive (0 + -0.0 is 0.0, but -0.0 alone stays -0.0),
+        # keeping float results bit-identical with the vectorized engine.
+        total = functools.reduce(lambda acc, value: acc + value, non_null)
+        if item.aggregate is AggregateFunc.SUM:
+            return total
+        return total / len(non_null)
+    # Bare column inside an aggregate context (legacy direct-operator use).
+    return non_null[0] if non_null else None
+
+
 def aggregate_result(
     result: ResultSet, select_items: Sequence[SelectItem]
 ) -> ResultSet:
-    """Apply the final aggregation / projection."""
+    """Apply the final (ungrouped) aggregation / projection."""
     if not select_items:
         return result
     has_aggregate = any(item.aggregate is not None for item in select_items)
-    columns: List[QualifiedColumn] = []
-    for i, item in enumerate(select_items):
-        name = item.output_name or f"col{i}"
-        columns.append(("", name))
+    columns = output_columns(select_items)
     if has_aggregate:
         row: List[object] = []
         for item in select_items:
+            if item.column is None:  # COUNT(*)
+                row.append(len(result))
+                continue
             values = result.column_values(item.column.alias, item.column.column)
-            non_null = [v for v in values if v is not None]
-            if item.aggregate is AggregateFunc.COUNT:
-                row.append(len(non_null))
-            elif item.aggregate is AggregateFunc.MIN:
-                row.append(min(non_null) if non_null else None)
-            elif item.aggregate is AggregateFunc.MAX:
-                row.append(max(non_null) if non_null else None)
-            else:
-                row.append(non_null[0] if non_null else None)
+            row.append(fold_aggregate(item, values))
         return ResultSet(columns, [tuple(row)])
     positions = [
         result.column_position(item.column.alias, item.column.column)
@@ -232,3 +263,100 @@ def aggregate_result(
     ]
     rows = [tuple(row[p] for p in positions) for row in result.rows]
     return ResultSet(columns, rows)
+
+
+def group_aggregate_result(
+    result: ResultSet,
+    group_keys: Sequence[ColumnRef],
+    select_items: Sequence[SelectItem],
+) -> ResultSet:
+    """Grouped aggregation: one output row per distinct group-key tuple.
+
+    NULL group-key values form their own group (SQL's GROUP BY treats NULLs
+    as equal).  Groups are emitted in first-appearance order, which both
+    engines share, so row order matches the vectorized engine exactly.
+    """
+    key_positions = [
+        result.column_position(ref.alias, ref.column) for ref in group_keys
+    ]
+    group_index: Dict[tuple, int] = {}
+    group_rows: List[List[tuple]] = []
+    for row in result.rows:
+        key = tuple(row[p] for p in key_positions)
+        index = group_index.get(key)
+        if index is None:
+            group_index[key] = index = len(group_rows)
+            group_rows.append([])
+        group_rows[index].append(row)
+
+    item_positions = [
+        None
+        if item.column is None
+        else result.column_position(item.column.alias, item.column.column)
+        for item in select_items
+    ]
+    out_rows: List[tuple] = []
+    for rows in group_rows:
+        out: List[object] = []
+        for item, position in zip(select_items, item_positions):
+            if item.aggregate is None:
+                out.append(rows[0][position])
+            elif position is None:  # COUNT(*)
+                out.append(len(rows))
+            else:
+                out.append(fold_aggregate(item, [row[position] for row in rows]))
+        out_rows.append(tuple(out))
+    return ResultSet(output_columns(select_items), out_rows)
+
+
+def sort_result(result: ResultSet, keys: Sequence[BoundSortKey]) -> ResultSet:
+    """Sort the result on the given keys (comparator-based, the oracle way).
+
+    NULL placement is deterministic: NULLS LAST for ascending keys, NULLS
+    FIRST for descending (PostgreSQL's default).  Rows tying on every key
+    keep their input order (stable sort).  This is implemented independently
+    of the vectorized engine's multi-pass sort — same ordering rules, a
+    different algorithm — so the differential suite genuinely cross-checks
+    ORDER BY semantics between the engines.
+    """
+    key_columns = [
+        (result.column_values(key.alias, key.column), key.ascending)
+        for key in keys
+    ]
+
+    def compare(a: int, b: int) -> int:
+        for values, ascending in key_columns:
+            va, vb = values[a], values[b]
+            if va is None and vb is None:
+                continue
+            if va is None:  # NULLS LAST asc, NULLS FIRST desc
+                return 1 if ascending else -1
+            if vb is None:
+                return -1 if ascending else 1
+            if va == vb:
+                continue
+            if va < vb:
+                return -1 if ascending else 1
+            return 1 if ascending else -1
+        return 0
+
+    order = sorted(range(len(result)), key=functools.cmp_to_key(compare))
+    return ResultSet(result.columns, [result.rows[i] for i in order])
+
+
+def limit_result(result: ResultSet, limit: int, offset: int = 0) -> ResultSet:
+    """Apply LIMIT/OFFSET to the result rows."""
+    start = min(max(0, offset), len(result))
+    end = min(start + max(0, limit), len(result))
+    return ResultSet(result.columns, result.rows[start:end])
+
+
+def distinct_result(result: ResultSet) -> ResultSet:
+    """Drop duplicate rows, keeping the first occurrence of each."""
+    seen = set()
+    rows: List[tuple] = []
+    for row in result.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return ResultSet(result.columns, rows)

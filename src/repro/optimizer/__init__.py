@@ -15,11 +15,15 @@ from repro.optimizer.optimizer import Optimizer, PlannedQuery, PlanningStats
 from repro.optimizer.plan import (
     AccessPath,
     AggregateNode,
+    DistinctNode,
+    HashAggregateNode,
     JoinAlgorithm,
     JoinNode,
+    LimitNode,
     MaterializeNode,
     PlanNode,
     ScanNode,
+    SortNode,
 )
 
 __all__ = [
@@ -31,10 +35,13 @@ __all__ = [
     "CostModel",
     "CostParameters",
     "DictInjection",
+    "DistinctNode",
+    "HashAggregateNode",
     "JoinAlgorithm",
     "JoinEnumerator",
     "JoinGraph",
     "JoinNode",
+    "LimitNode",
     "MaterializeNode",
     "NoInjection",
     "Optimizer",
@@ -45,4 +52,5 @@ __all__ = [
     "PlanningStats",
     "ScanNode",
     "SelectivityEstimator",
+    "SortNode",
 ]

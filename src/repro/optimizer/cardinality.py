@@ -21,7 +21,7 @@ join size, which reproduces Table I of the paper.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.errors import CardinalityError
@@ -47,6 +47,8 @@ DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 DEFAULT_LIKE_SELECTIVITY = 0.008
 MIN_SELECTIVITY = 1.0e-7
 MIN_ROWS = 1.0
+#: PostgreSQL's get_variable_numdistinct fallback for columns without stats.
+DEFAULT_N_DISTINCT = 200.0
 
 
 def clamp_selectivity(value: float) -> float:
@@ -101,6 +103,26 @@ class SelectivityEstimator:
         """Estimated output rows of scanning ``table`` with ``predicates``."""
         rows = self.table_rows(table) * self.conjunction_selectivity(table, predicates)
         return max(MIN_ROWS, rows)
+
+    def column_n_distinct(self, table: str, column: str) -> float:
+        """Distinct count of one column (falls back like PostgreSQL's 200)."""
+        stats = self._column_stats(table, column)
+        if stats is not None and stats.n_distinct > 0:
+            return float(stats.n_distinct)
+        return min(DEFAULT_N_DISTINCT, max(MIN_ROWS, self.table_rows(table)))
+
+    def group_count(self, input_rows: float, column_distincts: List[float]) -> float:
+        """Estimated number of groups of a grouped aggregation.
+
+        The product of per-key distinct counts under independence, clamped to
+        the input cardinality (a group needs at least one input row).
+        """
+        if not column_distincts:
+            return max(MIN_ROWS, min(input_rows, 1.0))
+        product = 1.0
+        for nd in column_distincts:
+            product *= max(1.0, nd)
+        return max(MIN_ROWS, min(input_rows, product))
 
     def join_predicate_selectivity(
         self, left_table: str, left_column: str, right_table: str, right_column: str

@@ -15,6 +15,7 @@ yields a faithful, deterministic proxy for runtime.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
@@ -129,8 +130,6 @@ class CostModel:
         cost = 0.0
         for rows in (outer_rows, inner_rows):
             if rows > 1:
-                import math
-
                 cost += self.params.sort_factor * rows * math.log2(rows) * p.cpu_operator_cost
             cost += rows * p.cpu_operator_cost
         cost += output_rows * p.cpu_tuple_cost
@@ -142,6 +141,42 @@ class CostModel:
         """Final aggregation over the join result."""
         p = self.params
         return input_rows * p.cpu_operator_cost * max(1, num_outputs)
+
+    def hash_aggregate_cost(
+        self, input_rows: float, num_groups: float, num_outputs: int
+    ) -> float:
+        """Grouped aggregation: hash every input row, emit one row per group."""
+        p = self.params
+        build = input_rows * p.cpu_operator_cost * p.hash_build_factor
+        fold = input_rows * p.cpu_operator_cost * max(1, num_outputs)
+        emit = num_groups * p.cpu_tuple_cost
+        return build + fold + emit
+
+    def sort_cost(self, input_rows: float, num_keys: int = 1) -> float:
+        """Comparison sort of the query output on ``num_keys`` keys."""
+        p = self.params
+        cost = input_rows * p.cpu_tuple_cost
+        if input_rows > 1:
+            cost += (
+                self.params.sort_factor
+                * input_rows
+                * math.log2(input_rows)
+                * p.cpu_operator_cost
+                * max(1, num_keys)
+            )
+        return cost
+
+    def distinct_cost(self, input_rows: float, output_rows: float) -> float:
+        """Hash-based duplicate elimination."""
+        p = self.params
+        return (
+            input_rows * p.cpu_operator_cost * p.hash_build_factor
+            + output_rows * p.cpu_tuple_cost
+        )
+
+    def limit_cost(self, output_rows: float) -> float:
+        """Emitting the rows that survive LIMIT/OFFSET."""
+        return output_rows * self.params.cpu_tuple_cost
 
     def materialize_cost(self, input_rows: float, num_columns: int) -> float:
         """Materializing an intermediate result into a temporary table.

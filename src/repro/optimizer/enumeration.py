@@ -24,19 +24,24 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnType
 from repro.errors import PlanningError
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel
-from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plan import (
     AccessPath,
     AggregateNode,
+    DistinctNode,
+    HashAggregateNode,
     JoinAlgorithm,
     JoinNode,
+    LimitNode,
     PlanNode,
     ScanNode,
+    SortNode,
 )
 from repro.sql.ast import (
+    AggregateFunc,
     ComparisonOp,
     ComparisonPredicate,
     InPredicate,
@@ -89,8 +94,15 @@ class JoinEnumerator:
 
     # -- public API ------------------------------------------------------------
 
-    def plan(self) -> AggregateNode:
-        """Return the cheapest plan found, wrapped in the final aggregate node."""
+    def plan(self) -> PlanNode:
+        """Return the cheapest plan found, wrapped in the result-shaping nodes.
+
+        The join tree is topped by an aggregation/projection node
+        (:class:`HashAggregateNode` when grouped, :class:`AggregateNode`
+        otherwise) and, as the query requires, ``Distinct``, ``Sort`` and
+        ``Limit`` nodes — in that order, so ``LIMIT`` applies to the sorted,
+        de-duplicated output.
+        """
         if not self.query.aliases:
             raise PlanningError("query has no FROM-clause tables")
         components = self.graph.connected_components()
@@ -378,13 +390,138 @@ class JoinEnumerator:
 
     # -- finalization -------------------------------------------------------------------
 
-    def _finalize(self, best: PlanNode) -> AggregateNode:
-        root = AggregateNode(child=best, select_items=tuple(self.query.select_items))
-        root.estimated_rows = 1.0 if self._has_aggregate() else best.estimated_rows
-        root.estimated_cost = best.estimated_cost + self.cost_model.aggregate_cost(
-            best.estimated_rows, max(1, len(self.query.select_items))
-        )
+    def _finalize(self, best: PlanNode) -> PlanNode:
+        query = self.query
+        num_outputs = max(1, len(query.select_items))
+        # The binder rejects SUM/AVG over text for SQL statements; repeat the
+        # check here so hand-built queries cannot reach the executors, where
+        # the engines would diverge (concatenation vs TypeError).
+        for item in query.select_items:
+            if item.aggregate not in (AggregateFunc.SUM, AggregateFunc.AVG):
+                continue
+            if item.column is None:  # only COUNT may take '*'
+                raise PlanningError(
+                    f"{item.aggregate.value.upper()}(*) is not defined"
+                )
+            table = query.table_for(item.column.alias)
+            schema = self._catalog.schema(table)
+            if schema.has_column(item.column.column):
+                col_type = schema.column(item.column.column).col_type
+                if col_type is ColumnType.TEXT:
+                    raise PlanningError(
+                        f"{item.aggregate.value.upper()}({item.column}) is not "
+                        f"defined for text column {table}.{item.column.column}"
+                    )
+        # Sort keys referencing base-table columns (alias set) sort the join
+        # result *below* the projection, so non-projected columns are still
+        # available; output-column keys (alias "") sort above it.  The binder
+        # always emits homogeneous keys; hand-built queries mixing the two
+        # forms have no single valid sort position, so reject them here
+        # instead of failing inside an executor column lookup.
+        has_base_keys = any(key.alias for key in query.order_by)
+        has_output_keys = any(not key.alias for key in query.order_by)
+        if has_base_keys and has_output_keys:
+            raise PlanningError(
+                "ORDER BY keys must either all reference output columns or "
+                f"all reference base-table columns, query {query.name!r} mixes both"
+            )
+        if has_output_keys and not query.select_items:
+            raise PlanningError(
+                "ORDER BY output-column keys require an explicit select list, "
+                f"query {query.name!r} selects *"
+            )
+        if has_base_keys and query.group_by:
+            raise PlanningError(
+                "grouped queries can only ORDER BY output columns, query "
+                f"{query.name!r} sorts on base-table columns"
+            )
+        if query.distinct and has_base_keys and query.select_items:
+            raise PlanningError(
+                "SELECT DISTINCT can only ORDER BY projected columns, query "
+                f"{query.name!r} sorts on non-projected base-table columns"
+            )
+        if has_base_keys and self._has_aggregate():
+            raise PlanningError(
+                "aggregate queries can only ORDER BY output columns, query "
+                f"{query.name!r} sorts on base-table columns"
+            )
+        if query.limit is None and query.offset:
+            # The grammar ties OFFSET to LIMIT; a hand-built query with only
+            # an offset would otherwise be silently ignored.
+            raise PlanningError(
+                f"OFFSET requires a LIMIT, query {query.name!r} has none"
+            )
+        sort_below = bool(query.order_by) and query.select_items and has_base_keys
+        if sort_below:
+            best = self._sort_node(best)
+        root: PlanNode
+        if query.group_by:
+            groups = self._group_count_estimate(best.estimated_rows, query.group_by)
+            root = HashAggregateNode(
+                child=best,
+                group_keys=tuple(query.group_by),
+                select_items=tuple(query.select_items),
+            )
+            root.estimated_rows = groups
+            root.estimated_cost = best.estimated_cost + self.cost_model.hash_aggregate_cost(
+                best.estimated_rows, groups, num_outputs
+            )
+        else:
+            root = AggregateNode(child=best, select_items=tuple(query.select_items))
+            root.estimated_rows = 1.0 if self._has_aggregate() else best.estimated_rows
+            root.estimated_cost = best.estimated_cost + self.cost_model.aggregate_cost(
+                best.estimated_rows, num_outputs
+            )
+        if query.distinct:
+            child = root
+            root = DistinctNode(child=child)
+            root.estimated_rows = self._distinct_estimate(child.estimated_rows)
+            root.estimated_cost = child.estimated_cost + self.cost_model.distinct_cost(
+                child.estimated_rows, root.estimated_rows
+            )
+        if query.order_by and not sort_below:
+            root = self._sort_node(root)
+        if query.limit is not None:
+            child = root
+            root = LimitNode(child=child, limit=query.limit, offset=query.offset or 0)
+            surviving = max(
+                0.0, min(float(query.limit), child.estimated_rows - (query.offset or 0))
+            )
+            root.estimated_rows = surviving
+            root.estimated_cost = child.estimated_cost + self.cost_model.limit_cost(
+                surviving
+            )
         return root
+
+    def _sort_node(self, child: PlanNode) -> SortNode:
+        """Wrap ``child`` in a Sort over the query's keys (rows preserved)."""
+        node = SortNode(child=child, keys=tuple(self.query.order_by))
+        node.estimated_rows = child.estimated_rows
+        node.estimated_cost = child.estimated_cost + self.cost_model.sort_cost(
+            child.estimated_rows, len(self.query.order_by)
+        )
+        return node
+
+    def _group_count_estimate(self, input_rows: float, group_keys) -> float:
+        distincts = [
+            self.estimator.selectivity.column_n_distinct(
+                self.query.table_for(ref.alias), ref.column
+            )
+            for ref in group_keys
+        ]
+        return self.estimator.selectivity.group_count(input_rows, distincts)
+
+    def _distinct_estimate(self, input_rows: float) -> float:
+        """Distinct output rows: ndv product of the projected columns."""
+        columns = [
+            item.column
+            for item in self.query.select_items
+            if item.aggregate is None and item.column is not None
+        ]
+        if not columns or len(columns) != len(self.query.select_items):
+            # SELECT * or aggregate outputs: no usable column statistics.
+            return input_rows
+        return self._group_count_estimate(input_rows, columns)
 
     def _has_aggregate(self) -> bool:
         return any(item.aggregate is not None for item in self.query.select_items)

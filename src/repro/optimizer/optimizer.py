@@ -19,7 +19,7 @@ from repro.optimizer.cost import CostModel, CostParameters
 from repro.optimizer.enumeration import JoinEnumerator, PlannerConfig
 from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.joingraph import JoinGraph
-from repro.optimizer.plan import AggregateNode
+from repro.optimizer.plan import PlanNode
 from repro.sql.binder import BoundQuery
 
 # Planning effort is converted into "simulated planning seconds" so that the
@@ -53,7 +53,7 @@ class PlannedQuery:
     """The result of optimizing one bound query."""
 
     query: BoundQuery
-    plan: AggregateNode
+    plan: PlanNode
     stats: PlanningStats
     estimator: CardinalityEstimator
 

@@ -14,8 +14,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
-from repro.sql.ast import Predicate, SelectItem
-from repro.sql.binder import BoundJoin
+from repro.sql.ast import ColumnRef, Predicate, SelectItem
+from repro.sql.binder import BoundJoin, BoundSortKey
 
 _node_counter = itertools.count()
 
@@ -154,6 +154,99 @@ class AggregateNode(PlanNode):
         if any(item.aggregate is not None for item in self.select_items):
             return "Aggregate"
         return "Project"
+
+
+@dataclass
+class HashAggregateNode(PlanNode):
+    """Grouped aggregation: hash on the group keys, fold aggregates per group."""
+
+    child: PlanNode
+    group_keys: Tuple[ColumnRef, ...]
+    select_items: Tuple[SelectItem, ...]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        keys = ", ".join(str(key) for key in self.group_keys)
+        return f"HashAggregate (keys: {keys})"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Sort of the query output on one or more keys."""
+
+    child: PlanNode
+    keys: Tuple[BoundSortKey, ...]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        # to_sql() renders " DESC" itself; spell out ASC for readability.
+        keys = ", ".join(
+            key.to_sql() + (" ASC" if key.ascending else "") for key in self.keys
+        )
+        return f"Sort ({keys})"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    """LIMIT/OFFSET applied to the (possibly sorted) query output."""
+
+    child: PlanNode
+    limit: int
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        text = f"Limit {self.limit}"
+        if self.offset:
+            text += f" offset {self.offset}"
+        return text
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    """Duplicate elimination over the projected output rows."""
+
+    child: PlanNode
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return "Distinct"
 
 
 @dataclass

@@ -10,6 +10,7 @@ from repro.sql.ast import (
     JoinPredicate,
     LikePredicate,
     NullPredicate,
+    OrderItem,
     OrPredicate,
     Parameter,
     Predicate,
@@ -17,7 +18,13 @@ from repro.sql.ast import (
     SelectQuery,
     TableRef,
 )
-from repro.sql.binder import Binder, BoundJoin, BoundQuery
+from repro.sql.binder import (
+    Binder,
+    BoundJoin,
+    BoundQuery,
+    BoundSortKey,
+    output_column_name,
+)
 from repro.sql.builder import QueryBuilder, collapse_aliases, referenced_columns
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.params import bind_parameters, parameterize
@@ -29,6 +36,7 @@ __all__ = [
     "Binder",
     "BoundJoin",
     "BoundQuery",
+    "BoundSortKey",
     "ColumnRef",
     "ComparisonOp",
     "ComparisonPredicate",
@@ -37,6 +45,7 @@ __all__ = [
     "LikePredicate",
     "NullPredicate",
     "OrPredicate",
+    "OrderItem",
     "Parameter",
     "Predicate",
     "QueryBuilder",
@@ -47,6 +56,7 @@ __all__ = [
     "TokenType",
     "bind_parameters",
     "collapse_aliases",
+    "output_column_name",
     "parameterize",
     "parse_select",
     "referenced_columns",

@@ -1,10 +1,12 @@
 """Abstract syntax tree for the supported SQL dialect.
 
-The dialect covers what the Join Order Benchmark needs: conjunctive
-select-project-join queries over base tables with optional aggregate
-(``MIN``/``MAX``/``COUNT``) outputs, equality joins, and single-table filter
-predicates (comparison, ``IN``, ``LIKE``, ``BETWEEN``, ``IS NULL``,
-disjunctions of these).
+The dialect covers what the Join Order Benchmark needs — conjunctive
+select-project-join queries over base tables with aggregate
+(``MIN``/``MAX``/``COUNT``/``SUM``/``AVG``/``COUNT(*)``) outputs, equality
+joins, and single-table filter predicates (comparison, ``IN``, ``LIKE``,
+``BETWEEN``, ``IS NULL``, disjunctions of these) — plus the result-shaping
+clauses analytic workloads need: ``GROUP BY``, ``ORDER BY ... [ASC|DESC]``,
+``LIMIT [OFFSET]`` and ``SELECT DISTINCT``.
 
 The AST produced by the parser is *unbound*: column references carry an
 optional alias qualifier and a column name but are not yet resolved against
@@ -62,6 +64,8 @@ class AggregateFunc(enum.Enum):
     MIN = "min"
     MAX = "max"
     COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
 
 
 @dataclass(frozen=True)
@@ -107,20 +111,43 @@ class TableRef:
 
 @dataclass(frozen=True)
 class SelectItem:
-    """One output column: a plain column or an aggregate over a column."""
+    """One output column: a plain column, an aggregate over a column, or ``COUNT(*)``.
 
-    column: ColumnRef
+    ``COUNT(*)`` is represented with ``aggregate=AggregateFunc.COUNT`` and
+    ``column=None`` (``star`` is then True); every other item carries a
+    column reference.
+    """
+
+    column: Optional[ColumnRef]
     aggregate: Optional[AggregateFunc] = None
     output_name: Optional[str] = None
+
+    @property
+    def star(self) -> bool:
+        """True for ``COUNT(*)`` (the only column-less select item)."""
+        return self.column is None
 
     def __str__(self) -> str:
         if self.aggregate is None:
             text = str(self.column)
+        elif self.column is None:
+            text = f"{self.aggregate.value}(*)"
         else:
             text = f"{self.aggregate.value}({self.column})"
         if self.output_name:
             text += f" AS {self.output_name}"
         return text
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ``ORDER BY`` key: a column (or select-list output name) plus direction."""
+
+    column: ColumnRef
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.column}{'' if self.ascending else ' DESC'}"
 
 
 class Predicate:
@@ -277,7 +304,7 @@ FilterPredicate = Union[
 
 @dataclass
 class SelectQuery:
-    """A parsed (unbound) select-project-join query."""
+    """A parsed (unbound) select-project-join query with result shaping."""
 
     select_items: List[SelectItem]
     tables: List[TableRef]
@@ -285,6 +312,11 @@ class SelectQuery:
     name: Optional[str] = None
     #: Number of ``?`` placeholders, in parse order (0 for literal-only SQL).
     param_count: int = 0
+    distinct: bool = False
+    group_by: List[ColumnRef] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
 
     def table_aliases(self) -> List[str]:
         """Aliases of all FROM-clause tables, in declaration order."""
@@ -300,12 +332,21 @@ class SelectQuery:
 
     def to_sql(self) -> str:
         """Render the query back to SQL text."""
-        select = ",\n       ".join(str(item) for item in self.select_items)
+        select = ",\n       ".join(str(item) for item in self.select_items) or "*"
         tables = ",\n     ".join(str(t) for t in self.tables)
-        text = f"SELECT {select}\nFROM {tables}"
+        prefix = "SELECT DISTINCT" if self.distinct else "SELECT"
+        text = f"{prefix} {select}\nFROM {tables}"
         if self.predicates:
             where = "\n  AND ".join(p.to_sql() for p in self.predicates)
             text += f"\nWHERE {where}"
+        if self.group_by:
+            text += "\nGROUP BY " + ", ".join(str(c) for c in self.group_by)
+        if self.order_by:
+            text += "\nORDER BY " + ", ".join(str(k) for k in self.order_by)
+        if self.limit is not None:
+            text += f"\nLIMIT {self.limit}"
+            if self.offset is not None:
+                text += f" OFFSET {self.offset}"
         return text + ";"
 
     def __str__(self) -> str:

@@ -5,6 +5,17 @@ referenced column exists, qualifies unqualified column references when they
 are unambiguous, and splits the WHERE clause into per-alias filter
 predicates and equi-join predicates.  The optimizer and the re-optimization
 driver work exclusively on :class:`BoundQuery` objects.
+
+Result shaping is validated here too:
+
+* ``GROUP BY`` keys are resolved against the catalog, and every
+  non-aggregate select item must be one of the group keys (the standard
+  grouped-select rule);
+* ``ORDER BY`` keys are resolved against the *output* of the query: for a
+  projected/aggregated select list they become references to output columns
+  (by ``AS`` name or by matching a select item), for ``SELECT *`` they stay
+  qualified base-table columns;
+* ``LIMIT``/``OFFSET``/``DISTINCT`` are carried through unchanged.
 """
 
 from __future__ import annotations
@@ -13,8 +24,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnType
 from repro.errors import BindError
 from repro.sql.ast import (
+    AggregateFunc,
     BetweenPredicate,
     ColumnRef,
     ComparisonPredicate,
@@ -22,11 +35,48 @@ from repro.sql.ast import (
     JoinPredicate,
     LikePredicate,
     NullPredicate,
+    OrderItem,
     OrPredicate,
     Predicate,
     SelectItem,
     SelectQuery,
 )
+
+
+def output_column_name(item: SelectItem, position: int) -> str:
+    """Output column name of one select item (``AS`` name or ``colN``).
+
+    This is the naming rule shared by the binder (ORDER BY key resolution)
+    and both executor engines.  ``Cursor.description`` deliberately renders
+    friendlier display names (``count(c.id)``, ``c.symbol``) for unnamed
+    items; give an item an ``AS`` name to make its display name ORDER
+    BY-addressable.
+    """
+    return item.output_name or f"col{position}"
+
+
+@dataclass(frozen=True)
+class BoundSortKey:
+    """A resolved ``ORDER BY`` key.
+
+    ``alias`` is ``""`` when the key refers to an output column of the
+    projected/aggregated result (named per :func:`output_column_name`), and a
+    FROM-clause alias when the query is ``SELECT *`` and the key refers to a
+    base-table column.  The executor resolves the pair against the final
+    result's columns at runtime.
+    """
+
+    alias: str
+    column: str
+    ascending: bool = True
+
+    def to_sql(self) -> str:
+        """Render back to SQL."""
+        name = f"{self.alias}.{self.column}" if self.alias else self.column
+        return name if self.ascending else f"{name} DESC"
+
+    def __str__(self) -> str:
+        return self.to_sql()
 
 
 @dataclass(frozen=True)
@@ -86,6 +136,11 @@ class BoundQuery:
         joins: equi-join predicates.
         param_count: number of unbound ``?`` placeholders still present in
             the filter predicates (0 once parameters are substituted).
+        distinct: drop duplicate output rows.
+        group_by: fully qualified grouping keys (empty when ungrouped).
+        order_by: resolved sort keys over the query output.
+        limit: maximum output rows (``None`` for no limit).
+        offset: output rows skipped before the limit applies.
     """
 
     name: Optional[str]
@@ -95,6 +150,11 @@ class BoundQuery:
     filters: Dict[str, List[Predicate]] = field(default_factory=dict)
     joins: List[BoundJoin] = field(default_factory=list)
     param_count: int = 0
+    distinct: bool = False
+    group_by: List[ColumnRef] = field(default_factory=list)
+    order_by: List[BoundSortKey] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
 
     def table_for(self, alias: str) -> str:
         """Catalog table name for ``alias``."""
@@ -137,9 +197,18 @@ class BoundQuery:
         for alias in self.aliases:
             clauses.extend(p.to_sql() for p in self.filters_for(alias))
         clauses.extend(j.to_sql() for j in self.joins)
-        text = f"SELECT {select}\nFROM {tables}"
+        prefix = "SELECT DISTINCT" if self.distinct else "SELECT"
+        text = f"{prefix} {select}\nFROM {tables}"
         if clauses:
             text += "\nWHERE " + "\n  AND ".join(clauses)
+        if self.group_by:
+            text += "\nGROUP BY " + ", ".join(str(c) for c in self.group_by)
+        if self.order_by:
+            text += "\nORDER BY " + ", ".join(k.to_sql() for k in self.order_by)
+        if self.limit is not None:
+            text += f"\nLIMIT {self.limit}"
+            if self.offset is not None:
+                text += f" OFFSET {self.offset}"
         return text + ";"
 
 
@@ -153,9 +222,9 @@ class Binder:
         """Bind a parsed query.
 
         Raises:
-            BindError: on unknown tables/columns, ambiguous references, or
+            BindError: on unknown tables/columns, ambiguous references,
                 predicates spanning more than one table that are not
-                equi-joins.
+                equi-joins, or select lists violating the grouping rules.
         """
         alias_tables: Dict[str, str] = {}
         for table_ref in query.tables:
@@ -172,10 +241,16 @@ class Binder:
             alias_tables=alias_tables,
             select_items=[],
             param_count=query.param_count,
+            distinct=query.distinct,
+            limit=query.limit,
+            offset=query.offset,
         )
         bound.select_items = [
             self._bind_select_item(item, bound) for item in query.select_items
         ]
+        bound.group_by = [self._resolve_column(ref, bound) for ref in query.group_by]
+        self._check_grouping_rules(bound)
+        bound.order_by = self._bind_order_by(query.order_by, bound)
 
         for predicate in query.predicates:
             if isinstance(predicate, JoinPredicate):
@@ -212,10 +287,201 @@ class Binder:
         return ColumnRef(alias=candidates[0], column=ref.column)
 
     def _bind_select_item(self, item: SelectItem, bound: BoundQuery) -> SelectItem:
+        if item.column is None:  # COUNT(*)
+            return item
         column = self._resolve_column(item.column, bound)
+        if item.aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
+            table = bound.table_for(column.alias)
+            col_type = self._catalog.schema(table).column(column.column).col_type
+            if col_type is ColumnType.TEXT:
+                raise BindError(
+                    f"{item.aggregate.value.upper()}({column}) is not defined "
+                    f"for text column {table}.{column.column}"
+                )
         return SelectItem(
             column=column, aggregate=item.aggregate, output_name=item.output_name
         )
+
+    def _check_grouping_rules(self, bound: BoundQuery) -> None:
+        """Enforce the standard grouped-select rules on the bound select list."""
+        has_aggregate = any(
+            item.aggregate is not None for item in bound.select_items
+        )
+        if bound.group_by:
+            if not bound.select_items:
+                raise BindError("SELECT * cannot be combined with GROUP BY")
+            keys = {(ref.alias, ref.column) for ref in bound.group_by}
+            for item in bound.select_items:
+                if item.aggregate is not None:
+                    continue
+                if (item.column.alias, item.column.column) not in keys:
+                    raise BindError(
+                        f"column {item.column} must appear in the GROUP BY "
+                        "clause or be used in an aggregate function"
+                    )
+        elif has_aggregate:
+            # The parser enforces the same rule with token positions for SQL
+            # text (_check_bare_columns); this branch covers queries bound
+            # from hand-built SelectQuery ASTs.
+            for item in bound.select_items:
+                if item.aggregate is None:
+                    raise BindError(
+                        f"bare column {item.column} cannot be mixed with "
+                        "aggregates without GROUP BY"
+                    )
+
+    def _bind_order_by(
+        self, order_by: List[OrderItem], bound: BoundQuery
+    ) -> List[BoundSortKey]:
+        """Resolve ORDER BY keys against the query output.
+
+        Keys normally resolve to *output* columns (``alias=""``), which the
+        optimizer sorts above the projection.  An ungrouped, aggregate-free
+        query may also order by columns it does not project; then every key
+        is resolved against the base tables (``alias`` set) and the sort is
+        planned below the projection.  ``SELECT DISTINCT`` requires every
+        sort key in the select list (PostgreSQL's rule), since sorting
+        non-projected columns of de-duplicated rows is meaningless.
+        """
+        if not order_by:
+            return []
+        if not bound.select_items:
+            # SELECT *: the output keeps qualified base-table columns.
+            return [
+                BoundSortKey(
+                    alias=(resolved := self._resolve_column(item.column, bound)).alias,
+                    column=resolved.column,
+                    ascending=item.ascending,
+                )
+                for item in order_by
+            ]
+        plain_query = not bound.group_by and all(
+            select_item.aggregate is None for select_item in bound.select_items
+        )
+        can_sort_below = plain_query and not bound.distinct
+        matches = [self._match_output(item, bound) for item in order_by]
+        if all(match is not None for match in matches):
+            # The executor resolves output columns *by name*; a duplicate of
+            # a matched name (repeated AS alias, or an alias colliding with
+            # another item's synthetic positional ``colN``) would silently
+            # address the wrong column at runtime.  Queries that can sort
+            # below the projection fall through to base columns instead,
+            # where output names are never consulted; everything else must
+            # reject the ambiguity.
+            names = [
+                output_column_name(select_item, position)
+                for position, select_item in enumerate(bound.select_items)
+            ]
+            conflicted = next(
+                (
+                    names[position]
+                    for position in matches
+                    if names.count(names[position]) > 1
+                ),
+                None,
+            )
+            if conflicted is None:
+                return [
+                    BoundSortKey(
+                        alias="",
+                        column=names[position],
+                        ascending=item.ascending,
+                    )
+                    for item, position in zip(order_by, matches)
+                ]
+            if not can_sort_below:
+                raise BindError(
+                    f"ORDER BY resolves to output name {conflicted!r}, which "
+                    "names more than one select item"
+                )
+        unmatched = next(
+            (item for item, match in zip(order_by, matches) if match is None),
+            None,
+        )
+        if unmatched is None:
+            # Every key matched but an output name was conflicted: sort on
+            # the matched items' base columns below the projection.
+            return [
+                BoundSortKey(
+                    alias=bound.select_items[position].column.alias,
+                    column=bound.select_items[position].column.column,
+                    ascending=item.ascending,
+                )
+                for item, position in zip(order_by, matches)
+            ]
+        if not plain_query:
+            # A typo'd column should report "no such column", not steer the
+            # user toward projecting a column that does not exist.
+            self._resolve_column(unmatched.column, bound)
+            raise BindError(
+                f"ORDER BY column {unmatched.column} must appear in the select "
+                "list (order by an output name to sort on an aggregate)"
+            )
+        if bound.distinct:
+            # As above: a typo'd column reports "no such column" first.
+            self._resolve_column(unmatched.column, bound)
+            raise BindError(
+                f"for SELECT DISTINCT, ORDER BY column {unmatched.column} must "
+                "appear in the select list"
+            )
+        # Sort below the projection: keys that matched an output column keep
+        # pointing at that select item's *base* column (so an AS alias still
+        # wins even when it shadows a real column name); the rest resolve
+        # against the base tables directly.
+        keys: List[BoundSortKey] = []
+        for item, match in zip(order_by, matches):
+            if match is not None:
+                base = bound.select_items[match].column
+            else:
+                base = self._resolve_column(item.column, bound)
+            keys.append(
+                BoundSortKey(
+                    alias=base.alias, column=base.column, ascending=item.ascending
+                )
+            )
+        return keys
+
+    def _match_output(self, item: OrderItem, bound: BoundQuery) -> Optional[int]:
+        """Match one ORDER BY key to a select-list position, if possible.
+
+        Whether the matched item is then addressed by output name (sort
+        above the projection) or by its base column (sort below) is the
+        caller's decision.
+        """
+        ref = item.column
+        # A bare name matching an explicit AS output name wins over column
+        # resolution.  Two select items sharing the AS name make the
+        # reference ambiguous (PostgreSQL's rule) — there is no position to
+        # pick, not even for a below-projection sort.
+        if ref.alias is None:
+            positions = [
+                position
+                for position, select_item in enumerate(bound.select_items)
+                if select_item.output_name == ref.column
+            ]
+            if len(positions) > 1:
+                raise BindError(f"ORDER BY {ref.column!r} is ambiguous")
+            if positions:
+                return positions[0]
+        try:
+            resolved = self._resolve_column(ref, bound)
+        except BindError:
+            # Not a real column either: accept the synthetic positional
+            # ``colN`` name (how BoundQuery.to_sql renders unnamed outputs).
+            # Real columns take precedence over the fallback, so a table
+            # column literally named ``col0`` is never shadowed by it.
+            if ref.alias is None:
+                for position, select_item in enumerate(bound.select_items):
+                    if (
+                        select_item.output_name is None
+                        and f"col{position}" == ref.column
+                    ):
+                        return position
+            return None
+        for position, select_item in enumerate(bound.select_items):
+            if select_item.aggregate is None and select_item.column == resolved:
+                return position
+        return None
 
     def _bind_join(self, predicate: JoinPredicate, bound: BoundQuery) -> BoundJoin:
         left = self._resolve_column(predicate.left, bound)

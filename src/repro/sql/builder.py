@@ -21,7 +21,7 @@ from repro.sql.ast import (
     Predicate,
     SelectItem,
 )
-from repro.sql.binder import BoundJoin, BoundQuery
+from repro.sql.binder import BoundJoin, BoundQuery, BoundSortKey
 
 
 class QueryBuilder:
@@ -40,6 +40,11 @@ class QueryBuilder:
         self._select_items: List[SelectItem] = []
         self._filters: Dict[str, List[Predicate]] = {}
         self._joins: List[BoundJoin] = []
+        self._distinct = False
+        self._group_by: List[ColumnRef] = []
+        self._order_by: List[BoundSortKey] = []
+        self._limit: Optional[int] = None
+        self._offset: Optional[int] = None
 
     def add_table(self, table: str, alias: Optional[str] = None) -> "QueryBuilder":
         """Add a FROM-clause table with an optional alias."""
@@ -68,6 +73,15 @@ class QueryBuilder:
         )
         return self
 
+    def add_count_star(self, output_name: Optional[str] = None) -> "QueryBuilder":
+        """Add a ``COUNT(*)`` output column."""
+        self._select_items.append(
+            SelectItem(
+                column=None, aggregate=AggregateFunc.COUNT, output_name=output_name
+            )
+        )
+        return self
+
     def add_filter(self, alias: str, predicate: Predicate) -> "QueryBuilder":
         """Attach a single-table filter predicate to ``alias``."""
         self._require_alias(alias)
@@ -92,6 +106,34 @@ class QueryBuilder:
         )
         return self
 
+    def set_distinct(self, distinct: bool = True) -> "QueryBuilder":
+        """Toggle DISTINCT on the output."""
+        self._distinct = distinct
+        return self
+
+    def add_group_by(self, alias: str, column: str) -> "QueryBuilder":
+        """Add a GROUP BY key."""
+        self._require_alias(alias)
+        self._group_by.append(ColumnRef(alias=alias, column=column))
+        return self
+
+    def add_order_by(
+        self, alias: str, column: str, ascending: bool = True
+    ) -> "QueryBuilder":
+        """Add an ORDER BY key (``alias=""`` sorts on an output column name)."""
+        if alias:
+            self._require_alias(alias)
+        self._order_by.append(
+            BoundSortKey(alias=alias, column=column, ascending=ascending)
+        )
+        return self
+
+    def set_limit(self, limit: int, offset: Optional[int] = None) -> "QueryBuilder":
+        """Set LIMIT (and optionally OFFSET) on the output."""
+        self._limit = limit
+        self._offset = offset
+        return self
+
     def build(self) -> BoundQuery:
         """Produce the bound query."""
         return BoundQuery(
@@ -101,6 +143,11 @@ class QueryBuilder:
             select_items=list(self._select_items),
             filters={alias: list(preds) for alias, preds in self._filters.items()},
             joins=list(self._joins),
+            distinct=self._distinct,
+            group_by=list(self._group_by),
+            order_by=list(self._order_by),
+            limit=self._limit,
+            offset=self._offset,
         )
 
     def _require_alias(self, alias: str) -> None:
@@ -164,6 +211,9 @@ def collapse_aliases(
 
     new_select: List[SelectItem] = []
     for item in query.select_items:
+        if item.column is None:  # COUNT(*) references no specific column
+            new_select.append(item)
+            continue
         alias, column = remap(item.column.alias, item.column.column)
         new_select.append(
             SelectItem(
@@ -172,6 +222,20 @@ def collapse_aliases(
                 output_name=item.output_name,
             )
         )
+
+    new_group_by: List[ColumnRef] = []
+    for ref in query.group_by:
+        alias, column = remap(ref.alias, ref.column)
+        new_group_by.append(ColumnRef(alias=alias, column=column))
+
+    # Output-column keys (alias "") are untouched; base-table keys follow
+    # the same remap rule as every other column reference.
+    new_order_by = []
+    for key in query.order_by:
+        if key.alias:
+            alias, column = remap(key.alias, key.column)
+            key = BoundSortKey(alias=alias, column=column, ascending=key.ascending)
+        new_order_by.append(key)
 
     new_filters: Dict[str, List[Predicate]] = {
         alias: list(preds)
@@ -213,6 +277,11 @@ def collapse_aliases(
         select_items=new_select,
         filters=new_filters,
         joins=new_joins,
+        distinct=query.distinct,
+        group_by=new_group_by,
+        order_by=new_order_by,
+        limit=query.limit,
+        offset=query.offset,
     )
 
 
@@ -220,7 +289,8 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
     """Columns of ``aliases`` referenced outside the group or in the select list.
 
     Used by the re-optimization driver to decide which columns the
-    materialized temporary table must expose.
+    materialized temporary table must expose.  Grouping keys and (for
+    ``SELECT *`` queries) base-table sort keys count as referenced too.
     """
     alias_set = set(aliases)
     needed: List[Tuple[str, str]] = []
@@ -230,7 +300,13 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
             needed.append((alias, column))
 
     for item in query.select_items:
-        add(item.column.alias, item.column.column)
+        if item.column is not None:
+            add(item.column.alias, item.column.column)
+    for ref in query.group_by:
+        add(ref.alias, ref.column)
+    for key in query.order_by:
+        if key.alias:
+            add(key.alias, key.column)
     for join in query.joins:
         left_in = join.left_alias in alias_set
         right_in = join.right_alias in alias_set

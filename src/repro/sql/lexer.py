@@ -24,6 +24,15 @@ KEYWORDS = {
     "min",
     "max",
     "count",
+    "sum",
+    "avg",
+    "group",
+    "order",
+    "by",
+    "asc",
+    "desc",
+    "limit",
+    "offset",
     "create",
     "temp",
     "temporary",

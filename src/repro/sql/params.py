@@ -66,6 +66,11 @@ def bind_parameters(query: BoundQuery, params: Sequence[object]) -> BoundQuery:
         filters=filters,
         joins=list(query.joins),
         param_count=0,
+        distinct=query.distinct,
+        group_by=list(query.group_by),
+        order_by=list(query.order_by),
+        limit=query.limit,
+        offset=query.offset,
     )
 
 
@@ -95,6 +100,11 @@ def parameterize(query: BoundQuery) -> Tuple[BoundQuery, List[object]]:
         filters=filters,
         joins=list(query.joins),
         param_count=len(values),
+        distinct=query.distinct,
+        group_by=list(query.group_by),
+        order_by=list(query.order_by),
+        limit=query.limit,
+        offset=query.offset,
     )
     return parameterized, values
 

@@ -2,9 +2,13 @@
 
 Grammar (informal)::
 
-    query      := SELECT select_list FROM table_list [WHERE conjunction] [';']
+    query      := SELECT [DISTINCT] select_list FROM table_list
+                  [WHERE conjunction] [GROUP BY column_list]
+                  [ORDER BY order_list] [LIMIT number [OFFSET number]] [';']
     select_list:= select_item (',' select_item)* | '*'
-    select_item:= [MIN|MAX|COUNT] '(' column ')' [AS ident] | column [AS ident]
+    select_item:= agg '(' column ')' [AS ident] | COUNT '(' '*' ')' [AS ident]
+                | column [AS ident]
+    agg        := MIN | MAX | COUNT | SUM | AVG
     table_list := table_ref (',' table_ref)*
     table_ref  := ident [AS ident | ident]
     conjunction:= condition (AND condition)*
@@ -15,15 +19,21 @@ Grammar (informal)::
                 | column [NOT] LIKE string
                 | column BETWEEN literal AND literal
                 | column IS [NOT] NULL
+    column_list:= column (',' column)*
+    order_list := column [ASC|DESC] (',' column [ASC|DESC])*
     column     := ident ['.' ident]
 
 A ``column op column`` condition with ``=`` over two different aliases is a
 join predicate; anything else is a filter predicate.
+
+Parse errors carry the character offset of the offending token and an
+excerpt of the SQL around it, so messages read like
+``LIMIT must come after FROM/WHERE (at offset 12, near 'LIMIT 5 FROM t')``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, NoReturn, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.sql.ast import (
@@ -36,6 +46,7 @@ from repro.sql.ast import (
     JoinPredicate,
     LikePredicate,
     NullPredicate,
+    OrderItem,
     OrPredicate,
     Parameter,
     Predicate,
@@ -44,6 +55,12 @@ from repro.sql.ast import (
     TableRef,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = tuple(func.value for func in AggregateFunc)
+
+#: Clause keywords that can only appear after the select list; seeing one in
+#: place of FROM gets a dedicated "misplaced clause" error.
+_TRAILING_CLAUSE_KEYWORDS = ("where", "group", "order", "limit", "offset")
 
 
 def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
@@ -57,7 +74,7 @@ def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
         ParseError: if the text is not a supported SELECT statement.
         LexerError: if the text cannot be tokenized.
     """
-    parser = _Parser(tokenize(sql))
+    parser = _Parser(tokenize(sql), sql)
     query = parser.parse_query()
     query.name = name
     return query
@@ -66,8 +83,9 @@ def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
 class _Parser:
     """Token-stream cursor with the recursive-descent productions."""
 
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(self, tokens: List[Token], sql: str = "") -> None:
         self._tokens = tokens
+        self._sql = sql
         self._pos = 0
         self._param_count = 0
 
@@ -83,13 +101,15 @@ class _Parser:
             self._pos += 1
         return token
 
+    def _fail(self, message: str, token: Optional[Token] = None) -> NoReturn:
+        token = token if token is not None else self._peek()
+        raise ParseError(message, position=token.position, sql=self._sql)
+
     def _expect(self, token_type: TokenType, value: Optional[str] = None) -> Token:
         token = self._peek()
         if token.type is not token_type or (value is not None and token.value != value):
             expected = value or token_type.value
-            raise ParseError(
-                f"expected {expected!r} but found {token.value!r} at offset {token.position}"
-            )
+            self._fail(f"expected {expected!r} but found {token.value!r}", token)
         return self._advance()
 
     def _accept_keyword(self, keyword: str) -> bool:
@@ -101,9 +121,18 @@ class _Parser:
     def _expect_keyword(self, keyword: str) -> None:
         if not self._accept_keyword(keyword):
             token = self._peek()
-            raise ParseError(
-                f"expected keyword {keyword.upper()!r} but found {token.value!r} "
-                f"at offset {token.position}"
+            if keyword == "from" and token.type is TokenType.KEYWORD and (
+                token.value in _TRAILING_CLAUSE_KEYWORDS
+            ):
+                if token.value == "offset":
+                    self._fail("OFFSET is only valid directly after LIMIT", token)
+                self._fail(
+                    f"{token.value.upper()} must come after the FROM clause",
+                    token,
+                )
+            self._fail(
+                f"expected keyword {keyword.upper()!r} but found {token.value!r}",
+                token,
             )
 
     # -- productions -----------------------------------------------------
@@ -111,44 +140,77 @@ class _Parser:
     def parse_query(self) -> SelectQuery:
         """Parse a full SELECT statement."""
         self._expect_keyword("select")
-        select_items = self._parse_select_list()
+        distinct = self._accept_keyword("distinct")
+        select_items, item_tokens = self._parse_select_list()
         self._expect_keyword("from")
         tables = self._parse_table_list()
         predicates: List[Predicate] = []
         if self._accept_keyword("where"):
             predicates = self._parse_conjunction()
+        group_by = self._parse_group_by()
+        self._check_bare_columns(select_items, item_tokens, group_by)
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit()
         if self._peek().type is TokenType.SEMICOLON:
             self._advance()
         if self._peek().type is not TokenType.EOF:
             token = self._peek()
-            raise ParseError(
-                f"unexpected trailing input {token.value!r} at offset {token.position}"
-            )
+            if token.type is TokenType.KEYWORD and (
+                token.value in _TRAILING_CLAUSE_KEYWORDS
+            ):
+                # A clause keyword left over after all clauses were consumed
+                # means it appeared after a later clause.
+                if token.value == "offset":
+                    self._fail("OFFSET is only valid directly after LIMIT", token)
+                self._fail(
+                    f"{token.value.upper()} is out of order; clauses must "
+                    "appear as WHERE, GROUP BY, ORDER BY, LIMIT",
+                    token,
+                )
+            self._fail(f"unexpected trailing input {token.value!r}", token)
         return SelectQuery(
             select_items=select_items,
             tables=tables,
             predicates=predicates,
             param_count=self._param_count,
+            distinct=distinct,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
         )
 
-    def _parse_select_list(self) -> List[SelectItem]:
+    def _parse_select_list(self) -> Tuple[List[SelectItem], List[Token]]:
         if self._peek().type is TokenType.STAR:
             self._advance()
-            return []
+            return [], []
+        tokens = [self._peek()]
         items = [self._parse_select_item()]
         while self._peek().type is TokenType.COMMA:
             self._advance()
+            tokens.append(self._peek())
             items.append(self._parse_select_item())
-        return items
+        return items, tokens
 
     def _parse_select_item(self) -> SelectItem:
         token = self._peek()
         aggregate: Optional[AggregateFunc] = None
-        if token.type is TokenType.KEYWORD and token.value in ("min", "max", "count"):
+        column: Optional[ColumnRef]
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
             aggregate = AggregateFunc(token.value)
             self._advance()
             self._expect(TokenType.LPAREN)
-            column = self._parse_column_ref()
+            if self._peek().type is TokenType.STAR:
+                star_token = self._advance()
+                if aggregate is not AggregateFunc.COUNT:
+                    self._fail(
+                        f"'*' is only allowed inside COUNT, not "
+                        f"{aggregate.value.upper()}",
+                        star_token,
+                    )
+                column = None
+            else:
+                column = self._parse_column_ref()
             self._expect(TokenType.RPAREN)
         else:
             column = self._parse_column_ref()
@@ -158,6 +220,73 @@ class _Parser:
         elif self._peek().type is TokenType.IDENTIFIER:
             output_name = self._advance().value
         return SelectItem(column=column, aggregate=aggregate, output_name=output_name)
+
+    def _check_bare_columns(
+        self,
+        select_items: List[SelectItem],
+        item_tokens: List[Token],
+        group_by: List[ColumnRef],
+    ) -> None:
+        """Reject bare columns mixed with aggregates unless the query is grouped."""
+        if group_by or not any(item.aggregate is not None for item in select_items):
+            return
+        for item, token in zip(select_items, item_tokens):
+            if item.aggregate is None:
+                self._fail(
+                    f"bare column {item.column} cannot be mixed with aggregates "
+                    "without GROUP BY",
+                    token,
+                )
+
+    def _parse_group_by(self) -> List[ColumnRef]:
+        if not self._accept_keyword("group"):
+            return []
+        self._expect_keyword("by")
+        columns = [self._parse_column_ref()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            columns.append(self._parse_column_ref())
+        return columns
+
+    def _parse_order_by(self) -> List[OrderItem]:
+        if not self._accept_keyword("order"):
+            return []
+        self._expect_keyword("by")
+        items = [self._parse_order_item()]
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> OrderItem:
+        column = self._parse_column_ref()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(column=column, ascending=ascending)
+
+    def _parse_limit(self) -> Tuple[Optional[int], Optional[int]]:
+        if not self._accept_keyword("limit"):
+            return None, None
+        limit = self._parse_count("LIMIT")
+        offset: Optional[int] = None
+        if self._accept_keyword("offset"):
+            offset = self._parse_count("OFFSET")
+        return limit, offset
+
+    def _parse_count(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or "." in token.value:
+            self._fail(
+                f"{clause} takes a non-negative integer, found {token.value!r}",
+                token,
+            )
+        value = int(self._advance().value)
+        if value < 0:
+            self._fail(f"{clause} takes a non-negative integer, found {value}", token)
+        return value
 
     def _parse_table_list(self) -> List[TableRef]:
         tables = [self._parse_table_ref()]
@@ -236,21 +365,28 @@ class _Parser:
                 right = self._parse_column_ref()
                 if op is ComparisonOp.EQ and right.alias != column.alias:
                     return JoinPredicate(column, right)
-                raise ParseError(
+                self._fail(
                     "column-to-column comparisons are only supported as equi-joins "
-                    f"between different tables (offset {right_token.position})"
+                    "between different tables",
+                    right_token,
                 )
             value = self._parse_literal()
             return ComparisonPredicate(column, op, value)
-        raise ParseError(
-            f"unsupported condition near {token.value!r} at offset {token.position}"
-        )
+        self._fail(f"unsupported condition near {token.value!r}", token)
 
     def _parse_column_ref(self) -> ColumnRef:
         first = self._expect(TokenType.IDENTIFIER).value
         if self._peek().type is TokenType.DOT:
             self._advance()
-            second = self._expect(TokenType.IDENTIFIER).value
+            # After ``alias.`` a keyword is unambiguous, so columns named
+            # like keywords (``t.sum``, ``t.order``) stay addressable.
+            token = self._peek()
+            if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+                second = self._advance().value
+            else:
+                self._fail(
+                    f"expected a column name but found {token.value!r}", token
+                )
             return ColumnRef(alias=first, column=second)
         return ColumnRef(alias=None, column=first)
 
@@ -279,9 +415,7 @@ class _Parser:
         if token.matches_keyword("null"):
             self._advance()
             return None
-        raise ParseError(
-            f"expected a literal but found {token.value!r} at offset {token.position}"
-        )
+        self._fail(f"expected a literal but found {token.value!r}", token)
 
     def _parse_like_pattern(self) -> object:
         if self._peek().type is TokenType.PARAMETER:

@@ -1,0 +1,32 @@
+"""Hypothesis settings profiles for the property/fuzz suites.
+
+Two profiles keep fuzz runs reproducible:
+
+* ``dev`` (default) — a quick run for local iteration.
+* ``ci`` — the pinned profile CI uses (``HYPOTHESIS_PROFILE=ci``):
+  derandomized (a fixed example stream, so every PR fuzzes the same queries)
+  and large enough that the differential fuzzer replays well over 200
+  generated queries per run.
+
+Select a profile with the ``HYPOTHESIS_PROFILE`` environment variable;
+``make fuzz`` runs the ``ci`` profile.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+settings.register_profile("dev", max_examples=60, **_COMMON)
+settings.register_profile("ci", max_examples=220, derandomize=True, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

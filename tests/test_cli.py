@@ -106,3 +106,33 @@ class TestSqlCommand:
         assert code == 1
         err = capsys.readouterr().err
         assert "error:" in err
+
+    def test_repl_serves_grouped_ordered_limited_statements(self, capsys, monkeypatch):
+        import io
+
+        stdin = io.StringIO(
+            "SELECT t.kind_id, count(*) AS n, min(t.production_year) AS first_year "
+            "FROM title AS t GROUP BY t.kind_id ORDER BY n DESC LIMIT 3;\n"
+            "SELECT DISTINCT kt.kind FROM kind_type AS kt ORDER BY kt.kind;\n"
+        )
+        monkeypatch.setattr("sys.stdin", stdin)
+        code = main(["sql", "--scale", "0.05", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2 statement(s)" in out
+        # Column header row of the grouped statement.
+        assert "t.kind_id  n  first_year" in out
+        # EXPLAIN of the grouped statement shows the new plan nodes.
+        assert "HashAggregate (keys: t.kind_id)" in out
+        assert "Sort (n DESC)" in out
+        assert "Limit 3" in out
+        assert "Distinct" in out
+
+    def test_repl_reports_parse_error_with_position(self, capsys):
+        code = main(
+            ["sql", "--scale", "0.05", "-e", "SELECT t.id LIMIT 5 FROM title AS t"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "LIMIT must come after the FROM clause" in err
+        assert "at offset 12" in err

@@ -192,3 +192,76 @@ class TestReoptimizingConnection:
         cursor = connection.execute(SIMPLE_SQL)
         assert cursor.explain_text is not None
         assert "actual_rows" in cursor.explain_text
+
+
+GROUPED_SQL = (
+    "SELECT c.sector, count(*) AS n, sum(t.shares) AS volume "
+    "FROM company AS c, trades AS t WHERE c.id = t.company_id "
+    "GROUP BY c.sector ORDER BY volume DESC LIMIT 2"
+)
+
+
+class TestGroupedQueriesThroughPipeline:
+    """Grouped-aggregate statements flow through cache/EXPLAIN like any other."""
+
+    def test_plan_cache_hit_on_repeated_group_by(self, conn):
+        first = conn.execute(GROUPED_SQL)
+        second = conn.execute(GROUPED_SQL)
+        assert not first.context.plan_cached
+        assert second.context.plan_cached
+        assert conn.cache_stats.hits == 1
+        assert second.fetchall() == first.fetchall()
+
+    def test_explain_shows_shaping_nodes(self, stock_db):
+        connection = connect(stock_db, reoptimize=False, capture_explain=True)
+        text = connection.execute(GROUPED_SQL).explain_text
+        assert "HashAggregate (keys: c.sector)" in text
+        assert "Sort (volume DESC)" in text
+        assert "Limit 2" in text
+
+    def test_description_types_for_new_outputs(self, conn):
+        from repro.catalog import ColumnType
+
+        cursor = conn.execute(
+            "SELECT c.sector, count(*) AS n, sum(t.shares) AS total, "
+            "avg(t.shares) AS mean FROM company AS c, trades AS t "
+            "WHERE c.id = t.company_id GROUP BY c.sector"
+        )
+        description = cursor.description
+        assert [d[0] for d in description] == ["c.sector", "n", "total", "mean"]
+        assert [d[1] for d in description] == [
+            ColumnType.TEXT,  # group key keeps its column type
+            ColumnType.INT,  # COUNT is always integer
+            ColumnType.INT,  # SUM over an int column stays int
+            ColumnType.FLOAT,  # AVG is always float
+        ]
+
+    def test_count_star_description_name(self, conn):
+        cursor = conn.execute("SELECT count(*) FROM company AS c")
+        assert cursor.description[0][0] == "count(*)"
+        assert cursor.fetchall() == [(150,)]
+
+    def test_reoptimized_grouped_query_matches_plain_run(self, stock_db):
+        connection = connect(
+            stock_db,
+            policy=ReoptimizationPolicy(threshold=2, min_query_seconds=0.0),
+            plan_cache_size=0,
+        )
+        skewed = (
+            "SELECT t.venue, count(*) AS n FROM company AS c, trades AS t "
+            "WHERE c.symbol = 'SYM1' AND c.id = t.company_id "
+            "GROUP BY t.venue ORDER BY n DESC"
+        )
+        cursor = connection.execute(skewed)
+        baseline = connect(stock_db, reoptimize=False).execute(skewed)
+        assert cursor.fetchall() == baseline.fetchall()
+
+    def test_prepared_grouped_statement_with_params(self, conn):
+        statement = conn.prepare(
+            "SELECT t.venue, sum(t.shares) AS s FROM trades AS t "
+            "WHERE t.shares > ? GROUP BY t.venue ORDER BY s DESC LIMIT 1"
+        )
+        top = statement.execute((0,)).fetchall()
+        assert len(top) == 1
+        again = statement.execute((0,)).fetchall()
+        assert again == top

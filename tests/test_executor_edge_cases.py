@@ -70,11 +70,18 @@ class TestAggregateEdgeCases:
         )
         assert vectorized.result.rows == [(0, None, None)]
 
-    def test_bare_column_with_aggregate_over_zero_rows(self, edge_db):
+    def test_bare_column_with_aggregate_requires_group_by(self, edge_db):
+        """The old lenient mixed select list is now a parse error; grouped is ok."""
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="bare column t.v"):
+            edge_db.plan("SELECT t.v, count(t.id) AS n FROM t WHERE t.id > 100")
+        # Grouped, zero input rows produce zero groups (standard SQL).
         vectorized, _ = _both(
-            edge_db, "SELECT t.v, count(t.id) AS n FROM t WHERE t.id > 100"
+            edge_db,
+            "SELECT t.v, count(t.id) AS n FROM t WHERE t.id > 100 GROUP BY t.v",
         )
-        assert vectorized.result.rows == [(None, 0)]
+        assert vectorized.result.rows == []
 
     def test_count_skips_nulls(self, edge_db):
         vectorized, _ = _both(edge_db, "SELECT count(t.k) AS n FROM t")
@@ -101,6 +108,139 @@ class TestAggregateEdgeCases:
         vectorized = aggregate_result(ColumnBatch.from_rows(columns, []), items)
         oracle = reference.aggregate_result(ResultSet(columns, []), items)
         assert vectorized.rows == oracle.rows == [(None, 0)]
+
+
+class TestGroupedAggregateEdgeCases:
+    """Pins for GROUP BY / new-aggregate semantics (both engines)."""
+
+    @pytest.fixture()
+    def grouped_db(self) -> Database:
+        db = Database()
+        db.create_table(
+            make_schema(
+                "m",
+                [
+                    ("id", ColumnType.INT),
+                    ("g", ColumnType.TEXT),
+                    ("x", ColumnType.INT),
+                ],
+                primary_key="id",
+            )
+        )
+        # Group 'a' has values, group 'b' is all-NULL, NULL key has a value.
+        db.load_rows(
+            "m",
+            [
+                (1, "a", 4),
+                (2, "a", None),
+                (3, "b", None),
+                (4, None, 2),
+                (5, "b", None),
+                (6, None, None),
+            ],
+        )
+        db.finalize_load()
+        return db
+
+    def test_null_group_keys_form_their_own_group(self, grouped_db):
+        vectorized, _ = _both(
+            grouped_db, "SELECT m.g, count(*) AS n FROM m GROUP BY m.g"
+        )
+        assert sorted(vectorized.result.rows, key=repr) == sorted(
+            [("a", 2), ("b", 2), (None, 2)], key=repr
+        )
+
+    def test_sum_avg_over_all_null_group_return_null_count_zero(self, grouped_db):
+        vectorized, _ = _both(
+            grouped_db,
+            "SELECT m.g, sum(m.x) AS s, avg(m.x) AS a, count(m.x) AS n, "
+            "count(*) AS rows_n FROM m GROUP BY m.g",
+        )
+        by_key = {row[0]: row[1:] for row in vectorized.result.rows}
+        assert by_key["a"] == (4, 4.0, 1, 2)
+        assert by_key["b"] == (None, None, 0, 2)  # all-NULL group
+        assert by_key[None] == (2, 2.0, 1, 2)  # NULL key still aggregates
+
+    def test_sum_avg_over_empty_input_return_null_count_zero(self, grouped_db):
+        vectorized, _ = _both(
+            grouped_db,
+            "SELECT sum(m.x) AS s, avg(m.x) AS a, count(m.x) AS n, count(*) AS r "
+            "FROM m WHERE m.id > 100",
+        )
+        assert vectorized.result.rows == [(None, None, 0, 0)]
+
+    def test_sum_of_negative_zero_keeps_its_sign_on_both_engines(self):
+        """IEEE signed zeros: seeding SUM from the first value, not int 0."""
+        import math
+
+        db = Database()
+        db.create_table(
+            make_schema("f", [("id", ColumnType.INT), ("x", ColumnType.FLOAT)])
+        )
+        db.load_rows("f", [(1, -0.0), (2, -0.0)])
+        db.finalize_load()
+        planned = db.plan("SELECT sum(f.x) AS s, avg(f.x) AS a FROM f")
+        vectorized = db.executor.execute(planned.plan).result.rows
+        ref = db.executor_for(ExecutionEngine.REFERENCE).execute(planned.plan).result.rows
+        assert vectorized == ref
+        assert math.copysign(1.0, vectorized[0][0]) == -1.0
+        assert math.copysign(1.0, ref[0][0]) == -1.0
+
+    def test_grouped_query_over_empty_input_has_zero_groups(self, grouped_db):
+        vectorized, _ = _both(
+            grouped_db,
+            "SELECT m.g, sum(m.x) AS s FROM m WHERE m.id > 100 GROUP BY m.g",
+        )
+        assert vectorized.result.rows == []
+
+
+class TestOrderByLimitEdgeCases:
+    """Pins for deterministic NULL placement and LIMIT/OFFSET bounds."""
+
+    @pytest.fixture()
+    def ordered_db(self) -> Database:
+        db = Database()
+        db.create_table(
+            make_schema(
+                "o",
+                [("id", ColumnType.INT), ("x", ColumnType.INT)],
+                primary_key="id",
+            )
+        )
+        db.load_rows("o", [(1, 5), (2, None), (3, 1), (4, None), (5, 3)])
+        db.finalize_load()
+        return db
+
+    def test_order_by_asc_puts_nulls_last(self, ordered_db):
+        vectorized, _ = _both(ordered_db, "SELECT o.id FROM o ORDER BY o.x ASC")
+        # NULLS LAST, and ties (both NULL) keep input order: 2 before 4.
+        assert list(vectorized.result.rows) == [(3,), (5,), (1,), (2,), (4,)]
+
+    def test_order_by_desc_puts_nulls_first(self, ordered_db):
+        vectorized, _ = _both(ordered_db, "SELECT o.id FROM o ORDER BY o.x DESC")
+        assert list(vectorized.result.rows) == [(2,), (4,), (1,), (5,), (3,)]
+
+    def test_limit_zero_is_empty(self, ordered_db):
+        vectorized, _ = _both(
+            ordered_db, "SELECT o.id FROM o ORDER BY o.id LIMIT 0"
+        )
+        assert vectorized.result.rows == []
+
+    def test_offset_past_the_end_is_empty(self, ordered_db):
+        vectorized, _ = _both(
+            ordered_db, "SELECT o.id FROM o ORDER BY o.id LIMIT 3 OFFSET 99"
+        )
+        assert vectorized.result.rows == []
+
+    def test_limit_overshooting_returns_all_remaining(self, ordered_db):
+        vectorized, _ = _both(
+            ordered_db, "SELECT o.id FROM o ORDER BY o.id LIMIT 99 OFFSET 3"
+        )
+        assert list(vectorized.result.rows) == [(4,), (5,)]
+
+    def test_distinct_keeps_first_occurrence_order(self, ordered_db):
+        vectorized, _ = _both(ordered_db, "SELECT DISTINCT o.x FROM o")
+        assert list(vectorized.result.rows) == [(5,), (None,), (1,), (3,)]
 
 
 class TestJoinEdgeCases:

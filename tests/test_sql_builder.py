@@ -54,6 +54,122 @@ class TestQueryBuilder:
         with pytest.raises(BindError):
             builder.add_join("t", "id", "t", "id")
 
+    def test_shaping_clauses_carried_into_bound_query(self):
+        query = (
+            QueryBuilder(name="shaped")
+            .add_table("company", "c")
+            .add_select("c", "sector", output_name="s")
+            .set_distinct()
+            .add_order_by("", "s", ascending=False)
+            .set_limit(3, offset=1)
+            .build()
+        )
+        assert query.distinct
+        assert [(k.alias, k.column, k.ascending) for k in query.order_by] == [
+            ("", "s", False)
+        ]
+        assert (query.limit, query.offset) == (3, 1)
+
+    def test_mixed_order_by_keys_rejected_at_planning(self, stock_db):
+        # SQL text can never produce mixed output/base sort keys (the binder
+        # normalizes them), but the builder accepts both forms; the planner
+        # must reject the mix instead of crashing inside the executor.
+        from repro.errors import PlanningError
+
+        query = (
+            QueryBuilder(name="mixed")
+            .add_table("company", "c")
+            .add_select("c", "symbol", output_name="x")
+            .add_order_by("", "x")
+            .add_order_by("c", "id")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="mixes both"):
+            stock_db.plan(query)
+
+    def test_grouped_query_with_base_sort_keys_rejected_at_planning(self, stock_db):
+        from repro.errors import PlanningError
+        from repro.sql import AggregateFunc
+
+        query = (
+            QueryBuilder(name="grouped-base-sort")
+            .add_table("company", "c")
+            .add_select("c", "sector")
+            .add_select("c", "id", aggregate=AggregateFunc.COUNT, output_name="n")
+            .add_group_by("c", "sector")
+            .add_order_by("c", "id")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="only ORDER BY output columns"):
+            stock_db.plan(query)
+
+    def test_builder_sum_over_text_rejected_at_planning(self, stock_db):
+        # The binder's type check only covers SQL text; the planner must stop
+        # hand-built queries before the engines diverge on text arithmetic.
+        from repro.errors import PlanningError
+        from repro.sql import AggregateFunc
+
+        query = (
+            QueryBuilder(name="sum-text")
+            .add_table("company", "c")
+            .add_select("c", "symbol", aggregate=AggregateFunc.SUM, output_name="s")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="not defined for text column"):
+            stock_db.plan(query)
+
+    def test_sum_star_rejected_at_planning(self, stock_db):
+        from repro.errors import PlanningError
+        from repro.sql import AggregateFunc, SelectItem
+
+        query = QueryBuilder(name="sum-star").add_table("company", "c").build()
+        query.select_items.append(
+            SelectItem(column=None, aggregate=AggregateFunc.SUM, output_name="s")
+        )
+        with pytest.raises(PlanningError, match=r"SUM\(\*\) is not defined"):
+            stock_db.plan(query)
+
+    def test_ungrouped_aggregate_with_base_sort_keys_rejected(self, stock_db):
+        from repro.errors import PlanningError
+        from repro.sql import AggregateFunc
+
+        query = (
+            QueryBuilder(name="agg-base-sort")
+            .add_table("company", "c")
+            .add_select("c", "id", aggregate=AggregateFunc.SUM, output_name="s")
+            .add_order_by("c", "id")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="aggregate queries can only"):
+            stock_db.plan(query)
+
+    def test_distinct_with_base_sort_keys_rejected_at_planning(self, stock_db):
+        from repro.errors import PlanningError
+
+        query = (
+            QueryBuilder(name="distinct-base-sort")
+            .add_table("company", "c")
+            .add_select("c", "sector")
+            .set_distinct()
+            .add_order_by("c", "id")
+            .build()
+        )
+        with pytest.raises(PlanningError, match="SELECT DISTINCT can only"):
+            stock_db.plan(query)
+
+    def test_offset_without_limit_rejected_at_planning(self, stock_db):
+        from repro.errors import PlanningError
+
+        query = (
+            QueryBuilder(name="offset-only")
+            .add_table("company", "c")
+            .add_select("c", "id")
+            .build()
+        )
+        query.offset = 5
+        with pytest.raises(PlanningError, match="OFFSET requires a LIMIT"):
+            stock_db.plan(query)
+
 
 class TestReferencedColumns:
     def test_select_and_boundary_joins(self):

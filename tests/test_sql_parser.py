@@ -132,3 +132,132 @@ class TestParseSelect:
         first, second = query.filter_predicates()
         assert isinstance(first.value, float)
         assert isinstance(second.value, int)
+
+
+class TestResultShapingClauses:
+    def test_group_by(self):
+        query = parse_select(
+            "SELECT t.kind_id, count(t.id) AS n FROM title t GROUP BY t.kind_id"
+        )
+        assert [str(c) for c in query.group_by] == ["t.kind_id"]
+        assert query.select_items[1].aggregate is AggregateFunc.COUNT
+
+    def test_count_star(self):
+        query = parse_select("SELECT count(*) AS n FROM title t")
+        item = query.select_items[0]
+        assert item.aggregate is AggregateFunc.COUNT
+        assert item.column is None and item.star
+        assert str(item) == "count(*) AS n"
+
+    def test_sum_and_avg(self):
+        query = parse_select("SELECT sum(t.id) s, avg(t.id) a FROM title t")
+        assert query.select_items[0].aggregate is AggregateFunc.SUM
+        assert query.select_items[1].aggregate is AggregateFunc.AVG
+
+    def test_star_only_in_count(self):
+        with pytest.raises(ParseError, match=r"'\*' is only allowed inside COUNT"):
+            parse_select("SELECT sum(*) FROM title t")
+
+    def test_order_by_directions(self):
+        query = parse_select(
+            "SELECT t.id, t.title FROM title t ORDER BY t.id DESC, t.title ASC, t.kind_id"
+        )
+        assert [(str(k.column), k.ascending) for k in query.order_by] == [
+            ("t.id", False),
+            ("t.title", True),
+            ("t.kind_id", True),
+        ]
+
+    def test_limit_and_offset(self):
+        query = parse_select("SELECT t.id FROM title t LIMIT 10 OFFSET 3")
+        assert query.limit == 10
+        assert query.offset == 3
+
+    def test_limit_without_offset(self):
+        query = parse_select("SELECT t.id FROM title t LIMIT 0")
+        assert query.limit == 0
+        assert query.offset is None
+
+    def test_distinct(self):
+        query = parse_select("SELECT DISTINCT t.kind_id FROM title t")
+        assert query.distinct
+
+    def test_full_clause_ordering(self):
+        query = parse_select(
+            "SELECT t.kind_id, min(t.title) AS first_title\n"
+            "FROM title t WHERE t.production_year > 2000\n"
+            "GROUP BY t.kind_id ORDER BY first_title DESC LIMIT 5 OFFSET 1;"
+        )
+        assert query.group_by and query.order_by
+        assert (query.limit, query.offset) == (5, 1)
+
+    def test_shaped_roundtrip_to_sql_reparses(self):
+        sql = (
+            "SELECT DISTINCT t.kind_id, count(*) AS n FROM title t "
+            "WHERE t.production_year > 1990 "
+            "GROUP BY t.kind_id ORDER BY n DESC, t.kind_id LIMIT 7 OFFSET 2"
+        )
+        query = parse_select(sql)
+        reparsed = parse_select(query.to_sql())
+        assert reparsed.to_sql() == query.to_sql()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError, match="non-negative integer"):
+            parse_select("SELECT t.id FROM title t LIMIT -1")
+
+    def test_keyword_named_columns_addressable_when_qualified(self):
+        # Keywords are unambiguous after 'alias.', so columns that collide
+        # with (new) keywords remain queryable in qualified form.
+        query = parse_select(
+            "SELECT t.sum, max(t.order) AS hi FROM t AS t "
+            "WHERE t.count > 1 GROUP BY t.sum ORDER BY t.sum"
+        )
+        assert str(query.select_items[0].column) == "t.sum"
+        assert str(query.group_by[0]) == "t.sum"
+
+
+class TestParserErrorMessages:
+    """Error messages carry the token offset and an excerpt of the SQL."""
+
+    def test_bare_column_with_aggregates(self):
+        sql = "SELECT t.title, count(t.id) AS n FROM title t"
+        with pytest.raises(ParseError) as excinfo:
+            parse_select(sql)
+        message = str(excinfo.value)
+        assert (
+            "bare column t.title cannot be mixed with aggregates "
+            "without GROUP BY" in message
+        )
+        assert "at offset 7" in message
+        assert "near 't.title, count(t.id) AS...'" in message
+        assert excinfo.value.position == 7
+
+    def test_misplaced_limit_before_from(self):
+        sql = "SELECT t.id LIMIT 5 FROM title t"
+        with pytest.raises(ParseError) as excinfo:
+            parse_select(sql)
+        message = str(excinfo.value)
+        assert "LIMIT must come after the FROM clause" in message
+        assert "at offset 12" in message
+        assert "near 'LIMIT 5 FROM title t'" in message
+
+    def test_limit_before_order_by_reports_clause_order(self):
+        sql = "SELECT t.id FROM title t LIMIT 2 ORDER BY t.id"
+        with pytest.raises(ParseError) as excinfo:
+            parse_select(sql)
+        message = str(excinfo.value)
+        assert "ORDER is out of order" in message
+        assert "WHERE, GROUP BY, ORDER BY, LIMIT" in message
+        assert "near 'ORDER BY t.id'" in message
+
+    def test_offset_after_from_reports_limit_requirement(self):
+        with pytest.raises(ParseError, match="only valid directly after LIMIT"):
+            parse_select("SELECT t.id FROM title t OFFSET 2")
+
+    def test_group_without_by(self):
+        with pytest.raises(ParseError, match="expected keyword 'BY'"):
+            parse_select("SELECT count(*) FROM title t GROUP t.kind_id")
+
+    def test_error_at_end_of_input(self):
+        with pytest.raises(ParseError, match="near 'end of input'"):
+            parse_select("SELECT t.id FROM title t LIMIT")
