@@ -1,20 +1,41 @@
 # Convenience targets; every recipe matches what CI runs.
 #
+#   make ci      - the exact step sequence of .github/workflows/ci.yml:
+#                  lint -> unit -> differential -> fuzz -> guards
 #   make test    - tier-1 suite (unit + integration + property + differential)
-#   make bench   - paper-figure benchmarks plus the engine speedup guards
+#   make unit    - the unit/integration/property suites as CI runs them
+#                  (differential + fuzz split out into their own steps)
 #   make diff    - just the vectorized-vs-reference differential suite
 #   make fuzz    - the random-query differential fuzzer, CI profile (pinned,
-#                  derandomized, 220+ generated queries)
+#                  derandomized, 220+ generated queries, each also run
+#                  adaptive=True vs adaptive=False vs the reference oracle)
+#   make fuzz-nightly - the randomized nightly profile (10x examples); pass
+#                  SEED=... to reproduce a nightly CI failure
+#   make guards  - the engine/aggregation speedup guard benchmarks
+#   make bench   - paper-figure benchmarks plus the speedup guards; set
+#                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
+#                  report, compare with `make bench-compare`
 #   make lint    - ruff check (same invocation as the CI lint job)
 #   make all     - everything
 
 PYTHON ?= python
+SEED ?= 0
 export PYTHONPATH := src
 
-.PHONY: test bench diff fuzz lint all
+.PHONY: ci test unit diff fuzz fuzz-nightly guards bench bench-compare lint all
+
+# Mirrors the CI workflow's step sequence exactly (lint job, then the test
+# job's three pytest steps, then the speedup guards).
+ci: lint unit diff fuzz guards
 
 test:
 	$(PYTHON) -m pytest -x -q tests
+
+unit:
+	$(PYTHON) -m pytest -x -q tests \
+		--ignore=tests/test_executor_differential.py \
+		--ignore=tests/test_executor_edge_cases.py \
+		--ignore=tests/property/test_sql_fuzz_differential.py
 
 diff:
 	$(PYTHON) -m pytest -x -q tests/test_executor_differential.py tests/test_executor_edge_cases.py
@@ -22,10 +43,19 @@ diff:
 fuzz:
 	HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
 
+fuzz-nightly:
+	HYPOTHESIS_PROFILE=nightly $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py --hypothesis-seed=$(SEED)
+
+guards:
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py
+
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks
+
+bench-compare:
+	$(PYTHON) -m repro.bench.compare BENCH_baseline.json BENCH_pr.json --max-regression 0.20
 
 lint:
 	ruff check .
 
-all: lint test fuzz bench
+all: ci bench

@@ -14,15 +14,43 @@ Environment knobs:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.bench.harness import build_context
+from repro.bench.harness import build_context, env_query_limit, env_scale
+from repro.bench.reporting import BenchmarkRecorder
+
+#: When set, the session recorder writes the headline metrics here as JSON
+#: (the CI benchmark job sets it to ``BENCH_pr.json`` and compares the file
+#: against the checked-in ``BENCH_baseline.json``).
+BENCH_REPORT_ENV_VAR = "REPRO_BENCH_REPORT"
 
 
 @pytest.fixture(scope="session")
 def context():
     """The shared workload context used by every benchmark module."""
     return build_context()
+
+
+@pytest.fixture(scope="session")
+def recorder():
+    """Session-wide benchmark-trajectory recorder (see reporting module).
+
+    Benchmarks record headline metrics on it; at session end the report is
+    written to ``$REPRO_BENCH_REPORT`` (skipped when the variable is unset,
+    so plain local runs leave no files behind).
+    """
+    rec = BenchmarkRecorder()
+    rec.meta["scale"] = env_scale()
+    limit = env_query_limit()
+    if limit is not None:
+        rec.meta["query_limit"] = limit
+    yield rec
+    path = os.environ.get(BENCH_REPORT_ENV_VAR)
+    if path and rec.metrics:
+        rec.write(path)
+        print(f"\nbenchmark trajectory report written to {path}")
 
 
 def print_experiment(result) -> None:

@@ -12,20 +12,28 @@ from repro.bench.experiments import figure5
 from conftest import print_experiment
 
 
-def test_fig5_iterative_estimate_correction(benchmark, context):
+def test_fig5_iterative_estimate_correction(benchmark, context, recorder):
     result = benchmark.pedantic(figure5, args=(context,), rounds=1, iterations=1)
     print_experiment(result)
 
     queries = sorted(set(result.column("query")))
     assert len(queries) == 3
+    final_exec_total = 0.0
+    iterations_total = 0
     for name in queries:
         rows = [row for row in result.rows if row[0] == name]
         iterations = [row[1] for row in rows]
         exec_series = [row[2] for row in rows]
         perfect = rows[0][3]
+        final_exec_total += exec_series[-1]
+        iterations_total += len(iterations)
         # The loop runs at least one iteration and terminates.
         assert iterations == list(range(len(iterations)))
         # The final plan is no slower than the starting plan and approaches
         # the perfect-estimate plan within a small factor.
         assert exec_series[-1] <= exec_series[0] * 1.05
         assert exec_series[-1] <= max(perfect * 3.0, perfect + 0.5)
+
+    # Headline metrics for the CI trajectory gate (deterministic per scale).
+    recorder.record("fig5.final_exec_s", final_exec_total, direction="lower")
+    recorder.record("fig5.iterations_total", iterations_total, direction="info")

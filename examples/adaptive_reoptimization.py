@@ -1,0 +1,133 @@
+"""Walk through operator-level adaptive execution on a mis-estimated query.
+
+The paper simulates re-optimization by materializing sub-joins into temporary
+tables and rewriting SQL.  The adaptive executor is the real-system design
+the paper names (Kabra & DeWitt-style mid-query re-optimization): the plan
+executes stage-wise, pausing at pipeline breakers; when the observed
+cardinality at a breaker is off by more than the Q-error threshold, the
+remainder is re-planned with the observed true cardinalities injected and the
+in-memory intermediate is handed to the new plan as a catalog pseudo-table —
+no temp-table DDL, no write-out, no re-scan.
+
+The demo builds a skewed table whose self-join the optimizer underestimates
+by ~9x, then shows:
+
+* the plain plan with estimated vs actual rows (EXPLAIN ANALYZE),
+* the adaptive run: the re-plan point, the handover, and EXPLAIN ANALYZE of
+  the final plan scanning the in-memory intermediate,
+* the accounting against the materialize-and-rewrite simulation (the
+  adaptive loop pays no materialization surcharge),
+* the plan-cache interaction: re-planning never poisons the cached original
+  plan, and the pseudo-table never bumps the catalog epoch.
+
+Run with::
+
+    python examples/adaptive_reoptimization.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.catalog import ColumnType, make_schema
+from repro.core import ReoptimizationPolicy
+from repro.engine import Database
+from repro.executor import explain_plan
+
+SQL = (
+    "SELECT count(*) AS n FROM records AS r1, records AS r2 "
+    "WHERE r1.val = r2.val"
+)
+
+
+def build_database() -> Database:
+    """100 rows whose ``val`` column is 90% one value (skewed join key)."""
+    db = Database()
+    db.create_table(
+        make_schema(
+            "records",
+            [
+                ("id", ColumnType.INT),
+                ("gid", ColumnType.INT),
+                ("val", ColumnType.INT),
+                ("label", ColumnType.TEXT),
+            ],
+            primary_key="id",
+        )
+    )
+    rows = []
+    for i in range(100):
+        val = 1 if i < 90 else (i - 88)
+        rows.append((i + 1, i % 7, val, "x" if i % 2 else "y"))
+    db.load_rows("records", rows)
+    db.finalize_load()
+    return db
+
+
+def main() -> None:
+    policy = ReoptimizationPolicy(threshold=4.0)
+
+    print("=== plain execution (EXPLAIN ANALYZE) ===")
+    db = build_database()
+    planned = db.plan(SQL)
+    execution = db.execute_plan(planned)
+    print(explain_plan(planned.plan, execution))
+    print(
+        "\nthe optimizer's uniformity assumption underestimates the skewed "
+        "self-join;\nsimulated execution time: "
+        f"{execution.simulated_seconds * 1e3:.1f} ms"
+    )
+
+    print("\n=== adaptive execution (connect(..., adaptive=True)) ===")
+    db = build_database()
+    epoch_before = db.catalog.epoch
+    conn = repro.connect(db, policy=policy, adaptive=True, capture_explain=True)
+    cursor = conn.execute(SQL)
+    ctx = cursor.context
+    for step in ctx.report.steps:
+        print(
+            f"re-plan {step.index + 1}: {step.trigger_label} estimated "
+            f"{step.estimated_rows:.0f} rows but produced {step.actual_rows} "
+            f"(q-error {step.q_error:.1f}); {step.temp_rows} rows handed over "
+            f"in memory as {step.temp_table} (materialization surcharge: "
+            f"{step.materialize_work:.1f} work units)"
+        )
+    print("\nEXPLAIN ANALYZE of the final (re-planned) round:\n")
+    print(cursor.explain_text)
+    print(f"\nrows: {cursor.fetchall()}")
+    print(
+        f"adaptive simulated execution time: "
+        f"{ctx.execution_seconds * 1e3:.1f} ms"
+    )
+
+    print("\n=== vs the paper's materialize-and-rewrite simulation ===")
+    db2 = build_database()
+    with repro.connect(db2, policy=policy, adaptive=False) as sim_conn:
+        sim_ctx = sim_conn.execute(SQL).context
+    print(
+        f"simulation: {sim_ctx.execution_seconds * 1e3:.1f} ms "
+        f"(materializes {sim_ctx.report.steps[0].temp_rows} rows into a temp "
+        "table, then re-scans it)\n"
+        f"adaptive:   {ctx.execution_seconds * 1e3:.1f} ms "
+        "(intermediate stays in memory)"
+    )
+
+    print("\n=== plan-cache interaction ===")
+    second = conn.execute(SQL)
+    print(
+        f"second execution: served from plan cache={second.context.plan_cached}, "
+        f"re-planned again={second.context.reoptimized}, "
+        f"cache stats={conn.cache_stats}"
+    )
+    print(
+        f"catalog epoch before={epoch_before} after={db.catalog.epoch} "
+        "(pseudo-tables are transient: no epoch bump, no cache invalidation)"
+    )
+    conn.analyze()
+    print(
+        f"after ANALYZE mid-stream the epoch bumps to {db.catalog.epoch}, "
+        "invalidating cached plans."
+    )
+
+
+if __name__ == "__main__":
+    main()

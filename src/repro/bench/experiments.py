@@ -112,6 +112,12 @@ def figure1(context: WorkloadContext, top: int = 20) -> ExperimentResult:
         execution, planning = total_seconds(matrix[regime.name])
         result.add_row(labels[regime.name], execution, planning, execution + planning)
     result.metadata["query_names"] = names
+    # Re-optimization activity on the top queries: how many materialize/
+    # re-plan steps the scheme took in total (the CI trajectory report tracks
+    # this next to the headline times).
+    result.metadata["reopt_steps_total"] = sum(
+        outcome.reoptimization_steps for outcome in matrix["reopt-32"]
+    )
     # Real operator throughput of the executor (engine-dependent), reported
     # alongside the engine-invariant simulated times so the harness artifacts
     # capture the vectorized engine's speedup.

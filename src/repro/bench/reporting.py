@@ -1,13 +1,21 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text rendering of experiment results and the CI trajectory hook.
 
 The paper's evaluation artifacts are bar charts, line plots and small tables.
 Offline and dependency-free, we render every artifact as an aligned text
 table (one row per bar / series point / bucket) so the benchmark output can
 be compared side by side with the paper's figures.
+
+:class:`BenchmarkRecorder` is the small hook the CI benchmark job uses to
+track the performance trajectory across PRs: benchmark tests record headline
+metrics (simulated execution seconds, re-optimization step counts, operator
+throughput), the session fixture writes them as ``BENCH_pr.json``, and
+``python -m repro.bench.compare`` gates the job against the checked-in
+``BENCH_baseline.json``.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -77,3 +85,52 @@ class ExperimentResult:
             if row[index] == key:
                 return row
         return None
+
+
+# -- CI benchmark-trajectory reporting ---------------------------------------
+
+#: How a metric is gated by ``repro.bench.compare``:
+#: ``"lower"``/``"higher"`` say which direction is better (the comparison
+#: fails on a >max-regression move the wrong way); ``"info"`` metrics are
+#: reported but never gated — use it for wall-clock quantities that vary
+#: across CI runners (the simulated work metrics are deterministic).
+DIRECTIONS = ("lower", "higher", "info")
+
+#: Version of the ``BENCH_*.json`` schema.
+BENCH_SCHEMA_VERSION = 1
+
+
+class BenchmarkRecorder:
+    """Collects headline benchmark metrics for the CI trajectory gate."""
+
+    def __init__(self) -> None:
+        self.metrics: Dict[str, Dict[str, object]] = {}
+        self.meta: Dict[str, object] = {}
+
+    def record(self, key: str, value: float, direction: str = "info") -> None:
+        """Record one metric (re-recording a key overwrites it).
+
+        Args:
+            key: dotted metric name, e.g. ``"fig1.reopt_exec_s"``.
+            value: the measured value.
+            direction: one of :data:`DIRECTIONS`.
+        """
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}"
+            )
+        self.metrics[key] = {"value": float(value), "direction": direction}
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-serializable report."""
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "metrics": {key: dict(entry) for key, entry in sorted(self.metrics.items())},
+        }
+
+    def write(self, path: str) -> None:
+        """Write the report to ``path`` as pretty-printed JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -26,11 +26,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 class CatalogEntry:
     """Everything the engine knows about one table."""
 
-    def __init__(self, schema: TableSchema, table: "Table") -> None:
+    def __init__(
+        self, schema: TableSchema, table: "Table", transient: bool = False
+    ) -> None:
         self.schema = schema
         self.table = table
         self.stats: Optional["TableStats"] = None
         self.indexes: Dict[str, "Index"] = {}
+        #: True for adaptive-execution pseudo-tables (see register_transient).
+        self.transient = transient
 
     def index_on(self, column: str) -> Optional["Index"]:
         """Return an index whose key column is ``column``, if one exists."""
@@ -86,6 +90,38 @@ class Catalog:
         self._entries[schema.name] = entry
         self.bump_epoch()
         return entry
+
+    def register_transient(self, schema: TableSchema, table: "Table") -> CatalogEntry:
+        """Register a pseudo-table *without* bumping the epoch.
+
+        The adaptive executor hands an already-computed in-memory intermediate
+        to a re-planned query remainder by registering it here mid-execution.
+        The registration is not DDL: no statement can name the table (its name
+        is generated and dropped before the query returns), so cached plans
+        for other statements stay valid and the catalog epoch — which keys the
+        plan cache — must not move.
+
+        Raises:
+            CatalogError: if a table with the same name already exists.
+        """
+        if schema.name in self._entries:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        entry = CatalogEntry(schema, table, transient=True)
+        self._entries[schema.name] = entry
+        return entry
+
+    def drop_transient(self, name: str) -> None:
+        """Remove a transient pseudo-table without bumping the epoch.
+
+        Raises:
+            CatalogError: if the table does not exist or is not transient.
+        """
+        entry = self.entry(name)
+        if not entry.transient:
+            raise CatalogError(
+                f"table {name!r} is not transient; use drop() for real tables"
+            )
+        del self._entries[name]
 
     def drop(self, name: str) -> None:
         """Remove a table from the catalog.

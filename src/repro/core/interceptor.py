@@ -1,18 +1,23 @@
 """The paper's re-optimization scheme as a query-lifecycle interceptor.
 
-This module owns the materialize-and-re-plan loop (paper Section V): for a
-planned query, compare every join's actual cardinality with the optimizer's
-estimate; if the lowest join in the plan tree is off by more than a Q-error
-threshold, materialize that sub-join into a temporary table, rewrite the
-remainder of the query to use it, re-plan, and repeat until no join violates
-the threshold.
-
 :class:`ReoptimizationInterceptor` wraps the *execute* stage of a
-:class:`~repro.engine.pipeline.QueryPipeline`: the pipeline's plan stage
-(possibly served by the plan cache) provides the initial plan, ``proceed``
-runs the initial execution, and the interceptor takes over from there.
+:class:`~repro.engine.pipeline.QueryPipeline` and drives one of two loops:
 
-Accounting follows the paper:
+* **Adaptive (operator-level) re-optimization** — the default when the
+  engine's ``adaptive`` setting (or the interceptor's ``adaptive`` override)
+  is on.  The :class:`~repro.executor.adaptive.AdaptiveExecutor` executes the
+  plan stage-wise, pausing at pipeline breakers; on a Q-error violation it
+  re-plans the remainder with observed true cardinalities and hands the
+  in-memory intermediate over as a catalog pseudo-table (no DDL, no
+  materialization surcharge, no uncharged exploratory runs).
+* **The paper's simulation** (legacy, still the default for the paper-figure
+  benchmarks): compare every join's actual cardinality with the estimate
+  after a full exploratory execution; if the lowest join in the plan tree is
+  off by more than the Q-error threshold, materialize that sub-join into a
+  temporary table, rewrite the remainder of the query to use it, re-plan,
+  and repeat until no join violates the threshold (paper Section V).
+
+Simulation accounting follows the paper:
 
 * execution time = the work to create every temporary table plus the work of
   the final SELECT;
@@ -20,8 +25,12 @@ Accounting follows the paper:
   plan cache) plus planning of every rewritten query;
 * the exploratory executions used (like the paper's ``EXPLAIN ANALYZE``) to
   discover actual cardinalities are *not* charged — a real mid-query
-  implementation would obtain them for free while executing the sub-join it
-  is about to materialize anyway.
+  implementation obtains them for free while executing the sub-join it is
+  about to materialize anyway (which is precisely what the adaptive loop
+  does for real).
+
+Both loops produce the same :class:`ReoptimizationReport` shape, so every
+consumer (connection metrics, benchmark regimes, examples) works unchanged.
 """
 
 from __future__ import annotations
@@ -40,7 +49,13 @@ from repro.sql.builder import collapse_aliases, referenced_columns
 
 
 class ReoptimizationInterceptor(QueryInterceptor):
-    """Runs the materialize-and-re-plan loop around the execute stage."""
+    """Runs the re-optimization loop around the execute stage.
+
+    ``adaptive`` selects the loop: ``True`` forces operator-level adaptive
+    execution, ``False`` forces the paper's materialize-and-rewrite
+    simulation, ``None`` (default) follows the engine's
+    :attr:`~repro.engine.settings.EngineSettings.adaptive` setting.
+    """
 
     name = "reoptimization"
 
@@ -48,11 +63,74 @@ class ReoptimizationInterceptor(QueryInterceptor):
         self,
         policy: Optional[ReoptimizationPolicy] = None,
         keep_temp_tables: bool = False,
+        adaptive: Optional[bool] = None,
     ) -> None:
         self.policy = policy or ReoptimizationPolicy()
         self.keep_temp_tables = keep_temp_tables
+        self.adaptive = adaptive
 
     def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        adaptive = self.adaptive
+        if adaptive is None:
+            adaptive = getattr(ctx.database.settings, "adaptive", False)
+        if adaptive:
+            return self._execute_adaptive(ctx)
+        return self._execute_simulated(ctx, proceed)
+
+    # -- operator-level adaptive loop ---------------------------------------
+
+    def _execute_adaptive(self, ctx: QueryContext) -> QueryContext:
+        """Run the in-executor adaptive loop instead of the execute stage.
+
+        ``proceed`` is deliberately not called: stage-wise execution replaces
+        the plain full execution, so there is no separate exploratory run.
+        """
+        # Imported lazily: the adaptive executor pulls in repro.core.triggers,
+        # so a module-level import would be circular through repro.core.
+        from repro.executor.adaptive import AdaptiveExecutor
+
+        db = ctx.database
+        execution = AdaptiveExecutor(
+            db, self.policy, injector=ctx.injector
+        ).execute(ctx.planned)
+
+        report = ReoptimizationReport(query_name=ctx.bound.name)
+        if not ctx.plan_cached:
+            report.total_planning_work += ctx.planned.stats.planning_work
+        report.total_planning_work += execution.replanning_work
+        report.total_execution_work = execution.total_work
+        report.rows_processed = execution.rows_processed
+        report.wall_seconds = execution.wall_seconds
+        for point in execution.replans:
+            report.steps.append(
+                ReoptimizationStep(
+                    index=point.index,
+                    trigger_label=point.trigger_label,
+                    trigger_aliases=point.trigger_aliases,
+                    estimated_rows=point.estimated_rows,
+                    actual_rows=point.actual_rows,
+                    q_error=point.q_error,
+                    temp_table=point.pseudo_table,
+                    temp_rows=point.pseudo_rows,
+                    charged_work=point.executed_work,
+                    materialize_work=0.0,
+                    create_sql=(
+                        f"-- adaptive handover: {point.pseudo_rows} rows kept "
+                        f"in memory as {point.pseudo_table}"
+                    ),
+                )
+            )
+        report.final_planned = execution.final_planned
+        report.final_execution = execution
+        report.final_query = execution.final_query
+        ctx.report = report
+        ctx.planned = execution.final_planned
+        ctx.execution = execution
+        return ctx
+
+    # -- the paper's materialize-and-rewrite simulation ---------------------
+
+    def _execute_simulated(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
         db = ctx.database
         policy = self.policy
         report = ReoptimizationReport(query_name=ctx.bound.name)
@@ -77,8 +155,14 @@ class ReoptimizationInterceptor(QueryInterceptor):
                 report.wall_seconds += execution.wall_seconds
 
                 trigger = None
+                # SELECT * queries are excluded from the SQL-rewrite
+                # simulation: collapsing aliases into a temp table cannot
+                # preserve the star output's columns.  The adaptive executor
+                # restores the original output shape and handles them.
                 can_still_rewrite = (
-                    iteration < policy.max_iterations and current.num_tables() > 1
+                    iteration < policy.max_iterations
+                    and current.num_tables() > 1
+                    and bool(current.select_items)
                 )
                 if can_still_rewrite and not self._too_short(iteration, execution):
                     trigger = find_trigger_join(planned.plan, policy)

@@ -1,9 +1,14 @@
-"""Pipelined mid-query re-optimization (the paper's future-work direction).
+"""Pipelined mid-query re-optimization, modeled analytically (deprecated).
 
 The paper's simulation pays for a full materialization of every mis-estimated
-sub-join.  A real mid-query re-optimizer (Kabra & DeWitt style) would keep
-the already-computed intermediate in memory and hand it to the re-planned
-remainder of the query, avoiding the extra write-out and the re-scan.
+sub-join.  A real mid-query re-optimizer (Kabra & DeWitt style) keeps the
+already-computed intermediate in memory and hands it to the re-planned
+remainder of the query, avoiding the extra write-out and the re-scan — that
+real implementation now exists as the adaptive executor
+(:mod:`repro.executor.adaptive`; ``connect(..., adaptive=True)``).  This
+module remains as the *analytical model* of the variant: the ablation
+benchmarks that compare the simulation against the discounted accounting
+keep their published numbers, pinned by the differential tests.
 
 :class:`MidQueryReoptimizer` models that cheaper variant: the control flow is
 identical to :class:`~repro.core.reoptimizer.ReoptimizationSimulator`, but

@@ -38,7 +38,11 @@ class ReoptimizationPolicy:
         threshold: Q-error above which a join triggers re-optimization.
         trigger_site: ``"lowest"`` materializes the lowest violating join in
             the plan (the paper's choice); ``"highest"`` is the ablation that
-            materializes the largest violating sub-join instead.
+            materializes the largest violating sub-join instead.  The
+            ablation exists only in the materialize-and-rewrite simulation:
+            operator-level adaptive execution observes breakers bottom-up
+            and always triggers at the lowest (it warns and ignores
+            ``"highest"``).
         max_iterations: hard cap on materialize/re-plan rounds per query.
         min_query_seconds: queries whose first estimated execution time is
             below this value are not re-optimized (the paper notes that

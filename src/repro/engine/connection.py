@@ -58,6 +58,7 @@ def connect(
     settings: Optional[EngineSettings] = None,
     policy=None,
     reoptimize: bool = True,
+    adaptive: Optional[bool] = None,
     plan_cache_size: Optional[int] = None,
     interceptors: Sequence[QueryInterceptor] = (),
     capture_explain: bool = False,
@@ -72,6 +73,10 @@ def connect(
             re-optimization interceptor.
         reoptimize: disable to serve statements without the
             materialize-and-re-plan loop.
+        adaptive: ``True`` serves statements with operator-level adaptive
+            execution (stage-wise executor, in-memory intermediate handover),
+            ``False`` with the paper's materialize-and-rewrite simulation;
+            default follows the engine's ``adaptive`` setting.
         plan_cache_size: LRU capacity (defaults to the engine settings;
             0 disables caching).
         interceptors: extra middleware, run between the bundled interceptors
@@ -84,6 +89,7 @@ def connect(
         settings=settings,
         policy=policy,
         reoptimize=reoptimize,
+        adaptive=adaptive,
         plan_cache_size=plan_cache_size,
         interceptors=interceptors,
         capture_explain=capture_explain,
@@ -100,6 +106,7 @@ class Connection:
         settings: Optional[EngineSettings] = None,
         policy=None,
         reoptimize: bool = True,
+        adaptive: Optional[bool] = None,
         plan_cache_size: Optional[int] = None,
         interceptors: Sequence[QueryInterceptor] = (),
         capture_explain: bool = False,
@@ -122,7 +129,7 @@ class Connection:
             chain.append(ExplainCaptureInterceptor())
         chain.extend(interceptors)
         if reoptimize:
-            chain.append(ReoptimizationInterceptor(self.policy))
+            chain.append(ReoptimizationInterceptor(self.policy, adaptive=adaptive))
         self.pipeline = QueryPipeline(self.database, chain)
         self._closed = False
 

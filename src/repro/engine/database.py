@@ -28,6 +28,7 @@ from repro.sql.binder import Binder, BoundQuery
 from repro.sql.parser import parse_select
 from repro.stats.analyze import analyze_table
 from repro.storage.index import HashIndex, build_foreign_key_indexes
+from repro.storage.intermediate import IntermediateTable
 from repro.storage.table import Table
 
 
@@ -251,6 +252,48 @@ class Database:
                 name, analyze_table(table, self.settings.statistics_target)
             )
         return table
+
+
+    # -- in-memory intermediates (adaptive execution support) ---------------------
+
+    def register_intermediate_result(
+        self,
+        name: str,
+        result: ResultSet,
+        columns: Sequence[Tuple[Tuple[str, str], str]],
+        alias_tables: Optional[Dict[str, str]] = None,
+    ) -> IntermediateTable:
+        """Register an in-memory result as a transient pseudo-table.
+
+        This is the adaptive executor's handover path: unlike
+        :meth:`create_temp_table_from_result` it issues no DDL — the result's
+        column value lists back the pseudo-table directly, the catalog epoch
+        is *not* bumped (cached plans for other statements stay valid), and
+        no statistics are gathered (the caller injects the exact cardinality
+        when re-planning).  The caller must drop the pseudo-table with
+        :meth:`drop_intermediate` before the statement returns.
+        """
+        column_defs = []
+        column_data = []
+        for (source_alias, source_column), new_name in columns:
+            values = result.column_values(source_alias, source_column)
+            col_type = None
+            if alias_tables and source_alias in alias_tables:
+                source_schema = self.catalog.schema(alias_tables[source_alias])
+                if source_schema.has_column(source_column):
+                    col_type = source_schema.column(source_column).col_type
+            if col_type is None:
+                col_type = _infer_type(values)
+            column_defs.append(ColumnDef(new_name, col_type))
+            column_data.append(values)
+        schema = TableSchema(name=name, columns=tuple(column_defs))
+        table = IntermediateTable(schema, column_data)
+        self.catalog.register_transient(schema, table)
+        return table
+
+    def drop_intermediate(self, name: str) -> None:
+        """Drop a transient pseudo-table (no epoch bump)."""
+        self.catalog.drop_transient(name)
 
 
 def _infer_type(values: Iterable[object]) -> ColumnType:

@@ -36,6 +36,12 @@ class EngineSettings:
             wall-clock changes.
         plan_cache_size: default LRU capacity of a connection's plan cache
             (0 disables caching; per-connection override on ``connect()``).
+        adaptive: run re-optimization as operator-level adaptive execution
+            (stage-wise execution with in-memory intermediate handover, see
+            :mod:`repro.executor.adaptive`) instead of the paper's
+            materialize-and-rewrite simulation.  Off by default so the
+            paper-figure benchmarks keep reproducing the published accounting;
+            per-connection override on ``connect()``.
     """
 
     statistics_target: int = 100
@@ -45,3 +51,4 @@ class EngineSettings:
     analyze_temp_tables: bool = True
     engine: ExecutionEngine = ExecutionEngine.VECTORIZED
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    adaptive: bool = False

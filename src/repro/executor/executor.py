@@ -55,6 +55,16 @@ from repro.optimizer.plan import (
 # paper's figures; only ratios between regimes matter for the claims.
 WORK_UNITS_PER_SECOND = 2_000.0
 
+# Nominal vector size used to report per-operator batch counts.  The batch
+# statistic is engine-invariant by construction (derived from row counts the
+# engines agree on), so the differential suites can compare it directly.
+VECTOR_BATCH_ROWS = 1024
+
+
+def batch_count(rows: int) -> int:
+    """Number of nominal vectors an operator's output occupies (min 1)."""
+    return max(1, -(-int(rows) // VECTOR_BATCH_ROWS))
+
 
 class ExecutionEngine(enum.Enum):
     """Which operator implementation executes plans."""
@@ -84,13 +94,23 @@ _ENGINE_OPERATORS = {
 
 @dataclass
 class NodeMetrics:
-    """Per-node instrumentation collected during execution."""
+    """Per-node instrumentation collected during execution.
+
+    Beyond the estimated/actual cardinalities and charged work, the executor
+    records ``batches`` (nominal :data:`VECTOR_BATCH_ROWS`-row vectors the
+    output occupies — engine-invariant) and, for joins, the build/probe input
+    sizes observed at the hash-join pipeline breaker.  These runtime
+    statistics feed EXPLAIN ANALYZE and the adaptive re-optimization loop.
+    """
 
     node_id: int
     label: str
     estimated_rows: float
     actual_rows: int
     work: float
+    batches: int = 1
+    build_rows: Optional[int] = None
+    probe_rows: Optional[int] = None
 
 
 @dataclass
@@ -176,23 +196,50 @@ class Executor:
             engine=self.engine,
         )
 
+    def execute_node(
+        self,
+        node: PlanNode,
+        metrics: Dict[int, NodeMetrics],
+        memo: Optional[Dict[int, Tuple[ResultSet, float]]] = None,
+    ) -> Tuple[ResultSet, float]:
+        """Execute one plan subtree, memoizing per-node results.
+
+        This is the stage-wise entry the adaptive executor drives: it executes
+        pipeline-breaker subtrees bottom-up, observing runtime statistics
+        after each, and finally the plan root.  Passing the same ``memo``
+        (keyed by node id) across calls makes execution *resumable* — a node
+        already executed in an earlier stage returns its cached result and
+        cumulative work instead of recomputing.
+        """
+        return self._execute_node(node, metrics, memo=memo)
+
     # -- node dispatch -----------------------------------------------------------
 
     def _execute_node(
-        self, node: PlanNode, metrics: Dict[int, NodeMetrics], charge: bool = True
+        self,
+        node: PlanNode,
+        metrics: Dict[int, NodeMetrics],
+        charge: bool = True,
+        memo: Optional[Dict[int, Tuple[ResultSet, float]]] = None,
     ) -> Tuple[ResultSet, float]:
+        if memo is not None and node.node_id in memo:
+            return memo[node.node_id]
+        build_rows: Optional[int] = None
+        probe_rows: Optional[int] = None
         if isinstance(node, ScanNode):
             result, work = self._execute_scan(node)
         elif isinstance(node, JoinNode):
-            result, work = self._execute_join(node, metrics)
+            result, work, build_rows, probe_rows = self._execute_join(
+                node, metrics, memo
+            )
         elif isinstance(node, AggregateNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.aggregate_result(child_result, list(node.select_items))
             work = child_work + self.cost_model.aggregate_cost(
                 len(child_result), max(1, len(node.select_items))
             )
         elif isinstance(node, HashAggregateNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.group_aggregate_result(
                 child_result, list(node.group_keys), list(node.select_items)
             )
@@ -200,23 +247,23 @@ class Executor:
                 len(child_result), len(result), max(1, len(node.select_items))
             )
         elif isinstance(node, SortNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.sort_result(child_result, list(node.keys))
             work = child_work + self.cost_model.sort_cost(
                 len(child_result), len(node.keys)
             )
         elif isinstance(node, DistinctNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.distinct_result(child_result)
             work = child_work + self.cost_model.distinct_cost(
                 len(child_result), len(result)
             )
         elif isinstance(node, LimitNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.limit_result(child_result, node.limit, node.offset)
             work = child_work + self.cost_model.limit_cost(len(result))
         elif isinstance(node, MaterializeNode):
-            child_result, child_work = self._execute_node(node.child, metrics)
+            child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = child_result
             work = child_work + self.cost_model.materialize_cost(
                 len(child_result), len(child_result.columns)
@@ -239,7 +286,12 @@ class Executor:
             estimated_rows=node.estimated_rows,
             actual_rows=len(result),
             work=work,
+            batches=batch_count(len(result)),
+            build_rows=build_rows,
+            probe_rows=probe_rows,
         )
+        if memo is not None:
+            memo[node.node_id] = (result, work)
         return result, work
 
     # -- operators ----------------------------------------------------------------
@@ -269,14 +321,20 @@ class Executor:
         return result, work
 
     def _execute_join(
-        self, node: JoinNode, metrics: Dict[int, NodeMetrics]
-    ) -> Tuple[ResultSet, float]:
+        self,
+        node: JoinNode,
+        metrics: Dict[int, NodeMetrics],
+        memo: Optional[Dict[int, Tuple[ResultSet, float]]] = None,
+    ) -> Tuple[ResultSet, float, int, int]:
         inner_is_index_probed = node.algorithm is JoinAlgorithm.INDEX_NESTED_LOOP
-        outer_result, outer_work = self._execute_node(node.left, metrics)
+        outer_result, outer_work = self._execute_node(node.left, metrics, memo=memo)
         inner_result, inner_work = self._execute_node(
-            node.right, metrics, charge=not inner_is_index_probed
+            node.right, metrics, charge=not inner_is_index_probed, memo=memo
         )
-        joined = self._ops.join_results(outer_result, inner_result, list(node.join_predicates))
+        observed: Dict[str, int] = {}
+        joined = self._ops.join_results(
+            outer_result, inner_result, list(node.join_predicates), observed=observed
+        )
 
         outer_rows = len(outer_result)
         inner_rows = len(inner_result)
@@ -291,7 +349,12 @@ class Executor:
             own = self._index_nested_loop_work(node, outer_result, output_rows)
         else:  # pragma: no cover - enum is exhaustive
             raise ExecutionError(f"unknown join algorithm {node.algorithm}")
-        return joined, outer_work + inner_work + own
+        return (
+            joined,
+            outer_work + inner_work + own,
+            observed.get("build_rows", inner_rows),
+            observed.get("probe_rows", outer_rows),
+        )
 
     def _index_nested_loop_work(
         self, node: JoinNode, outer_result: ResultSet, output_rows: int

@@ -2,8 +2,15 @@
 
 The output format intentionally resembles PostgreSQL's: one line per node,
 indented by depth, showing the optimizer's estimates and — after execution —
-the actual row counts and work.  The re-optimization examples and the
-deep-dive example scripts print these trees.
+the actual row counts, batch counts and work.  The re-optimization examples
+and the deep-dive example scripts print these trees.
+
+When the execution result came from the adaptive executor
+(:class:`~repro.executor.adaptive.AdaptiveExecutionResult`), the rendering
+additionally marks scans of in-memory intermediates handed over by a
+mid-query re-plan and appends one line per re-plan point: where execution
+paused, the estimated-vs-actual mismatch that triggered it, and the
+pseudo-table the intermediate was handed over as.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.executor.executor import ExecutionResult
-from repro.optimizer.plan import PlanNode
+from repro.optimizer.plan import PlanNode, ScanNode
 
 
 def explain_plan(plan: PlanNode, analyze: Optional[ExecutionResult] = None) -> str:
@@ -20,10 +27,23 @@ def explain_plan(plan: PlanNode, analyze: Optional[ExecutionResult] = None) -> s
     Args:
         plan: the plan root.
         analyze: execution result; when given, actual row counts and work are
-            appended to every node line (EXPLAIN ANALYZE style).
+            appended to every node line (EXPLAIN ANALYZE style), and adaptive
+            executions also render their re-plan points.
     """
     lines: List[str] = []
     _render(plan, 0, lines, analyze)
+    replans = getattr(analyze, "replans", None)
+    if replans:
+        lines.append("Re-plan points:")
+        for point in replans:
+            lines.append(
+                f"  #{point.index + 1} at {point.trigger_label}: "
+                f"est_rows={point.estimated_rows:.0f} "
+                f"actual_rows={point.actual_rows} "
+                f"q_error={point.q_error:.1f} -> remainder re-planned, "
+                f"{point.pseudo_rows} rows handed over in memory "
+                f"as {point.pseudo_table}"
+            )
     return "\n".join(lines)
 
 
@@ -32,13 +52,24 @@ def _render(
 ) -> None:
     indent = "  " * depth
     arrow = "-> " if depth else ""
+    label = node.label()
+    pseudo_tables = getattr(analyze, "pseudo_tables", ())
+    if isinstance(node, ScanNode) and node.table in pseudo_tables:
+        label += " [in-memory intermediate]"
     text = (
-        f"{indent}{arrow}{node.label()}  "
+        f"{indent}{arrow}{label}  "
         f"(est_rows={node.estimated_rows:.0f} est_cost={node.estimated_cost:.1f}"
     )
     if analyze is not None and node.node_id in analyze.node_metrics:
         metrics = analyze.node_metrics[node.node_id]
-        text += f" actual_rows={metrics.actual_rows} work={metrics.work:.1f}"
+        text += (
+            f" actual_rows={metrics.actual_rows} "
+            f"batches={metrics.batches} work={metrics.work:.1f}"
+        )
+        if metrics.build_rows is not None:
+            text += f" build_rows={metrics.build_rows}"
+        if metrics.probe_rows is not None:
+            text += f" probe_rows={metrics.probe_rows}"
     elif node.actual_rows is not None:
         text += f" actual_rows={node.actual_rows}"
     text += ")"

@@ -116,6 +116,7 @@ def join_results(
     left: ColumnBatch,
     right: ColumnBatch,
     joins: Sequence[BoundJoin],
+    observed: Optional[Dict[str, int]] = None,
 ) -> ColumnBatch:
     """Equi-join two batches on all given join predicates.
 
@@ -123,6 +124,13 @@ def join_results(
     the optimizer's algorithm choice only affects work accounting.  Only the
     key columns are materialized — the output batch reuses both inputs'
     backing columns through composed selection vectors.
+
+    When ``observed`` is given, the operator records the runtime statistics
+    of its pipeline breaker — the rows materialized into the hash build side
+    and the rows streamed through the probe side — which the executor attaches
+    to the node's metrics.  Both engines report identical values (the build
+    side is always the smaller input), keeping the statistic differential-
+    test comparable.
     """
     if not joins:
         raise ExecutionError("join_results requires at least one join predicate")
@@ -131,6 +139,9 @@ def join_results(
     left_positions, right_positions = resolve_join_positions(left, right, joins)
 
     build_on_left = len(left) <= len(right)
+    if observed is not None:
+        observed["build_rows"] = min(len(left), len(right))
+        observed["probe_rows"] = max(len(left), len(right))
     if build_on_left:
         build, probe = left, right
         build_positions, probe_positions = left_positions, right_positions

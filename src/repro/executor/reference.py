@@ -131,11 +131,15 @@ def join_results(
     left: ResultSet,
     right: ResultSet,
     joins: Sequence[BoundJoin],
+    observed: Optional[Dict[str, int]] = None,
 ) -> ResultSet:
     """Equi-join two result sets on all given join predicates.
 
     The physical evaluation always builds a hash table on the smaller input;
-    the optimizer's algorithm choice only affects work accounting.
+    the optimizer's algorithm choice only affects work accounting.  When
+    ``observed`` is given, the build/probe input sizes of the hash-join
+    pipeline breaker are recorded exactly as the vectorized engine records
+    them (see :func:`repro.executor.operators.join_results`).
     """
     if not joins:
         raise ExecutionError("join_results requires at least one join predicate")
@@ -143,6 +147,9 @@ def join_results(
 
     columns = list(left.columns) + list(right.columns)
     build_on_left = len(left.rows) <= len(right.rows)
+    if observed is not None:
+        observed["build_rows"] = min(len(left.rows), len(right.rows))
+        observed["probe_rows"] = max(len(left.rows), len(right.rows))
     if build_on_left:
         build, probe = left, right
         build_positions, probe_positions = left_positions, right_positions

@@ -25,6 +25,12 @@ from repro.optimizer.plan import (
     ScanNode,
     SortNode,
 )
+from repro.optimizer.provenance import (
+    harvest_observations,
+    plan_output_columns,
+    runtime_injection,
+    translate_observations,
+)
 
 __all__ = [
     "AccessPath",
@@ -53,4 +59,8 @@ __all__ = [
     "ScanNode",
     "SelectivityEstimator",
     "SortNode",
+    "harvest_observations",
+    "plan_output_columns",
+    "runtime_injection",
+    "translate_observations",
 ]

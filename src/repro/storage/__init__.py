@@ -2,12 +2,14 @@
 
 from repro.storage.column import Column
 from repro.storage.index import HashIndex, Index, SortedIndex, build_foreign_key_indexes
+from repro.storage.intermediate import IntermediateTable
 from repro.storage.table import Table
 
 __all__ = [
     "Column",
     "HashIndex",
     "Index",
+    "IntermediateTable",
     "SortedIndex",
     "Table",
     "build_foreign_key_indexes",

@@ -1,0 +1,99 @@
+"""In-memory pseudo-tables backing adaptive re-optimization handovers.
+
+When the adaptive executor re-plans the remainder of a query it must hand the
+already-computed intermediate result to the new plan *without* re-scanning —
+the whole point of operator-level (Kabra & DeWitt-style) re-optimization.
+
+:class:`IntermediateTable` wraps the intermediate's column value lists
+directly (no per-value copy, no type coercion pass, no DDL) while exposing
+the read surface both execution engines use on a
+:class:`~repro.storage.table.Table`:
+
+* the vectorized engine wraps :meth:`column_data` straight into a scan batch;
+* the reference oracle iterates :meth:`iter_rows` / fetches :meth:`row`;
+* the cost model asks for :meth:`estimated_pages` and ``row_count``.
+
+Instances are registered in the catalog via
+:meth:`~repro.catalog.catalog.Catalog.register_transient`, which does not
+bump the plan-cache epoch: the pseudo-table is invisible to every other
+statement and is dropped before the adaptive query returns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+
+
+class IntermediateTable:
+    """A read-only, columnar pseudo-table over in-memory result columns."""
+
+    def __init__(
+        self, schema: TableSchema, columns: Sequence[List[object]]
+    ) -> None:
+        if len(columns) != len(schema.columns):
+            raise StorageError(
+                f"intermediate table {schema.name!r} expects "
+                f"{len(schema.columns)} columns, got {len(columns)}"
+            )
+        lengths = {len(values) for values in columns}
+        if len(lengths) > 1:
+            raise StorageError(
+                f"intermediate table {schema.name!r} got ragged columns "
+                f"of lengths {sorted(lengths)}"
+            )
+        self.schema = schema
+        self._columns: List[List[object]] = list(columns)
+        self._row_count = lengths.pop() if lengths else 0
+
+    @property
+    def name(self) -> str:
+        """Table name (from the schema)."""
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows in the intermediate."""
+        return self._row_count
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def column_values(self, name: str) -> List[object]:
+        """Raw value list of column ``name`` (callers must not mutate it)."""
+        try:
+            position = self.schema.column_names.index(name)
+        except ValueError:
+            raise StorageError(
+                f"intermediate table {self.name!r} has no column {name!r}"
+            ) from None
+        return self._columns[position]
+
+    def column_data(self) -> List[List[object]]:
+        """Backing value lists of all columns, in schema order (zero-copy)."""
+        return list(self._columns)
+
+    def row(self, row_id: int) -> Tuple[object, ...]:
+        """Packed tuple of values for ``row_id``."""
+        if not 0 <= row_id < self._row_count:
+            raise StorageError(
+                f"row id {row_id} out of range for intermediate {self.name!r}"
+            )
+        return tuple(column[row_id] for column in self._columns)
+
+    def iter_rows(self) -> Iterator[Tuple[object, ...]]:
+        """Iterate over all rows as packed tuples (sequential scan order)."""
+        for row_id in range(self._row_count):
+            yield tuple(column[row_id] for column in self._columns)
+
+    def iter_row_ids(self) -> Iterator[int]:
+        """Iterate over all row ids in storage order."""
+        return iter(range(self._row_count))
+
+    def estimated_pages(self, rows_per_page: int = 100) -> int:
+        """Page-count estimate matching :meth:`Table.estimated_pages`."""
+        if self._row_count == 0:
+            return 1
+        return (self._row_count + rows_per_page - 1) // rows_per_page

@@ -1,12 +1,16 @@
 """Hypothesis settings profiles for the property/fuzz suites.
 
-Two profiles keep fuzz runs reproducible:
+Three profiles keep fuzz runs reproducible:
 
 * ``dev`` (default) — a quick run for local iteration.
 * ``ci`` — the pinned profile CI uses (``HYPOTHESIS_PROFILE=ci``):
   derandomized (a fixed example stream, so every PR fuzzes the same queries)
   and large enough that the differential fuzzer replays well over 200
   generated queries per run.
+* ``nightly`` — the scheduled CI job's profile: *randomized* (each night
+  explores a fresh example stream) at 10x the ``ci`` example count.  The
+  nightly job pins the stream with ``--hypothesis-seed=$SEED`` and prints the
+  seed, so any failure reproduces locally with the same flag.
 
 Select a profile with the ``HYPOTHESIS_PROFILE`` environment variable;
 ``make fuzz`` runs the ``ci`` profile.
@@ -29,4 +33,7 @@ _COMMON = dict(
 
 settings.register_profile("dev", max_examples=60, **_COMMON)
 settings.register_profile("ci", max_examples=220, derandomize=True, **_COMMON)
+settings.register_profile(
+    "nightly", max_examples=2200, derandomize=False, print_blob=True, **_COMMON
+)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

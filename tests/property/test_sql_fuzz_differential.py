@@ -12,6 +12,15 @@ both engines and asserts they agree on:
 * the charged work (the engine-invariance the paper's figures rely on);
 * per-node actual cardinalities.
 
+Every generated query additionally runs through the serving pipeline under
+operator-level adaptive execution (``adaptive=True``), the paper's
+materialize-and-rewrite simulation (``adaptive=False``) and is compared
+against the reference-oracle rows, at an aggressive re-optimization
+threshold so re-plans actually fire on the tiny fuzz tables.  Re-planning
+may change the final plan, so rows are compared as multisets; queries with
+LIMIT are exempt from this leg (without a total order, two valid plans may
+legitimately return different row subsets).
+
 A checked-in regression corpus replays previously shrunk failures plus
 hand-picked nasty cases so they stay pinned even in quick dev runs.  CI
 runs the ``ci`` hypothesis profile (see ``tests/property/conftest.py``):
@@ -21,13 +30,38 @@ query stream.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
 import pytest
 from hypothesis import example, given, strategies as st
 
+import repro
 from repro.catalog import ColumnType, make_schema
+from repro.core.triggers import ReoptimizationPolicy
 from repro.engine import Database, ExecutionEngine
+from repro.optimizer.injection import CardinalityInjector
+
+#: Re-plan whenever a join estimate is off by more than 2x.
+FUZZ_REOPT_THRESHOLD = 2.0
+
+
+class UnderestimateJoins(CardinalityInjector):
+    """Forces every multi-table estimate to one row (paper-style injection).
+
+    The fuzz tables are tiny and exactly ANALYZEd, so natural estimates are
+    near-perfect and re-optimization would never fire.  Injecting a wrong
+    join cardinality — the paper's own experimental hook — makes every
+    non-empty join cross the Q-error threshold, so the re-optimization legs
+    genuinely exercise triggering, handover/rewrite and re-planning on the
+    whole generated stream.
+    """
+
+    def lookup(self, query, subset):
+        return 1.0 if len(subset) > 1 else None
+
+    def describe(self) -> str:
+        return "underestimate-joins"
 
 # -- fixed fuzz schema -------------------------------------------------------
 
@@ -289,6 +323,29 @@ def assert_engines_agree(
         assert (
             metrics.actual_rows == reference.node_metrics[node_id].actual_rows
         ), (sql, metrics.label)
+    assert_reoptimization_modes_agree(db, planned, reference, sql)
+
+
+def assert_reoptimization_modes_agree(
+    db: Database, planned, reference, sql: str
+) -> None:
+    """Adaptive and simulated re-optimization reproduce the oracle's rows.
+
+    Both modes run at :data:`FUZZ_REOPT_THRESHOLD` through the full serving
+    pipeline.  Row *order* is plan-dependent once a re-plan changes the join
+    order, so rows are compared as multisets; LIMIT queries are excluded
+    because without a total order two valid plans may return different row
+    subsets (the same-plan engine legs above still cover them).
+    """
+    if planned.query.limit is not None:
+        return
+    expected = Counter(reference.result.rows)
+    policy = ReoptimizationPolicy(threshold=FUZZ_REOPT_THRESHOLD)
+    injector = UnderestimateJoins()
+    for adaptive in (False, True):
+        with repro.connect(db, policy=policy, adaptive=adaptive) as connection:
+            ctx = connection.pipeline.run(sql=sql, injector=injector)
+            assert Counter(ctx.rows) == expected, (f"adaptive={adaptive}", sql)
 
 
 @given(g_rows=g_rows_strategy, r_rows=r_rows_strategy, sql=sql_query_strategy())
@@ -394,3 +451,36 @@ REGRESSION_CORPUS: List[Tuple[str, List[tuple], List[tuple], Optional[str]]] = [
 )
 def test_regression_corpus(g_rows, r_rows, sql):
     assert_engines_agree(g_rows, r_rows, sql)
+
+
+# -- seeded mis-estimate: the adaptive path must actually re-plan ------------
+
+
+def test_adaptive_replans_on_seeded_misestimate():
+    """A skewed self-join whose uniformity estimate is off forces a re-plan.
+
+    ``records.val`` is 1 for 18 of 20 rows, so the optimizer's
+    ``1/n_distinct`` join selectivity underestimates the self-join output
+    well past the fuzz threshold; the adaptive executor must pause at the
+    breaker, re-plan at least once, and still return the oracle's rows.
+    """
+    r_rows = [
+        (i + 1, (i % 4) + 1, 1 if i < 18 else i - 16, "x") for i in range(20)
+    ]
+    sql = (
+        "SELECT count(*) AS n FROM records AS r1, records AS r2 "
+        "WHERE r1.val = r2.val"
+    )
+    db = build_database([], r_rows)
+    expected = db.run(sql).rows
+
+    db = build_database([], r_rows)
+    policy = ReoptimizationPolicy(threshold=FUZZ_REOPT_THRESHOLD)
+    with repro.connect(db, policy=policy, adaptive=True) as connection:
+        cursor = connection.execute(sql)
+        rows = cursor.fetchall()
+        context = cursor.context
+    assert rows == expected
+    assert context.reoptimized
+    assert len(context.report.steps) >= 1
+    assert context.report.steps[0].materialize_work == 0.0

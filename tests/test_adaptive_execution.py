@@ -1,0 +1,263 @@
+"""Operator-level adaptive execution: correctness, accounting, cache/epoch.
+
+The scenario is a deliberately mis-estimated self-join: ``records.val`` is
+heavily skewed (90 of 100 rows share one value), so the optimizer's
+uniformity assumption underestimates the join output by ~9x and the adaptive
+executor pauses at the hash-join pipeline breaker to re-plan the remainder
+with the observed true cardinality.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.catalog import ColumnType, make_schema
+from repro.core.triggers import ReoptimizationPolicy
+from repro.engine import Database, EngineSettings, ExecutionEngine
+from repro.executor.adaptive import AdaptiveExecutor
+
+
+SELF_JOIN_COUNT = (
+    "SELECT count(*) AS n FROM records AS r1, records AS r2 "
+    "WHERE r1.val = r2.val"
+)
+SELF_JOIN_STAR = (
+    "SELECT * FROM records AS r1, records AS r2 WHERE r1.val = r2.val"
+)
+SELF_JOIN_GROUPED = (
+    "SELECT r1.val AS v, count(*) AS n FROM records AS r1, records AS r2 "
+    "WHERE r1.val = r2.val GROUP BY r1.val ORDER BY n DESC"
+)
+
+
+def build_skew_database(settings=None) -> Database:
+    """100-row table whose ``val`` column is 90% one value (q-error ~9)."""
+    db = Database(settings)
+    db.create_table(
+        make_schema(
+            "records",
+            [
+                ("id", ColumnType.INT),
+                ("gid", ColumnType.INT),
+                ("val", ColumnType.INT),
+                ("label", ColumnType.TEXT),
+            ],
+            primary_key="id",
+        )
+    )
+    rows = []
+    for i in range(100):
+        val = 1 if i < 90 else (i - 88)
+        rows.append((i + 1, i % 7, val, "x" if i % 2 else "y"))
+    db.load_rows("records", rows)
+    db.finalize_load()
+    return db
+
+
+def adaptive_policy(threshold: float = 4.0) -> ReoptimizationPolicy:
+    return ReoptimizationPolicy(threshold=threshold)
+
+
+class TestAdaptiveExecutor:
+    def test_replans_once_and_matches_plain_rows(self):
+        db = build_skew_database()
+        plain = db.run(SELF_JOIN_COUNT).rows
+
+        db2 = build_skew_database()
+        planned = db2.plan(SELF_JOIN_COUNT)
+        execution = AdaptiveExecutor(db2, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        assert len(execution.replans) == 1
+        assert execution.result.rows == plain
+        point = execution.replans[0]
+        assert point.q_error > 4.0
+        assert point.actual_rows == point.pseudo_rows
+
+    def test_no_replan_below_threshold(self):
+        db = build_skew_database()
+        plain = db.run(SELF_JOIN_COUNT).rows
+        planned = db.plan(SELF_JOIN_COUNT)
+        execution = AdaptiveExecutor(
+            db, adaptive_policy(threshold=1000.0)
+        ).execute(planned)
+        assert not execution.replanned
+        assert execution.result.rows == plain
+
+    def test_star_query_output_shape_restored(self):
+        db = build_skew_database()
+        plain = db.run(SELF_JOIN_STAR)
+
+        db2 = build_skew_database()
+        planned = db2.plan(SELF_JOIN_STAR)
+        execution = AdaptiveExecutor(db2, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        # Re-planning is invisible to the client: original qualified column
+        # names in the original order, and the same row multiset.
+        assert tuple(execution.result.columns) == tuple(plain.execution.result.columns)
+        assert Counter(execution.result.rows) == Counter(plain.rows)
+
+    def test_grouped_query_matches_plain_rows(self):
+        db = build_skew_database()
+        plain = db.run(SELF_JOIN_GROUPED).rows
+        db2 = build_skew_database()
+        planned = db2.plan(SELF_JOIN_GROUPED)
+        execution = AdaptiveExecutor(db2, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        assert execution.result.rows == plain
+
+    def test_reference_engine_runs_adaptively(self):
+        settings = EngineSettings(engine=ExecutionEngine.REFERENCE)
+        db = build_skew_database(settings)
+        plain = db.run(SELF_JOIN_COUNT).rows
+        planned = db.plan(SELF_JOIN_COUNT)
+        execution = AdaptiveExecutor(db, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        assert execution.engine is ExecutionEngine.REFERENCE
+        assert execution.result.rows == plain
+
+    def test_replanned_remainder_uses_observed_cardinality(self):
+        db = build_skew_database()
+        planned = db.plan(SELF_JOIN_COUNT)
+        execution = AdaptiveExecutor(db, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        point = execution.replans[0]
+        # The remainder's scan of the pseudo-table is planned with the exact
+        # observed cardinality, not a statistical estimate.
+        scans = [
+            node
+            for node in execution.final_planned.plan.walk()
+            if node.label().startswith("Seq Scan on " + point.pseudo_table)
+        ]
+        assert scans and scans[0].estimated_rows == point.actual_rows
+
+    def test_pseudo_tables_dropped_and_epoch_stable(self):
+        db = build_skew_database()
+        epoch_before = db.catalog.epoch
+        planned = db.plan(SELF_JOIN_COUNT)
+        execution = AdaptiveExecutor(db, adaptive_policy()).execute(planned)
+        assert execution.replanned
+        assert db.catalog.table_names() == ["records"]
+        assert db.catalog.epoch == epoch_before
+
+    def test_cheaper_than_materialize_and_rewrite_simulation(self):
+        policy = adaptive_policy()
+        db = build_skew_database()
+        with repro.connect(db, policy=policy, adaptive=False) as conn:
+            simulated = conn.execute(SELF_JOIN_COUNT).context
+        db2 = build_skew_database()
+        with repro.connect(db2, policy=policy, adaptive=True) as conn:
+            adaptive = conn.execute(SELF_JOIN_COUNT).context
+        assert simulated.reoptimized and adaptive.reoptimized
+        assert adaptive.rows == simulated.rows
+        # No materialization surcharge and no re-scan of the intermediate
+        # from storage: the in-executor loop is strictly cheaper.
+        assert adaptive.execution_seconds < simulated.execution_seconds
+
+    def test_max_iterations_respected(self):
+        db = build_skew_database()
+        planned = db.plan(SELF_JOIN_COUNT)
+        policy = ReoptimizationPolicy(threshold=4.0, max_iterations=1)
+        execution = AdaptiveExecutor(db, policy).execute(planned)
+        assert len(execution.replans) <= 1
+        assert execution.result.rows == build_skew_database().run(SELF_JOIN_COUNT).rows
+
+    def test_short_query_cutoff_disables_adaptivity(self):
+        db = build_skew_database()
+        planned = db.plan(SELF_JOIN_COUNT)
+        policy = ReoptimizationPolicy(threshold=4.0, min_query_seconds=1e9)
+        execution = AdaptiveExecutor(db, policy).execute(planned)
+        assert not execution.replanned
+
+
+class TestAdaptiveConnection:
+    def test_cursor_report_and_explain(self):
+        db = build_skew_database()
+        conn = repro.connect(
+            db, policy=adaptive_policy(), adaptive=True, capture_explain=True
+        )
+        cursor = conn.execute(SELF_JOIN_COUNT)
+        ctx = cursor.context
+        assert ctx.reoptimized
+        assert len(ctx.report.steps) == 1
+        step = ctx.report.steps[0]
+        assert step.materialize_work == 0.0
+        assert "in memory" in step.create_sql
+        text = cursor.explain_text
+        assert "Re-plan points:" in text
+        assert "[in-memory intermediate]" in text
+        assert "q_error=" in text
+        assert "batches=" in text
+
+    def test_settings_flag_enables_adaptive(self):
+        settings = EngineSettings(adaptive=True)
+        db = build_skew_database(settings)
+        conn = repro.connect(db, policy=adaptive_policy())
+        ctx = conn.execute(SELF_JOIN_COUNT).context
+        assert ctx.reoptimized
+        assert ctx.report.steps[0].materialize_work == 0.0
+
+    def test_metrics_interceptor_accounts_adaptive_statements(self):
+        db = build_skew_database()
+        conn = repro.connect(db, policy=adaptive_policy(), adaptive=True)
+        conn.execute(SELF_JOIN_COUNT)
+        assert conn.metrics.statements == 1
+        assert conn.metrics.reoptimized_statements == 1
+        assert conn.metrics.execution_seconds > 0.0
+
+
+class TestPlanCacheEpochInteraction:
+    def test_replan_does_not_poison_cache_for_original_sql(self):
+        db = build_skew_database()
+        conn = repro.connect(db, policy=adaptive_policy(), adaptive=True)
+        first = conn.execute(SELF_JOIN_COUNT)
+        rows_first = first.fetchall()
+        assert first.context.reoptimized
+        assert conn.cache_stats.misses == 1 and conn.cache_stats.hits == 0
+
+        second = conn.execute(SELF_JOIN_COUNT)
+        rows_second = second.fetchall()
+        # The second run is served from the cache with the *original* plan
+        # (not the re-planned remainder), re-plans again, and returns the
+        # same rows.
+        assert conn.cache_stats.hits == 1
+        assert second.context.plan_cached
+        assert second.context.reoptimized
+        assert rows_second == rows_first
+
+    def test_adaptive_execution_leaves_epoch_alone(self):
+        db = build_skew_database()
+        conn = repro.connect(db, policy=adaptive_policy(), adaptive=True)
+        epoch_before = db.catalog.epoch
+        assert conn.execute(SELF_JOIN_COUNT).context.reoptimized
+        assert db.catalog.epoch == epoch_before
+
+    def test_analyze_mid_stream_bumps_epoch_and_invalidates(self):
+        db = build_skew_database()
+        conn = repro.connect(db, policy=adaptive_policy(), adaptive=True)
+        conn.execute(SELF_JOIN_COUNT)
+        epoch_before = db.catalog.epoch
+        conn.analyze()
+        assert db.catalog.epoch > epoch_before
+        conn.execute(SELF_JOIN_COUNT)
+        # ANALYZE invalidated the cached plan: a fresh miss, no stale hit.
+        assert conn.cache_stats.misses == 2
+        assert conn.cache_stats.hits == 0
+
+    def test_legacy_simulation_skips_star_queries(self):
+        # The SQL-rewrite simulation cannot preserve SELECT * output shape;
+        # it must decline instead of corrupting the result.
+        db = build_skew_database()
+        plain = Counter(db.run(SELF_JOIN_STAR).rows)
+        with repro.connect(db, policy=adaptive_policy(), adaptive=False) as conn:
+            cursor = conn.execute(SELF_JOIN_STAR)
+            assert not cursor.context.reoptimized
+            assert Counter(cursor.fetchall()) == plain
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v"]))
