@@ -11,7 +11,7 @@
 #                  adaptive=True vs adaptive=False vs the reference oracle)
 #   make fuzz-nightly - the randomized nightly profile (10x examples); pass
 #                  SEED=... to reproduce a nightly CI failure
-#   make guards  - the engine/aggregation speedup guard benchmarks
+#   make guards  - the engine/aggregation/expression-eval speedup guards
 #   make bench   - paper-figure benchmarks plus the speedup guards; set
 #                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
 #                  report, compare with `make bench-compare`
@@ -47,7 +47,7 @@ fuzz-nightly:
 	HYPOTHESIS_PROFILE=nightly $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py --hypothesis-seed=$(SEED)
 
 guards:
-	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py
 
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks

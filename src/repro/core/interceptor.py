@@ -43,7 +43,7 @@ from repro.engine.pipeline import Proceed, QueryContext, QueryInterceptor
 from repro.errors import ReoptimizationError
 from repro.executor.executor import ExecutionResult
 from repro.optimizer.optimizer import PlannedQuery
-from repro.sql.ast import ColumnRef, SelectItem
+from repro.sql.ast import Column, ColumnRef, SelectItem
 from repro.sql.binder import BoundQuery
 from repro.sql.builder import collapse_aliases, referenced_columns
 
@@ -278,13 +278,14 @@ class ReoptimizationInterceptor(QueryInterceptor):
     ) -> str:
         """Render the CREATE TEMP TABLE statement of one materialization step."""
         alias_list = sorted(aliases)
+        alias_set = set(alias_list)
         sub_query = BoundQuery(
             name=None,
             aliases=alias_list,
             alias_tables={alias: query.table_for(alias) for alias in alias_list},
             select_items=[
                 SelectItem(
-                    column=ColumnRef(alias=alias, column=column),
+                    expr=Column(ColumnRef(alias=alias, column=column)),
                     output_name=new_name,
                 )
                 for (alias, column), new_name in mapping.items()
@@ -298,6 +299,11 @@ class ReoptimizationInterceptor(QueryInterceptor):
                 join
                 for join in query.joins
                 if join.left_alias in aliases and join.right_alias in aliases
+            ],
+            residuals=[
+                residual
+                for residual in query.residuals
+                if set(residual.referenced_aliases()) <= alias_set
             ],
         )
         select_sql = sub_query.to_sql()

@@ -392,15 +392,20 @@ def _describe(ctx: QueryContext) -> List[ColumnDescription]:
             if item.output_name:
                 name = item.output_name
             elif item.aggregate is not None:
-                target = "*" if item.column is None else str(item.column)
+                target = "*" if item.expr is None else str(item.expr)
                 name = f"{item.aggregate.value}({target})"
             else:
-                name = str(item.column)
-            if item.aggregate is AggregateFunc.COUNT:
-                col_type: Optional[ColumnType] = ColumnType.INT
+                name = str(item.expr)
+            if isinstance(item.result_type, ColumnType):
+                # The binder inferred the output type (numeric widening for
+                # arithmetic, common branch type for CASE, COUNT -> INT,
+                # AVG -> FLOAT).
+                col_type: Optional[ColumnType] = item.result_type
+            elif item.aggregate is AggregateFunc.COUNT:
+                col_type = ColumnType.INT
             elif item.aggregate is AggregateFunc.AVG:
                 col_type = ColumnType.FLOAT
-            else:  # MIN/MAX/SUM and bare columns keep the column's type
+            else:  # hand-built unbound items fall back to the catalog type
                 col_type = base_type(item.column)
             columns.append((name, col_type))
     elif ctx.execution is not None:

@@ -42,9 +42,12 @@ class ParseError(SQLError):
     """The token stream does not form a supported SQL statement.
 
     When the parser can point at the offending token, the rendered message
-    carries the character offset and an excerpt of the SQL text around it
-    (``... (at offset 42, near 'LIMIT 5')``); ``position`` and ``fragment``
-    expose the same information programmatically.
+    carries the flat character offset, the line/column position (1-based,
+    computed from the SQL text — what editors and multi-line heredocs need)
+    and an excerpt of the SQL around the token, e.g.
+    ``... (at offset 42, line 3 column 7, near 'LIMIT 5')``.  ``position``,
+    ``line``, ``column`` and ``fragment`` expose the same information
+    programmatically.
     """
 
     def __init__(
@@ -52,12 +55,26 @@ class ParseError(SQLError):
     ) -> None:
         self.position = position
         self.fragment = sql_excerpt(sql, position) if sql is not None else None
+        self.line: "int | None" = None
+        self.column: "int | None" = None
+        if position is not None and sql is not None:
+            self.line, self.column = sql_line_column(sql, position)
         if position is not None:
             detail = f"at offset {position}"
+            if self.line is not None:
+                detail += f", line {self.line} column {self.column}"
             if self.fragment:
                 detail += f", near {self.fragment!r}"
             message = f"{message} ({detail})"
         super().__init__(message)
+
+
+def sql_line_column(sql: str, position: int) -> "tuple[int, int]":
+    """1-based ``(line, column)`` of a character offset in SQL text."""
+    position = min(max(0, position), len(sql))
+    line = sql.count("\n", 0, position) + 1
+    last_newline = sql.rfind("\n", 0, position)
+    return line, position - last_newline
 
 
 def sql_excerpt(sql: str, position: "int | None", width: int = 24) -> str:

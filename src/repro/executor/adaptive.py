@@ -59,7 +59,7 @@ from repro.executor.executor import (
 from repro.executor.reference import ResultSet
 from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.optimizer import PlannedQuery
-from repro.optimizer.plan import JoinNode, PlanNode
+from repro.optimizer.plan import JoinNode, OneTimeFilterNode, PlanNode
 from repro.optimizer.provenance import (
     Observations,
     harvest_observations,
@@ -236,6 +236,14 @@ class AdaptiveExecutor:
         if iteration >= self.policy.max_iterations:
             return False
         if query.num_tables() <= 1:
+            return False
+        if any(
+            isinstance(node, OneTimeFilterNode) and not node.passes
+            for node in planned.plan.walk()
+        ):
+            # An always-false constant filter prunes the join tree; running
+            # its joins stage-wise would execute a subtree the plain
+            # executor never touches.
             return False
         if iteration == 0 and self.policy.min_query_seconds > 0.0:
             # A real adaptive executor cannot know the actual runtime up

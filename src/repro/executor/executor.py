@@ -44,10 +44,12 @@ from repro.optimizer.plan import (
     JoinNode,
     LimitNode,
     MaterializeNode,
+    OneTimeFilterNode,
     PlanNode,
     ScanNode,
     SortNode,
 )
+from repro.optimizer.provenance import plan_output_columns
 
 # Conversion between abstract work units and "simulated seconds" reported by
 # the benchmark harness.  The constant is chosen so that a JOB-like workload
@@ -262,6 +264,15 @@ class Executor:
             child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = self._ops.limit_result(child_result, node.limit, node.offset)
             work = child_work + self.cost_model.limit_cost(len(result))
+        elif isinstance(node, OneTimeFilterNode):
+            if node.passes:
+                result, work = self._execute_node(node.child, metrics, memo=memo)
+            else:
+                # The constant filter is false: the child subtree is pruned —
+                # never executed, never charged.
+                columns = plan_output_columns(node.child, self._catalog)
+                result = self._ops.empty_result(columns)
+                work = 0.0
         elif isinstance(node, MaterializeNode):
             child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
             result = child_result
@@ -332,9 +343,20 @@ class Executor:
             node.right, metrics, charge=not inner_is_index_probed, memo=memo
         )
         observed: Dict[str, int] = {}
-        joined = self._ops.join_results(
-            outer_result, inner_result, list(node.join_predicates), observed=observed
-        )
+        if node.join_predicates:
+            joined = self._ops.join_results(
+                outer_result,
+                inner_result,
+                list(node.join_predicates),
+                observed=observed,
+            )
+        else:
+            # Residual-only join: filtered cross product (nested-loop costed).
+            joined = self._ops.cross_join_results(
+                outer_result, inner_result, observed=observed
+            )
+        if node.residual_filters:
+            joined = self._ops.filter_result(joined, list(node.residual_filters))
 
         outer_rows = len(outer_result)
         inner_rows = len(inner_result)

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.executor.executor import ExecutionResult
-from repro.optimizer.plan import PlanNode, ScanNode
+from repro.optimizer.plan import JoinNode, OneTimeFilterNode, PlanNode, ScanNode
+from repro.sql.ast import render_conjunct
 
 
 def explain_plan(plan: PlanNode, analyze: Optional[ExecutionResult] = None) -> str:
@@ -74,6 +75,18 @@ def _render(
         text += f" actual_rows={node.actual_rows}"
     text += ")"
     lines.append(text)
+    detail_indent = "  " * (depth + 1) + ("    " if depth else "")
+    if isinstance(node, ScanNode) and node.filters:
+        rendered = " AND ".join(render_conjunct(f) for f in node.filters)
+        lines.append(f"{detail_indent}Filter (pushed down): {rendered}")
+    if isinstance(node, JoinNode) and node.residual_filters:
+        rendered = " AND ".join(
+            render_conjunct(f) for f in node.residual_filters
+        )
+        lines.append(f"{detail_indent}Join Filter (residual): {rendered}")
+    if isinstance(node, OneTimeFilterNode) and node.conditions:
+        rendered = " AND ".join(render_conjunct(f) for f in node.conditions)
+        lines.append(f"{detail_indent}One-Time Filter: {rendered}")
     for child in node.children():
         _render(child, depth + 1, lines, analyze)
 

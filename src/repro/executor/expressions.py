@@ -1,65 +1,85 @@
-"""Predicate compilation and evaluation.
+"""Expression compilation: one tree, two evaluation targets.
 
-Two compilation targets share this module:
+The unified :class:`~repro.sql.ast.Expr` tree is compiled into either of
 
-* **Row predicates** (the reference engine): a predicate becomes a plain
-  Python callable taking a row tuple and returning a boolean.
-* **Batch predicates** (the vectorized engine): a predicate becomes a
-  callable taking a :class:`~repro.executor.batch.ColumnBatch` plus an
-  optional candidate-index list and returning the surviving batch-row
-  indices.  Conjunctions narrow the candidate list predicate by predicate,
-  so later predicates only look at rows that survived earlier ones.
+* **Row closures** (the reference engine): :func:`compile_scalar` turns an
+  expression into a plain Python callable taking a row tuple and returning
+  the SQL value (``None`` is NULL); :func:`compile_predicate` wraps it with
+  SQL's truthiness rule (only ``True`` keeps a row).
+* **Batch evaluators** (the vectorized engine): :func:`compile_batch_scalar`
+  produces a callable taking a :class:`~repro.executor.batch.ColumnBatch`
+  plus an optional candidate-index list and returning the per-candidate
+  values column-wise; :func:`compile_batch_predicate` returns the surviving
+  batch-row indices.  Conjunctions narrow the candidate list predicate by
+  predicate, so later predicates only look at rows that survived earlier
+  ones, and the common leaf shapes (``column op literal``, ``IN``, ``LIKE``,
+  ``BETWEEN``, ``IS NULL`` over a bare column) compile to specialized
+  tight-loop filters that never materialize intermediate value lists.
 
-Both targets are compiled from the same AST and must agree exactly — the
-differential test suite and the property tests enforce this.  SQL ``LIKE``
-patterns are translated to compiled regular expressions (with caching) so
-repeated evaluation stays cheap.
+Both targets are compiled from the same AST, share the value semantics of
+:mod:`repro.sql.values` (three-valued logic, NULL-propagating arithmetic,
+division by zero -> NULL) and must agree exactly — the differential test
+suite and the expression fuzzer enforce this bit-for-bit, floats included.
 """
 
 from __future__ import annotations
 
-import re
-from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
+from repro.sql import values as V
 from repro.sql.ast import (
-    BetweenPredicate,
+    Arithmetic,
+    ArithOp,
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Case,
+    Column,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
-    NullPredicate,
-    OrPredicate,
-    Predicate,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
+    Param,
 )
+from repro.sql.values import like_pattern_to_regex
 
+RowScalar = Callable[[tuple], object]
 RowPredicate = Callable[[tuple], bool]
 
 #: A compiled batch predicate: ``(batch, candidate_indices | None) -> indices``.
 #: ``None`` candidates mean "all rows of the batch".
 BatchPredicate = Callable[[object, Optional[Sequence[int]]], List[int]]
 
+#: A compiled batch scalar: ``(batch, candidate_indices | None) -> values``.
+BatchScalar = Callable[[object, Optional[Sequence[int]]], List[object]]
 
-@lru_cache(maxsize=4096)
-def like_pattern_to_regex(pattern: str) -> "re.Pattern":
-    """Translate a SQL LIKE pattern into an anchored regular expression."""
-    parts: List[str] = []
-    for ch in pattern:
-        if ch == "%":
-            parts.append(".*")
-        elif ch == "_":
-            parts.append(".")
-        else:
-            parts.append(re.escape(ch))
-    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+__all__ = [
+    "BatchPredicate",
+    "BatchScalar",
+    "ColumnResolver",
+    "RowPredicate",
+    "RowScalar",
+    "compile_batch_conjunction",
+    "compile_batch_predicate",
+    "compile_batch_scalar",
+    "compile_conjunction",
+    "compile_predicate",
+    "compile_scalar",
+    "index_probe_keys",
+    "like_match",
+    "like_pattern_to_regex",
+]
 
 
 def like_match(value: object, pattern: str) -> bool:
-    """SQL LIKE semantics; NULL never matches."""
-    if value is None:
-        return False
-    return like_pattern_to_regex(pattern).match(str(value)) is not None
+    """Two-valued LIKE (NULL never matches); kept for direct callers."""
+    return V.like(value, pattern) is True
 
 
 class ColumnResolver:
@@ -85,41 +105,106 @@ class ColumnResolver:
         return (alias, column) in self._positions
 
 
-def compile_predicate(predicate: Predicate, resolver: ColumnResolver) -> RowPredicate:
-    """Compile a filter predicate into a row-level boolean function."""
-    if isinstance(predicate, ComparisonPredicate):
-        index = resolver.position(predicate.column.alias, predicate.column.column)
-        op = predicate.op
-        value = predicate.value
-        return lambda row: op.evaluate(row[index], value)
-    if isinstance(predicate, InPredicate):
-        index = resolver.position(predicate.column.alias, predicate.column.column)
-        values = set(predicate.values)
-        return lambda row: row[index] is not None and row[index] in values
-    if isinstance(predicate, LikePredicate):
-        index = resolver.position(predicate.column.alias, predicate.column.column)
-        regex = like_pattern_to_regex(predicate.pattern)
-        if predicate.negated:
-            return lambda row: row[index] is not None and not regex.match(str(row[index]))
-        return lambda row: row[index] is not None and bool(regex.match(str(row[index])))
-    if isinstance(predicate, BetweenPredicate):
-        index = resolver.position(predicate.column.alias, predicate.column.column)
-        low = predicate.low
-        high = predicate.high
-        return lambda row: row[index] is not None and low <= row[index] <= high
-    if isinstance(predicate, NullPredicate):
-        index = resolver.position(predicate.column.alias, predicate.column.column)
-        if predicate.negated:
-            return lambda row: row[index] is not None
-        return lambda row: row[index] is None
-    if isinstance(predicate, OrPredicate):
-        compiled = [compile_predicate(operand, resolver) for operand in predicate.operands]
-        return lambda row: any(check(row) for check in compiled)
-    raise ExecutionError(f"unsupported predicate type {type(predicate).__name__}")
+# ---------------------------------------------------------------------------
+# Row-closure target (reference engine)
+# ---------------------------------------------------------------------------
+
+
+def compile_scalar(expr: Expr, resolver: ColumnResolver) -> RowScalar:
+    """Compile an expression into a ``row -> value`` closure."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Column):
+        index = resolver.position(expr.alias, expr.column)
+        return lambda row: row[index]
+    if isinstance(expr, Param):
+        raise ExecutionError(
+            f"unbound parameter ?{expr.index} reached the executor; bind "
+            "parameters before planning"
+        )
+    if isinstance(expr, Negate):
+        operand = compile_scalar(expr.operand, resolver)
+        return lambda row: V.negate(operand(row))
+    if isinstance(expr, Arithmetic):
+        op = expr.op
+        left = compile_scalar(expr.left, resolver)
+        right = compile_scalar(expr.right, resolver)
+        return lambda row: V.arith(op, left(row), right(row))
+    if isinstance(expr, Comparison):
+        op = expr.op
+        left = compile_scalar(expr.left, resolver)
+        right = compile_scalar(expr.right, resolver)
+        return lambda row: V.compare(op, left(row), right(row))
+    if isinstance(expr, IsNull):
+        operand = compile_scalar(expr.operand, resolver)
+        if expr.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(expr, InList):
+        operand = compile_scalar(expr.operand, resolver)
+        items = [compile_scalar(item, resolver) for item in expr.items]
+        if expr.negated:
+            return lambda row: V.logical_not(
+                V.in_list(operand(row), [item(row) for item in items])
+            )
+        return lambda row: V.in_list(operand(row), [item(row) for item in items])
+    if isinstance(expr, Like):
+        operand = compile_scalar(expr.operand, resolver)
+        pattern = compile_scalar(expr.pattern, resolver)
+        if expr.negated:
+            return lambda row: V.logical_not(V.like(operand(row), pattern(row)))
+        return lambda row: V.like(operand(row), pattern(row))
+    if isinstance(expr, Between):
+        operand = compile_scalar(expr.operand, resolver)
+        low = compile_scalar(expr.low, resolver)
+        high = compile_scalar(expr.high, resolver)
+        if expr.negated:
+            return lambda row: V.logical_not(
+                V.between(operand(row), low(row), high(row))
+            )
+        return lambda row: V.between(operand(row), low(row), high(row))
+    if isinstance(expr, Not):
+        operand = compile_scalar(expr.operand, resolver)
+        return lambda row: V.logical_not(operand(row))
+    if isinstance(expr, BoolExpr):
+        operands = [compile_scalar(operand, resolver) for operand in expr.operands]
+        if expr.op is BoolConnective.AND:
+            return lambda row: V.logical_and([operand(row) for operand in operands])
+        return lambda row: V.logical_or([operand(row) for operand in operands])
+    if isinstance(expr, Case):
+        whens = [
+            (compile_scalar(condition, resolver), compile_scalar(result, resolver))
+            for condition, result in expr.whens
+        ]
+        default = (
+            compile_scalar(expr.default, resolver)
+            if expr.default is not None
+            else None
+        )
+
+        def run_case(row):
+            for condition, result in whens:
+                if condition(row) is True:
+                    return result(row)
+            return default(row) if default is not None else None
+
+        return run_case
+    raise ExecutionError(f"unsupported expression type {type(expr).__name__}")
+
+
+def compile_predicate(predicate: Expr, resolver: ColumnResolver) -> RowPredicate:
+    """Compile a filter expression into a row-level boolean function.
+
+    SQL filter semantics: the row is kept only when the three-valued result
+    is ``True`` (``False`` and NULL both drop it).
+    """
+    scalar = compile_scalar(predicate, resolver)
+    return lambda row: scalar(row) is True
 
 
 def compile_conjunction(
-    predicates: Sequence[Predicate], resolver: ColumnResolver
+    predicates: Sequence[Expr], resolver: ColumnResolver
 ) -> RowPredicate:
     """Compile a conjunction of predicates into a single row-level function."""
     compiled = [compile_predicate(predicate, resolver) for predicate in predicates]
@@ -130,7 +215,9 @@ def compile_conjunction(
     return lambda row: all(check(row) for check in compiled)
 
 
-# -- batch (vectorized) compilation ------------------------------------------
+# ---------------------------------------------------------------------------
+# Batch (vectorized) target
+# ---------------------------------------------------------------------------
 
 
 def _candidates(batch, candidates: Optional[Sequence[int]]) -> Iterable[int]:
@@ -155,60 +242,127 @@ def _filter_column(position: int, keep: Callable[[object], bool]) -> BatchPredic
     return run
 
 
-def compile_batch_predicate(
-    predicate: Predicate, resolver: ColumnResolver
-) -> BatchPredicate:
-    """Compile a filter predicate into a columnar (batch-at-a-time) evaluator.
+def _literal_value(expr: Expr) -> Tuple[bool, object]:
+    """``(True, value)`` when the expression is a literal constant."""
+    if isinstance(expr, Literal):
+        return True, expr.value
+    return False, None
 
-    The returned callable must keep exactly the rows the row-level compilation
-    of the same predicate keeps; NULL semantics follow SQL (NULL never
-    satisfies a comparison, ``IS NULL`` excepted).
+
+def _column_comparison_filter(
+    position: int, op: ComparisonOp, value: object
+) -> BatchPredicate:
+    """Tight-loop filter for the ``column op literal`` shape."""
+    if value is None:
+        return lambda batch, candidates: []
+    if op is ComparisonOp.EQ:
+        return _filter_column(position, lambda v: v is not None and v == value)
+    if op is ComparisonOp.NE:
+        return _filter_column(position, lambda v: v is not None and v != value)
+    if op is ComparisonOp.LT:
+        return _filter_column(position, lambda v: v is not None and v < value)
+    if op is ComparisonOp.LE:
+        return _filter_column(position, lambda v: v is not None and v <= value)
+    if op is ComparisonOp.GT:
+        return _filter_column(position, lambda v: v is not None and v > value)
+    return _filter_column(position, lambda v: v is not None and v >= value)
+
+
+def compile_batch_predicate(
+    predicate: Expr, resolver: ColumnResolver
+) -> BatchPredicate:
+    """Compile a filter expression into a columnar (batch-at-a-time) evaluator.
+
+    The returned callable keeps exactly the rows the row-level compilation
+    of the same expression keeps.  Leaf predicates over bare columns use
+    specialized selection-vector loops; arbitrary trees fall back to the
+    column-wise scalar evaluator and keep the rows whose value is ``True``.
     """
-    if isinstance(predicate, ComparisonPredicate):
-        position = resolver.position(predicate.column.alias, predicate.column.column)
-        value = predicate.value
-        if value is None:
-            return lambda batch, candidates: []
-        op = predicate.op
-        if op is ComparisonOp.EQ:
-            return _filter_column(position, lambda v: v == value)
-        if op is ComparisonOp.NE:
-            return _filter_column(position, lambda v: v is not None and v != value)
-        if op is ComparisonOp.LT:
-            return _filter_column(position, lambda v: v is not None and v < value)
-        if op is ComparisonOp.LE:
-            return _filter_column(position, lambda v: v is not None and v <= value)
-        if op is ComparisonOp.GT:
-            return _filter_column(position, lambda v: v is not None and v > value)
-        return _filter_column(position, lambda v: v is not None and v >= value)
-    if isinstance(predicate, InPredicate):
-        position = resolver.position(predicate.column.alias, predicate.column.column)
-        values = {v for v in predicate.values if v is not None}
-        return _filter_column(position, lambda v: v in values)
-    if isinstance(predicate, LikePredicate):
-        position = resolver.position(predicate.column.alias, predicate.column.column)
-        regex = like_pattern_to_regex(predicate.pattern)
-        if predicate.negated:
-            return _filter_column(
-                position, lambda v: v is not None and not regex.match(str(v))
+    if isinstance(predicate, Comparison):
+        # column op literal (either orientation) -> specialized loop.
+        if isinstance(predicate.left, Column):
+            is_literal, value = _literal_value(predicate.right)
+            if is_literal:
+                position = resolver.position(
+                    predicate.left.alias, predicate.left.column
+                )
+                return _column_comparison_filter(position, predicate.op, value)
+        if isinstance(predicate.right, Column):
+            is_literal, value = _literal_value(predicate.left)
+            if is_literal:
+                position = resolver.position(
+                    predicate.right.alias, predicate.right.column
+                )
+                return _column_comparison_filter(
+                    position, predicate.op.flipped(), value
+                )
+    elif isinstance(predicate, InList) and isinstance(predicate.operand, Column):
+        if all(isinstance(item, Literal) for item in predicate.items):
+            position = resolver.position(
+                predicate.operand.alias, predicate.operand.column
             )
-        return _filter_column(
-            position, lambda v: v is not None and bool(regex.match(str(v)))
+            literal_values = [item.value for item in predicate.items]
+            non_null = {v for v in literal_values if v is not None}
+            if not predicate.negated:
+                return _filter_column(position, lambda v: v in non_null)
+            if any(v is None for v in literal_values):
+                # ``x NOT IN (..., NULL)`` is never True.
+                return lambda batch, candidates: []
+            return _filter_column(
+                position, lambda v: v is not None and v not in non_null
+            )
+    elif isinstance(predicate, Like) and isinstance(predicate.operand, Column):
+        is_literal, pattern = _literal_value(predicate.pattern)
+        if is_literal and pattern is not None:
+            position = resolver.position(
+                predicate.operand.alias, predicate.operand.column
+            )
+            regex = like_pattern_to_regex(str(pattern))
+            if predicate.negated:
+                return _filter_column(
+                    position, lambda v: v is not None and not regex.match(str(v))
+                )
+            return _filter_column(
+                position, lambda v: v is not None and bool(regex.match(str(v)))
+            )
+    elif isinstance(predicate, Between) and isinstance(predicate.operand, Column):
+        low_literal, low = _literal_value(predicate.low)
+        high_literal, high = _literal_value(predicate.high)
+        if low_literal and high_literal:
+            position = resolver.position(
+                predicate.operand.alias, predicate.operand.column
+            )
+            if low is None or high is None:
+                return lambda batch, candidates: []
+            if predicate.negated:
+                return _filter_column(
+                    position, lambda v: v is not None and not (low <= v <= high)
+                )
+            return _filter_column(
+                position, lambda v: v is not None and low <= v <= high
+            )
+    elif isinstance(predicate, IsNull) and isinstance(predicate.operand, Column):
+        position = resolver.position(
+            predicate.operand.alias, predicate.operand.column
         )
-    if isinstance(predicate, BetweenPredicate):
-        position = resolver.position(predicate.column.alias, predicate.column.column)
-        low = predicate.low
-        high = predicate.high
-        return _filter_column(position, lambda v: v is not None and low <= v <= high)
-    if isinstance(predicate, NullPredicate):
-        position = resolver.position(predicate.column.alias, predicate.column.column)
         if predicate.negated:
             return _filter_column(position, lambda v: v is not None)
         return _filter_column(position, lambda v: v is None)
-    if isinstance(predicate, OrPredicate):
+    elif isinstance(predicate, BoolExpr):
         compiled = [
-            compile_batch_predicate(operand, resolver) for operand in predicate.operands
+            compile_batch_predicate(operand, resolver)
+            for operand in predicate.operands
         ]
+        if predicate.op is BoolConnective.AND:
+
+            def run_and(batch, candidates: Optional[Sequence[int]]) -> List[int]:
+                for check in compiled:
+                    candidates = check(batch, candidates)
+                    if not candidates:
+                        return []
+                return list(candidates)
+
+            return run_and
 
         def run_or(batch, candidates: Optional[Sequence[int]]) -> List[int]:
             keep = set()
@@ -219,11 +373,20 @@ def compile_batch_predicate(
             return [i for i in candidates if i in keep]
 
         return run_or
-    raise ExecutionError(f"unsupported predicate type {type(predicate).__name__}")
+    # Generic tree: evaluate column-wise, keep candidates whose value is True.
+    scalar = compile_batch_scalar(predicate, resolver)
+
+    def run_generic(batch, candidates: Optional[Sequence[int]]) -> List[int]:
+        computed = scalar(batch, candidates)
+        if candidates is None:
+            return [i for i, value in enumerate(computed) if value is True]
+        return [i for i, value in zip(candidates, computed) if value is True]
+
+    return run_generic
 
 
 def compile_batch_conjunction(
-    predicates: Sequence[Predicate], resolver: ColumnResolver
+    predicates: Sequence[Expr], resolver: ColumnResolver
 ) -> Optional[Callable[[object], List[int]]]:
     """Compile a conjunction into a ``batch -> surviving indices`` function.
 
@@ -245,12 +408,250 @@ def compile_batch_conjunction(
     return run
 
 
-def index_probe_keys(index_filter: Predicate) -> List[object]:
-    """Keys to probe an equality index with, from the index-driving filter."""
-    if isinstance(index_filter, ComparisonPredicate):
-        return [index_filter.value]
-    if isinstance(index_filter, InPredicate):
-        return list(index_filter.values)
+def compile_batch_scalar(expr: Expr, resolver: ColumnResolver) -> BatchScalar:
+    """Compile an expression into a column-wise value evaluator.
+
+    The returned callable computes the expression for every candidate row in
+    one pass per tree node (a Python-level form of vectorization: one
+    comprehension over compacted column lists instead of one closure call
+    per row per node).
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+
+        def run_literal(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            count = len(batch) if candidates is None else len(candidates)
+            return [value] * count
+
+        return run_literal
+    if isinstance(expr, Column):
+        position = resolver.position(expr.alias, expr.column)
+
+        def run_column(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            if candidates is None:
+                return batch.values(position)
+            data, sel = batch.column_storage(position)
+            if sel is None:
+                return [data[i] for i in candidates]
+            return [data[sel[i]] for i in candidates]
+
+        return run_column
+    if isinstance(expr, Param):
+        raise ExecutionError(
+            f"unbound parameter ?{expr.index} reached the executor; bind "
+            "parameters before planning"
+        )
+    if isinstance(expr, Negate):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        return lambda batch, candidates: [
+            None if v is None else -v for v in operand(batch, candidates)
+        ]
+    if isinstance(expr, Arithmetic):
+        left = compile_batch_scalar(expr.left, resolver)
+        right = compile_batch_scalar(expr.right, resolver)
+        op = expr.op
+        if op is ArithOp.ADD:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a + b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ArithOp.SUB:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a - b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ArithOp.MUL:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a * b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        # DIV/MOD keep the truncation and zero-divisor rules in one place.
+        return lambda batch, candidates: [
+            V.arith(op, a, b)
+            for a, b in zip(left(batch, candidates), right(batch, candidates))
+        ]
+    if isinstance(expr, Comparison):
+        left = compile_batch_scalar(expr.left, resolver)
+        right = compile_batch_scalar(expr.right, resolver)
+        op = expr.op
+        if op is ComparisonOp.EQ:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a == b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ComparisonOp.NE:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a != b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ComparisonOp.LT:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a < b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ComparisonOp.LE:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a <= b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        if op is ComparisonOp.GT:
+            return lambda batch, candidates: [
+                None if a is None or b is None else a > b
+                for a, b in zip(left(batch, candidates), right(batch, candidates))
+            ]
+        return lambda batch, candidates: [
+            None if a is None or b is None else a >= b
+            for a, b in zip(left(batch, candidates), right(batch, candidates))
+        ]
+    if isinstance(expr, IsNull):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        if expr.negated:
+            return lambda batch, candidates: [
+                v is not None for v in operand(batch, candidates)
+            ]
+        return lambda batch, candidates: [
+            v is None for v in operand(batch, candidates)
+        ]
+    if isinstance(expr, InList):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        items = [compile_batch_scalar(item, resolver) for item in expr.items]
+        negated = expr.negated
+
+        def run_in(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            operand_values = operand(batch, candidates)
+            item_columns = [item(batch, candidates) for item in items]
+            out: List[object] = []
+            for i, v in enumerate(operand_values):
+                answer = V.in_list(v, [column[i] for column in item_columns])
+                out.append(V.logical_not(answer) if negated else answer)
+            return out
+
+        return run_in
+    if isinstance(expr, Like):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        negated = expr.negated
+        is_literal, pattern_value = _literal_value(expr.pattern)
+        if is_literal:
+            if pattern_value is None:
+                return lambda batch, candidates: [None] * _count(batch, candidates)
+            regex = like_pattern_to_regex(str(pattern_value))
+            if negated:
+                return lambda batch, candidates: [
+                    None if v is None else not regex.match(str(v))
+                    for v in operand(batch, candidates)
+                ]
+            return lambda batch, candidates: [
+                None if v is None else bool(regex.match(str(v)))
+                for v in operand(batch, candidates)
+            ]
+        pattern = compile_batch_scalar(expr.pattern, resolver)
+
+        def run_like(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            out: List[object] = []
+            for v, p in zip(operand(batch, candidates), pattern(batch, candidates)):
+                answer = V.like(v, p)
+                out.append(V.logical_not(answer) if negated else answer)
+            return out
+
+        return run_like
+    if isinstance(expr, Between):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        low = compile_batch_scalar(expr.low, resolver)
+        high = compile_batch_scalar(expr.high, resolver)
+        negated = expr.negated
+
+        def run_between(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            out: List[object] = []
+            for v, lo, hi in zip(
+                operand(batch, candidates),
+                low(batch, candidates),
+                high(batch, candidates),
+            ):
+                answer = V.between(v, lo, hi)
+                out.append(V.logical_not(answer) if negated else answer)
+            return out
+
+        return run_between
+    if isinstance(expr, Not):
+        operand = compile_batch_scalar(expr.operand, resolver)
+        return lambda batch, candidates: [
+            V.logical_not(v) for v in operand(batch, candidates)
+        ]
+    if isinstance(expr, BoolExpr):
+        operands = [
+            compile_batch_scalar(operand, resolver) for operand in expr.operands
+        ]
+        combine = (
+            V.logical_and if expr.op is BoolConnective.AND else V.logical_or
+        )
+
+        def run_bool(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            columns = [operand(batch, candidates) for operand in operands]
+            return [combine(list(row)) for row in zip(*columns)]
+
+        return run_bool
+    if isinstance(expr, Case):
+        whens = [
+            (
+                compile_batch_scalar(condition, resolver),
+                compile_batch_scalar(result, resolver),
+            )
+            for condition, result in expr.whens
+        ]
+        default = (
+            compile_batch_scalar(expr.default, resolver)
+            if expr.default is not None
+            else None
+        )
+
+        def run_case(batch, candidates: Optional[Sequence[int]]) -> List[object]:
+            # All branches are total functions (arithmetic never raises: the
+            # zero-divisor case yields NULL), so branches evaluate eagerly
+            # column-wise and the output picks per row.
+            count = _count(batch, candidates)
+            condition_columns = [condition(batch, candidates) for condition, _ in whens]
+            result_columns = [result(batch, candidates) for _, result in whens]
+            default_column = (
+                default(batch, candidates) if default is not None else [None] * count
+            )
+            out: List[object] = []
+            for i in range(count):
+                for conditions, results in zip(condition_columns, result_columns):
+                    if conditions[i] is True:
+                        out.append(results[i])
+                        break
+                else:
+                    out.append(default_column[i])
+            return out
+
+        return run_case
+    raise ExecutionError(f"unsupported expression type {type(expr).__name__}")
+
+
+def _count(batch, candidates: Optional[Sequence[int]]) -> int:
+    return len(batch) if candidates is None else len(candidates)
+
+
+# ---------------------------------------------------------------------------
+# Index probing
+# ---------------------------------------------------------------------------
+
+
+def index_probe_keys(index_filter: Expr) -> List[object]:
+    """Keys to probe an equality index with, from the index-driving filter.
+
+    Only the shapes the planner selects as index filters are supported:
+    ``column = literal`` (either orientation) and ``column IN (literals)``.
+    """
+    if isinstance(index_filter, Comparison) and (
+        index_filter.op is ComparisonOp.EQ
+    ):
+        for side in (index_filter.right, index_filter.left):
+            if isinstance(side, Literal):
+                return [side.value]
+    if isinstance(index_filter, InList) and not index_filter.negated:
+        if all(isinstance(item, Literal) for item in index_filter.items):
+            return [item.value for item in index_filter.items]
     raise ExecutionError(
-        f"unsupported index filter of type {type(index_filter).__name__}"
+        f"unsupported index filter {index_filter.to_sql()!r}"
     )

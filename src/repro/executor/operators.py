@@ -26,7 +26,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.catalog.catalog import Catalog
 from repro.errors import ExecutionError
 from repro.executor.batch import ColumnBatch
-from repro.executor.expressions import compile_batch_conjunction, index_probe_keys
+from repro.executor.expressions import (
+    compile_batch_conjunction,
+    compile_batch_scalar,
+    index_probe_keys,
+)
 from repro.executor.reference import (
     ResultSet,
     output_columns,
@@ -42,7 +46,10 @@ __all__ = [
     "ResultSet",
     "aggregate_result",
     "count_index_probe_matches",
+    "cross_join_results",
     "distinct_result",
+    "empty_result",
+    "filter_result",
     "group_aggregate_result",
     "join_results",
     "limit_result",
@@ -176,6 +183,41 @@ def join_results(
     return ColumnBatch.concat(left.restrict(left_sel), right.restrict(right_sel))
 
 
+def cross_join_results(
+    left: ColumnBatch,
+    right: ColumnBatch,
+    observed: Optional[Dict[str, int]] = None,
+) -> ColumnBatch:
+    """Cartesian product of two batches via repeated/tiled index vectors.
+
+    Left-major row order, matching the reference engine exactly; only the
+    two selection vectors are materialized, never the payload columns.
+    """
+    left = ColumnBatch.from_result(left)
+    right = ColumnBatch.from_result(right)
+    if observed is not None:
+        observed["build_rows"] = min(len(left), len(right))
+        observed["probe_rows"] = max(len(left), len(right))
+    right_count = len(right)
+    left_idx = [i for i in range(len(left)) for _ in range(right_count)]
+    right_idx = list(range(right_count)) * len(left)
+    return ColumnBatch.concat(left.restrict(left_idx), right.restrict(right_idx))
+
+
+def filter_result(result: ColumnBatch, predicates: Sequence) -> ColumnBatch:
+    """Apply filter expressions by narrowing the selection vectors."""
+    result = ColumnBatch.from_result(result)
+    predicate = compile_batch_conjunction(list(predicates), result.resolver)
+    if predicate is None:
+        return result
+    return result.restrict(predicate(result))
+
+
+def empty_result(columns: Sequence[QualifiedColumn]) -> ColumnBatch:
+    """An empty batch with the given column layout (pruned subtrees)."""
+    return ColumnBatch(columns, [[] for _ in columns], length=0)
+
+
 def count_index_probe_matches(
     outer: ColumnBatch,
     outer_positions: Sequence[int],
@@ -238,10 +280,23 @@ def _fold_column(item: SelectItem, values: List[object]) -> object:
     return next((v for v in values if v is not None), None)
 
 
+def _item_values(result: ColumnBatch, item: SelectItem) -> List[object]:
+    """Compacted per-row values of one select item's expression."""
+    ref = item.column
+    if ref is not None:
+        return result.column_values(ref.alias, ref.column)
+    return compile_batch_scalar(item.expr, result.resolver)(result, None)
+
+
 def aggregate_result(
     result: ColumnBatch, select_items: Sequence[SelectItem]
 ) -> ColumnBatch:
-    """Apply the final (ungrouped) aggregation / projection column-wise."""
+    """Apply the final (ungrouped) aggregation / projection column-wise.
+
+    Computed select items evaluate through the batch expression compiler
+    (one pass per tree node over the compacted columns); bare columns keep
+    the zero-copy projection path.
+    """
     if not select_items:
         return result
     result = ColumnBatch.from_result(result)
@@ -250,17 +305,20 @@ def aggregate_result(
     if has_aggregate:
         row: List[object] = []
         for item in select_items:
-            if item.column is None:  # COUNT(*)
+            if item.expr is None:  # COUNT(*)
                 row.append(len(result))
                 continue
-            values = result.column_values(item.column.alias, item.column.column)
-            row.append(_fold_column(item, values))
+            row.append(_fold_column(item, _item_values(result, item)))
         return ColumnBatch.from_rows(columns, [tuple(row)])
-    positions = [
-        result.column_position(item.column.alias, item.column.column)
-        for item in select_items
-    ]
-    return result.with_columns(columns, positions)
+    if all(item.column is not None for item in select_items):
+        positions = [
+            result.column_position(item.column.alias, item.column.column)
+            for item in select_items
+        ]
+        return result.with_columns(columns, positions)
+    # Computed projection columns: materialize each item's value list once.
+    data = [_item_values(result, item) for item in select_items]
+    return ColumnBatch(columns, data, length=len(result))
 
 
 def group_aggregate_result(
@@ -293,17 +351,18 @@ def group_aggregate_result(
 
     out_data: List[List[object]] = []
     for item in select_items:
-        if item.aggregate is None:
-            values = result.column_values(item.column.alias, item.column.column)
-            out_data.append([values[i] for i in first_row])
-            continue
-        if item.column is None:  # COUNT(*): rows per group
+        if item.expr is None:  # COUNT(*): rows per group
             counts = [0] * num_groups
             for gid in group_ids:
                 counts[gid] += 1
             out_data.append(counts)
             continue
-        values = result.column_values(item.column.alias, item.column.column)
+        values = _item_values(result, item)
+        if item.aggregate is None:
+            # Depends only on group keys (binder rule): the group's first
+            # row represents it.
+            out_data.append([values[i] for i in first_row])
+            continue
         out_data.append(
             _fold_grouped(item.aggregate, group_ids, values, num_groups)
         )

@@ -28,6 +28,7 @@ from repro.errors import ExecutionError
 from repro.executor.expressions import (
     ColumnResolver,
     compile_conjunction,
+    compile_scalar,
     index_probe_keys,
 )
 from repro.sql.ast import AggregateFunc, ColumnRef, SelectItem
@@ -180,6 +181,36 @@ def join_results(
     return ResultSet(columns, out_rows)
 
 
+def cross_join_results(
+    left: ResultSet,
+    right: ResultSet,
+    observed: Optional[Dict[str, int]] = None,
+) -> ResultSet:
+    """Cartesian product of two result sets (residual-only joins).
+
+    Row order is left-major (every left row paired with all right rows in
+    order) in both engines, so residual filtering downstream stays
+    differential-test comparable.
+    """
+    if observed is not None:
+        observed["build_rows"] = min(len(left.rows), len(right.rows))
+        observed["probe_rows"] = max(len(left.rows), len(right.rows))
+    columns = list(left.columns) + list(right.columns)
+    rows = [l + r for l in left.rows for r in right.rows]
+    return ResultSet(columns, rows)
+
+
+def filter_result(result: ResultSet, predicates: Sequence) -> ResultSet:
+    """Apply filter expressions to an intermediate result (residual filters)."""
+    predicate = compile_conjunction(list(predicates), result.resolver)
+    return ResultSet(result.columns, [row for row in result.rows if predicate(row)])
+
+
+def empty_result(columns: Sequence[QualifiedColumn]) -> ResultSet:
+    """An empty result with the given column layout (pruned subtrees)."""
+    return ResultSet(columns, [])
+
+
 def count_index_probe_matches(
     outer: ResultSet,
     outer_positions: Sequence[int],
@@ -247,10 +278,24 @@ def fold_aggregate(item: SelectItem, values: List[object]) -> object:
     return non_null[0] if non_null else None
 
 
+def _item_values(result: ResultSet, item: SelectItem) -> List[object]:
+    """Per-row values of one select item's expression (row-at-a-time eval)."""
+    ref = item.column
+    if ref is not None:
+        return result.column_values(ref.alias, ref.column)
+    scalar = compile_scalar(item.expr, result.resolver)
+    return [scalar(row) for row in result.rows]
+
+
 def aggregate_result(
     result: ResultSet, select_items: Sequence[SelectItem]
 ) -> ResultSet:
-    """Apply the final (ungrouped) aggregation / projection."""
+    """Apply the final (ungrouped) aggregation / projection.
+
+    Computed select items (``a + b``, ``CASE ...``) are evaluated row by row
+    through the compiled row closures; aggregates over expressions
+    (``SUM(a*b)``) fold over those per-row values.
+    """
     if not select_items:
         return result
     has_aggregate = any(item.aggregate is not None for item in select_items)
@@ -258,17 +303,28 @@ def aggregate_result(
     if has_aggregate:
         row: List[object] = []
         for item in select_items:
-            if item.column is None:  # COUNT(*)
+            if item.expr is None:  # COUNT(*)
                 row.append(len(result))
                 continue
-            values = result.column_values(item.column.alias, item.column.column)
-            row.append(fold_aggregate(item, values))
+            row.append(fold_aggregate(item, _item_values(result, item)))
         return ResultSet(columns, [tuple(row)])
-    positions = [
-        result.column_position(item.column.alias, item.column.column)
-        for item in select_items
-    ]
-    rows = [tuple(row[p] for p in positions) for row in result.rows]
+    if all(item.column is not None for item in select_items):
+        positions = [
+            result.column_position(item.column.alias, item.column.column)
+            for item in select_items
+        ]
+        rows = [tuple(row[p] for p in positions) for row in result.rows]
+        return ResultSet(columns, rows)
+    # Computed projection columns: one compiled evaluator per item.
+    getters: List = []
+    for item in select_items:
+        ref = item.column
+        if ref is not None:
+            position = result.column_position(ref.alias, ref.column)
+            getters.append(lambda row, p=position: row[p])
+        else:
+            getters.append(compile_scalar(item.expr, result.resolver))
+    rows = [tuple(getter(row) for getter in getters) for row in result.rows]
     return ResultSet(columns, rows)
 
 
@@ -296,22 +352,29 @@ def group_aggregate_result(
             group_rows.append([])
         group_rows[index].append(row)
 
-    item_positions = [
-        None
-        if item.column is None
-        else result.column_position(item.column.alias, item.column.column)
-        for item in select_items
-    ]
+    # Each item evaluates per row: a bare column by position, a computed
+    # expression through its compiled row closure; COUNT(*) has no values.
+    item_getters: List = []
+    for item in select_items:
+        if item.expr is None:
+            item_getters.append(None)  # COUNT(*)
+        elif item.column is not None:
+            position = result.column_position(item.column.alias, item.column.column)
+            item_getters.append(lambda row, p=position: row[p])
+        else:
+            item_getters.append(compile_scalar(item.expr, result.resolver))
     out_rows: List[tuple] = []
     for rows in group_rows:
         out: List[object] = []
-        for item, position in zip(select_items, item_positions):
-            if item.aggregate is None:
-                out.append(rows[0][position])
-            elif position is None:  # COUNT(*)
+        for item, getter in zip(select_items, item_getters):
+            if getter is None:  # COUNT(*)
                 out.append(len(rows))
+            elif item.aggregate is None:
+                # Non-aggregate grouped items depend only on group keys
+                # (binder rule), so the first row represents the group.
+                out.append(getter(rows[0]))
             else:
-                out.append(fold_aggregate(item, [row[position] for row in rows]))
+                out.append(fold_aggregate(item, [getter(row) for row in rows]))
         out_rows.append(tuple(out))
     return ResultSet(output_columns(select_items), out_rows)
 

@@ -28,16 +28,21 @@ from repro.errors import CardinalityError
 from repro.optimizer.injection import CardinalityInjector, NoInjection
 from repro.optimizer.joingraph import JoinGraph
 from repro.sql.ast import (
-    BetweenPredicate,
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Column,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
-    NullPredicate,
-    OrPredicate,
-    Predicate,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
 )
 from repro.sql.binder import BoundJoin, BoundQuery
+from repro.sql.values import is_truthy
 from repro.stats.column_stats import ColumnStats, TableStats
 
 # Default selectivities used when statistics cannot answer a question,
@@ -75,31 +80,49 @@ class SelectivityEstimator:
             return float(max(stats.row_count, 0))
         return float(self._catalog.table(table).row_count)
 
-    def filter_selectivity(self, table: str, predicate: Predicate) -> float:
-        """Selectivity of one filter predicate against ``table``."""
-        if isinstance(predicate, OrPredicate):
-            # Disjunction under independence: 1 - prod(1 - s_i), resolving the
-            # statistics of each operand's own column.
-            miss = 1.0
-            for operand in predicate.operands:
-                miss *= 1.0 - self.filter_selectivity(table, operand)
-            return clamp_selectivity(1.0 - miss)
-        stats = self._catalog.stats(table)
-        column_stats = None
-        if stats is not None:
-            column = self._predicate_column(predicate)
-            if column is not None:
-                column_stats = stats.column_stats(column)
-        return clamp_selectivity(self._predicate_selectivity(predicate, column_stats))
+    def filter_selectivity(self, table: str, predicate: Expr) -> float:
+        """Selectivity of one single-table filter expression against ``table``."""
+        return self.expr_selectivity(predicate, lambda alias: table)
 
-    def conjunction_selectivity(self, table: str, predicates: List[Predicate]) -> float:
+    def expr_selectivity(self, expr: Expr, table_of) -> float:
+        """Boolean-tree selectivity of an arbitrary predicate expression.
+
+        ``table_of`` maps a FROM-clause alias to its catalog table (for a
+        single-table filter it is constant; for residual join filters the
+        caller passes the bound query's mapping).  Connectives compose under
+        the independence assumption — ``AND`` multiplies, ``OR`` is
+        ``1 - prod(1 - s_i)``, ``NOT`` complements — and leaves consult the
+        per-column statistics when the leaf has the classic
+        ``column op constant`` shape; anything irregular (arithmetic over
+        columns, cross-column comparisons, CASE) falls back to the
+        PostgreSQL-style defaults.
+        """
+        if isinstance(expr, BoolExpr):
+            if expr.op is BoolConnective.AND:
+                selectivity = 1.0
+                for operand in expr.operands:
+                    selectivity *= self.expr_selectivity(operand, table_of)
+                return clamp_selectivity(selectivity)
+            miss = 1.0
+            for operand in expr.operands:
+                miss *= 1.0 - self.expr_selectivity(operand, table_of)
+            return clamp_selectivity(1.0 - miss)
+        if isinstance(expr, Not):
+            return clamp_selectivity(
+                1.0 - self.expr_selectivity(expr.operand, table_of)
+            )
+        if isinstance(expr, Literal):
+            return 1.0 if is_truthy(expr.value) else MIN_SELECTIVITY
+        return clamp_selectivity(self._leaf_selectivity(expr, table_of))
+
+    def conjunction_selectivity(self, table: str, predicates: List[Expr]) -> float:
         """Selectivity of a conjunction of filters (independence assumption)."""
         selectivity = 1.0
         for predicate in predicates:
             selectivity *= self.filter_selectivity(table, predicate)
         return clamp_selectivity(selectivity)
 
-    def scan_rows(self, table: str, predicates: List[Predicate]) -> float:
+    def scan_rows(self, table: str, predicates: List[Expr]) -> float:
         """Estimated output rows of scanning ``table`` with ``predicates``."""
         rows = self.table_rows(table) * self.conjunction_selectivity(table, predicates)
         return max(MIN_ROWS, rows)
@@ -152,47 +175,42 @@ class SelectivityEstimator:
             return None
         return stats.column_stats(column)
 
-    @staticmethod
-    def _predicate_column(predicate: Predicate) -> Optional[str]:
-        if isinstance(
-            predicate,
-            (
-                ComparisonPredicate,
-                InPredicate,
-                LikePredicate,
-                BetweenPredicate,
-                NullPredicate,
-            ),
-        ):
-            return predicate.column.column
-        return None
+    def _leaf_stats(self, expr: Expr, table_of) -> Optional[ColumnStats]:
+        """Column statistics for a leaf whose operand is a bare column."""
+        operand = getattr(expr, "operand", None)
+        if operand is None and isinstance(expr, Comparison):
+            operand = expr.left if isinstance(expr.left, Column) else expr.right
+        if not isinstance(operand, Column) or operand.alias is None:
+            return None
+        table = table_of(operand.alias)
+        if table is None:
+            return None
+        stats = self._catalog.stats(table)
+        if stats is None:
+            return None
+        return stats.column_stats(operand.column)
 
-    def _predicate_selectivity(
-        self, predicate: Predicate, stats: Optional[ColumnStats]
-    ) -> float:
-        if isinstance(predicate, ComparisonPredicate):
-            return self._comparison_selectivity(predicate, stats)
-        if isinstance(predicate, InPredicate):
-            return self._in_selectivity(predicate, stats)
-        if isinstance(predicate, LikePredicate):
-            return self._like_selectivity(predicate, stats)
-        if isinstance(predicate, BetweenPredicate):
-            return self._range_selectivity(
-                stats, low=predicate.low, high=predicate.high
-            )
-        if isinstance(predicate, NullPredicate):
+    def _leaf_selectivity(self, expr: Expr, table_of) -> float:
+        stats = self._leaf_stats(expr, table_of)
+        if isinstance(expr, Comparison):
+            return self._comparison_selectivity(expr, stats)
+        if isinstance(expr, InList):
+            selectivity = self._in_selectivity(expr, stats)
+            return 1.0 - selectivity if expr.negated else selectivity
+        if isinstance(expr, Like):
+            return self._like_selectivity(expr, stats)
+        if isinstance(expr, Between):
+            low = _constant_value(expr.low)
+            high = _constant_value(expr.high)
+            if low is None or high is None:
+                selectivity = DEFAULT_RANGE_SELECTIVITY * DEFAULT_RANGE_SELECTIVITY
+            else:
+                selectivity = self._range_selectivity(stats, low=low, high=high)
+            return 1.0 - selectivity if expr.negated else selectivity
+        if isinstance(expr, IsNull):
             if stats is None:
                 return DEFAULT_EQ_SELECTIVITY
-            return stats.non_null_fraction if predicate.negated else stats.null_fraction
-        if isinstance(predicate, OrPredicate):
-            # Reached only when called without a table context; assume the
-            # operands share the given column statistics.
-            miss = 1.0
-            for operand in predicate.operands:
-                miss *= 1.0 - clamp_selectivity(
-                    self._predicate_selectivity(operand, stats)
-                )
-            return 1.0 - miss
+            return stats.non_null_fraction if expr.negated else stats.null_fraction
         return DEFAULT_EQ_SELECTIVITY
 
     def _equality_selectivity(self, value, stats: Optional[ColumnStats]) -> float:
@@ -210,36 +228,61 @@ class SelectivityEstimator:
         return stats.non_null_fraction / stats.n_distinct
 
     def _comparison_selectivity(
-        self, predicate: ComparisonPredicate, stats: Optional[ColumnStats]
+        self, predicate: Comparison, stats: Optional[ColumnStats]
     ) -> float:
+        # Normalize to "column op constant": a literal on the left flips the
+        # operator; anything without a constant side (column-to-column on the
+        # same table, arithmetic) keeps only the default estimates.
         op = predicate.op
+        if isinstance(predicate.left, Column) and isinstance(
+            predicate.right, Literal
+        ):
+            value = predicate.right.value
+        elif isinstance(predicate.right, Column) and isinstance(
+            predicate.left, Literal
+        ):
+            value = predicate.left.value
+            op = op.flipped()
+        else:
+            if op is ComparisonOp.EQ:
+                return DEFAULT_EQ_SELECTIVITY
+            if op is ComparisonOp.NE:
+                return 1.0 - DEFAULT_EQ_SELECTIVITY
+            return DEFAULT_RANGE_SELECTIVITY
+        if value is None:
+            # ``col op NULL`` is never true.
+            return MIN_SELECTIVITY
         if op is ComparisonOp.EQ:
-            return self._equality_selectivity(predicate.value, stats)
+            return self._equality_selectivity(value, stats)
         if op is ComparisonOp.NE:
-            return 1.0 - self._equality_selectivity(predicate.value, stats)
+            return 1.0 - self._equality_selectivity(value, stats)
         if stats is None or stats.histogram is None:
             return DEFAULT_RANGE_SELECTIVITY
         histogram = stats.histogram
         if op in (ComparisonOp.LT, ComparisonOp.LE):
             fraction = histogram.selectivity_less_than(
-                predicate.value, inclusive=op is ComparisonOp.LE
+                value, inclusive=op is ComparisonOp.LE
             )
         else:
             fraction = 1.0 - histogram.selectivity_less_than(
-                predicate.value, inclusive=op is ComparisonOp.GT
+                value, inclusive=op is ComparisonOp.GT
             )
         return fraction * stats.non_null_fraction
 
     def _in_selectivity(
-        self, predicate: InPredicate, stats: Optional[ColumnStats]
+        self, predicate: InList, stats: Optional[ColumnStats]
     ) -> float:
         total = 0.0
-        for value in predicate.values:
+        for item in predicate.items:
+            value = _constant_value(item)
+            if value is None and not isinstance(item, Literal):
+                total += DEFAULT_EQ_SELECTIVITY
+                continue
             total += self._equality_selectivity(value, stats)
         return min(1.0, total)
 
     def _like_selectivity(
-        self, predicate: LikePredicate, stats: Optional[ColumnStats]
+        self, predicate: Like, stats: Optional[ColumnStats]
     ) -> float:
         """Heuristic pattern selectivity.
 
@@ -248,7 +291,10 @@ class SelectivityEstimator:
         (e.g. ``n.name LIKE '%Downey%Robert%'``) are mis-estimated — a source
         of error the paper calls out.
         """
-        pattern = predicate.pattern
+        pattern = _constant_value(predicate.pattern)
+        if not isinstance(pattern, str):
+            selectivity = DEFAULT_LIKE_SELECTIVITY
+            return 1.0 - selectivity if predicate.negated else selectivity
         literal_chars = sum(1 for ch in pattern if ch not in ("%", "_"))
         if "%" not in pattern and "_" not in pattern:
             selectivity = self._equality_selectivity(pattern, stats)
@@ -274,6 +320,13 @@ class SelectivityEstimator:
             return DEFAULT_RANGE_SELECTIVITY * DEFAULT_RANGE_SELECTIVITY
         fraction = stats.histogram.selectivity_range(low=low, high=high)
         return fraction * stats.non_null_fraction
+
+
+def _constant_value(expr: Expr) -> Optional[object]:
+    """The Python value of a literal expression leaf (``None`` otherwise)."""
+    if isinstance(expr, Literal):
+        return expr.value
+    return None
 
 
 class CardinalityEstimator:
@@ -347,11 +400,25 @@ class CardinalityEstimator:
             )
         return clamp_selectivity(selectivity)
 
-    def filter_selectivity(self, alias: str, predicate: Predicate) -> float:
+    def filter_selectivity(self, alias: str, predicate: Expr) -> float:
         """Selectivity of one filter on ``alias`` (used for access-path costing)."""
         return self.selectivity.filter_selectivity(
             self.query.table_for(alias), predicate
         )
+
+    def residual_selectivity(self, residuals: List[Expr]) -> float:
+        """Combined selectivity of residual join filters (independence)."""
+        selectivity = 1.0
+        for residual in residuals:
+            selectivity *= self.selectivity.expr_selectivity(
+                residual, self._table_of
+            )
+        return clamp_selectivity(selectivity)
+
+    def _table_of(self, alias: str) -> Optional[str]:
+        if alias in self.query.alias_tables:
+            return self.query.alias_tables[alias]
+        return None
 
     def invalidate(self, subset: Optional[FrozenSet[str]] = None) -> None:
         """Drop memoized estimates (all of them, or just ``subset``)."""
@@ -373,10 +440,21 @@ class CardinalityEstimator:
         joins = self.graph.joins_between_sets(remainder, {removable})
         left_rows = self.subset_cardinality(remainder)
         right_rows = self.subset_cardinality(frozenset((removable,)))
-        if not joins:
+        # Residual join filters become applicable exactly when the subset
+        # first covers all their aliases; their selectivity multiplies in
+        # here so every plan over this subset sees the same estimate.
+        residuals = [
+            residual
+            for residual in self.query.residuals
+            if removable in residual.referenced_aliases()
+            and set(residual.referenced_aliases()) <= subset
+        ]
+        selectivity = self.residual_selectivity(residuals) if residuals else 1.0
+        if not joins and not residuals:
             # Disconnected subset: Cartesian product semantics.
             return max(MIN_ROWS, left_rows * right_rows)
-        selectivity = self.join_selectivity(joins)
+        if joins:
+            selectivity *= self.join_selectivity(joins)
         return max(MIN_ROWS, left_rows * right_rows * selectivity)
 
     def _pick_removable(self, subset: FrozenSet[str]) -> str:

@@ -36,16 +36,19 @@ from repro.optimizer.plan import (
     JoinAlgorithm,
     JoinNode,
     LimitNode,
+    OneTimeFilterNode,
     PlanNode,
     ScanNode,
     SortNode,
 )
 from repro.sql.ast import (
     AggregateFunc,
+    Column,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    Predicate,
+    Expr,
+    InList,
+    Literal,
 )
 from repro.sql.binder import BoundQuery
 
@@ -165,28 +168,104 @@ class JoinEnumerator:
         return best
 
     def _indexable_filter(
-        self, table: str, filters: Tuple[Predicate, ...]
-    ) -> Optional[Tuple[Predicate, str]]:
-        """Find an equality/IN filter over an indexed column, if any."""
+        self, table: str, filters: Tuple[Expr, ...]
+    ) -> Optional[Tuple[Expr, str]]:
+        """Find an equality/IN filter over an indexed column, if any.
+
+        Only the shapes :func:`repro.executor.expressions.index_probe_keys`
+        can extract probe keys from qualify: ``column = literal`` (either
+        orientation) and ``column IN (literals)``.
+        """
         indexes = self._catalog.indexes(table)
         for predicate in filters:
-            if isinstance(predicate, ComparisonPredicate):
-                if predicate.op is ComparisonOp.EQ and predicate.column.column in indexes:
-                    return predicate, predicate.column.column
-            elif isinstance(predicate, InPredicate):
-                if predicate.column.column in indexes:
-                    return predicate, predicate.column.column
+            if isinstance(predicate, Comparison) and (
+                predicate.op is ComparisonOp.EQ
+            ):
+                for column_side, value_side in (
+                    (predicate.left, predicate.right),
+                    (predicate.right, predicate.left),
+                ):
+                    if (
+                        isinstance(column_side, Column)
+                        and isinstance(value_side, Literal)
+                        and column_side.column in indexes
+                    ):
+                        return predicate, column_side.column
+            elif isinstance(predicate, InList) and not predicate.negated:
+                if (
+                    isinstance(predicate.operand, Column)
+                    and all(isinstance(item, Literal) for item in predicate.items)
+                    and predicate.operand.column in indexes
+                ):
+                    return predicate, predicate.operand.column
         return None
 
     # -- join candidates -----------------------------------------------------------
+
+    def _bridges_residual(self, left: PlanNode, right: PlanNode) -> bool:
+        """Whether a residual spanning 3+ tables connects these sub-plans.
+
+        Such a residual makes the pair graph-connected without giving this
+        join anything to evaluate yet (it only applies once *all* its
+        aliases are covered), so the pair still needs a plain cross-product
+        candidate for the enumeration to reach the covering join.
+        """
+        for residual in self.query.residuals:
+            aliases = set(residual.referenced_aliases())
+            if aliases & left.aliases and aliases & right.aliases:
+                return True
+        return False
+
+    def _residuals_for(self, left: PlanNode, right: PlanNode) -> Tuple[Expr, ...]:
+        """Residual join filters first covered by joining ``left`` and ``right``.
+
+        A residual is attached to the join node whose alias set first covers
+        every alias it references and neither child does on its own, so each
+        residual is applied exactly once along any plan tree.
+        """
+        union = left.aliases | right.aliases
+        residuals = []
+        for residual in self.query.residuals:
+            aliases = set(residual.referenced_aliases())
+            if (
+                aliases <= union
+                and not aliases <= left.aliases
+                and not aliases <= right.aliases
+            ):
+                residuals.append(residual)
+        return tuple(residuals)
 
     def _join_candidates(
         self, left: PlanNode, right: PlanNode, output_rows: float
     ) -> List[JoinNode]:
         """All physical join candidates between two sub-plans (both orientations)."""
         joins = self.graph.joins_between_sets(left.aliases, right.aliases)
+        residuals = self._residuals_for(left, right)
         if not joins:
-            return []
+            if not residuals and not self._bridges_residual(left, right):
+                return []
+            # No equi-join keys: the only physical option is a (possibly
+            # filtered) cross product, costed as a nested loop.  A pair
+            # bridging a wider residual gets a plain cross product here; the
+            # residual itself applies at the join that first covers it.
+            candidates = []
+            for outer, inner in ((left, right), (right, left)):
+                candidates.append(
+                    self._make_join(
+                        outer,
+                        inner,
+                        (),
+                        JoinAlgorithm.NESTED_LOOP,
+                        outer.estimated_cost
+                        + inner.estimated_cost
+                        + self.cost_model.nested_loop_cost(
+                            outer.estimated_rows, inner.estimated_rows, output_rows
+                        ),
+                        output_rows,
+                        residuals,
+                    )
+                )
+            return candidates
         candidates: List[JoinNode] = []
         for outer, inner in ((left, right), (right, left)):
             oriented = tuple(joins)
@@ -202,6 +281,7 @@ class JoinEnumerator:
                         outer.estimated_rows, inner.estimated_rows, output_rows
                     ),
                     output_rows,
+                    residuals,
                 )
             )
             if self.config.enable_nested_loop:
@@ -216,6 +296,7 @@ class JoinEnumerator:
                             outer.estimated_rows, inner.estimated_rows, output_rows
                         ),
                         output_rows,
+                        residuals,
                     )
                 )
             if self.config.enable_merge_join:
@@ -230,6 +311,7 @@ class JoinEnumerator:
                             outer.estimated_rows, inner.estimated_rows, output_rows
                         ),
                         output_rows,
+                        residuals,
                     )
                 )
             inlj_column = self._index_nested_loop_column(inner, joins)
@@ -249,6 +331,7 @@ class JoinEnumerator:
                         JoinAlgorithm.INDEX_NESTED_LOOP,
                         cost,
                         output_rows,
+                        residuals,
                     )
                 )
         return candidates
@@ -275,9 +358,14 @@ class JoinEnumerator:
         algorithm: JoinAlgorithm,
         cost: float,
         output_rows: float,
+        residuals: Tuple[Expr, ...] = (),
     ) -> JoinNode:
         node = JoinNode(
-            left=outer, right=inner, join_predicates=tuple(joins), algorithm=algorithm
+            left=outer,
+            right=inner,
+            join_predicates=tuple(joins),
+            algorithm=algorithm,
+            residual_filters=tuple(residuals),
         )
         node.estimated_rows = output_rows
         node.estimated_cost = cost
@@ -399,10 +487,15 @@ class JoinEnumerator:
         for item in query.select_items:
             if item.aggregate not in (AggregateFunc.SUM, AggregateFunc.AVG):
                 continue
-            if item.column is None:  # only COUNT may take '*'
+            if item.expr is None:  # only COUNT may take '*'
                 raise PlanningError(
                     f"{item.aggregate.value.upper()}(*) is not defined"
                 )
+            if item.column is None:
+                # Computed expressions were type-checked by the binder; a
+                # hand-built text-typed expression would still be rejected
+                # below by its bare column references, if any.
+                continue
             table = query.table_for(item.column.alias)
             schema = self._catalog.schema(table)
             if schema.has_column(item.column.column):
@@ -451,6 +544,19 @@ class JoinEnumerator:
             raise PlanningError(
                 f"OFFSET requires a LIMIT, query {query.name!r} has none"
             )
+        if query.constant_filters:
+            # Bind-time folded constant predicates: EXPLAIN shows them as a
+            # one-time filter; a false one prunes the whole subtree (the
+            # executor returns an empty result without running the child).
+            passes = not query.always_false
+            wrapped = OneTimeFilterNode(
+                child=best,
+                conditions=tuple(c.expr for c in query.constant_filters),
+                passes=passes,
+            )
+            wrapped.estimated_rows = best.estimated_rows if passes else 0.0
+            wrapped.estimated_cost = best.estimated_cost if passes else 0.0
+            best = wrapped
         sort_below = bool(query.order_by) and query.select_items and has_base_keys
         if sort_below:
             best = self._sort_node(best)

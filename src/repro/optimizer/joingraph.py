@@ -1,8 +1,12 @@
 """Join graphs over bound queries.
 
-The join graph has one node per FROM-clause alias and one edge per equi-join
-predicate.  The optimizer's dynamic-programming enumeration only considers
-*connected* sub-sets (no Cartesian products, like PostgreSQL's default), so
+The join graph has one node per FROM-clause alias and one edge per join
+predicate — equi-joins (``a.x = b.y``, the edges the enumerator puts join
+keys on) and *residual* join filters (non-equi predicates such as
+``a.x < b.y`` or cross-table ``OR`` trees, which connect their aliases
+pairwise so the enumerator can plan them as filtered cross products).  The
+optimizer's dynamic-programming enumeration only considers *connected*
+sub-sets (no unfiltered Cartesian products, like PostgreSQL's default), so
 the graph exposes connectivity helpers.  The deep-dive examples of the paper
 (Figures 3 and 4) are rendered from this structure.
 """
@@ -29,6 +33,13 @@ class JoinGraph:
             self._adjacency[left].add(right)
             self._adjacency[right].add(left)
             self._edges.setdefault(frozenset((left, right)), []).append(join)
+        for residual in getattr(query, "residuals", ()):
+            aliases = [a for a in residual.referenced_aliases() if a in self._adjacency]
+            for i, left in enumerate(aliases):
+                for right in aliases[i + 1 :]:
+                    self._adjacency[left].add(right)
+                    self._adjacency[right].add(left)
+                    self._edges.setdefault(frozenset((left, right)), [])
 
     # -- basic accessors ---------------------------------------------------
 

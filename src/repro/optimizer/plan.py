@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import FrozenSet, List, Optional, Tuple
 
-from repro.sql.ast import ColumnRef, Predicate, SelectItem
+from repro.sql.ast import ColumnRef, Expr, SelectItem
 from repro.sql.binder import BoundJoin, BoundSortKey
 
 _node_counter = itertools.count()
@@ -81,10 +81,10 @@ class ScanNode(PlanNode):
 
     alias: str
     table: str
-    filters: Tuple[Predicate, ...] = ()
+    filters: Tuple[Expr, ...] = ()
     access_path: AccessPath = AccessPath.SEQ_SCAN
     index_column: Optional[str] = None
-    index_filter: Optional[Predicate] = None
+    index_filter: Optional[Expr] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -104,12 +104,19 @@ class ScanNode(PlanNode):
 
 @dataclass
 class JoinNode(PlanNode):
-    """Join of two plan subtrees on one or more equi-join predicates."""
+    """Join of two plan subtrees.
+
+    ``join_predicates`` are the equi-join keys the physical algorithms run
+    on; ``residual_filters`` are the non-equi join predicates applied to the
+    joined rows (a join with only residual filters executes as a filtered
+    cross product — the planner forces nested-loop costing for those).
+    """
 
     left: PlanNode
     right: PlanNode
     join_predicates: Tuple[BoundJoin, ...]
     algorithm: JoinAlgorithm = JoinAlgorithm.HASH_JOIN
+    residual_filters: Tuple[Expr, ...] = ()
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -130,7 +137,12 @@ class JoinNode(PlanNode):
             JoinAlgorithm.MERGE_JOIN: "Merge Join",
         }
         conditions = " AND ".join(j.to_sql() for j in self.join_predicates)
-        return f"{names[self.algorithm]} on ({conditions})"
+        if not conditions and self.residual_filters:
+            conditions = "residual filter"
+        text = f"{names[self.algorithm]} on ({conditions})"
+        if self.join_predicates and self.residual_filters:
+            text += " + residual filter"
+        return text
 
 
 @dataclass
@@ -247,6 +259,36 @@ class DistinctNode(PlanNode):
 
     def label(self) -> str:
         return "Distinct"
+
+
+@dataclass
+class OneTimeFilterNode(PlanNode):
+    """A constant WHERE condition evaluated once per statement.
+
+    The binder folds literal-only predicates (``WHERE 1 = 1``,
+    ``WHERE 2 < 1``) into constants; the planner records them on this node
+    (PostgreSQL's ``Result (One-Time Filter)``) so EXPLAIN still shows them.
+    When ``passes`` is False the executor returns an empty result *without
+    executing the child subtree* — the planner-level pruning of
+    always-false queries.
+    """
+
+    child: PlanNode
+    conditions: Tuple[Expr, ...]
+    passes: bool
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+
+    @property
+    def aliases(self) -> FrozenSet[str]:
+        return self.child.aliases
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Result (One-Time Filter: {'true' if self.passes else 'false'})"
 
 
 @dataclass

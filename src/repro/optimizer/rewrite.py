@@ -1,0 +1,125 @@
+"""Boolean-tree normalization: NNF, CNF conversion and conjunct splitting.
+
+The binder hands each top-level WHERE conjunct through this module before
+classifying it: negations are pushed down to the leaves (three-valued logic
+makes ``NOT (a < b)`` exactly ``a >= b``, so most ``NOT`` nodes disappear),
+and disjunctions are distributed over conjunctions (CNF) so that a predicate
+like ``(a.x = 1 AND b.y = 2) OR (a.x = 3 AND b.y = 4)`` splits into clauses
+the optimizer can *push down* per table — ``(a.x = 1 OR a.x = 3)`` becomes a
+scan filter on ``a`` even though the original tree spans two tables.
+
+CNF distribution can explode exponentially, so :func:`to_cnf` carries a
+clause budget; a tree whose expansion would exceed it is kept as a single
+conjunct (still executed exactly, just not split for pushdown).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List
+
+from repro.sql import values
+from repro.sql.ast import (
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    conjunction,
+    disjunction,
+    split_conjuncts,
+)
+
+__all__ = [
+    "DEFAULT_CNF_BUDGET",
+    "push_not_down",
+    "split_conjuncts",
+    "to_cnf",
+]
+
+#: Maximum number of CNF clauses one conjunct may expand into.
+DEFAULT_CNF_BUDGET = 32
+
+
+def push_not_down(expr: Expr) -> Expr:
+    """Negation normal form: push ``NOT`` to the leaves, eliminating it.
+
+    All rewrites are exact under SQL's three-valued logic (the negation of
+    UNKNOWN is UNKNOWN on both sides of every rule):
+
+    * ``NOT (a AND b)`` -> ``NOT a OR NOT b`` (De Morgan), and dually;
+    * ``NOT (a op b)``  -> ``a op' b`` with the complemented comparison;
+    * ``NOT (x IS NULL)`` -> ``x IS NOT NULL``, and dually;
+    * ``NOT (x [NOT] IN/LIKE/BETWEEN ...)`` toggles the negation flag;
+    * ``NOT NOT x`` -> ``x``; ``NOT literal`` folds.
+
+    A ``NOT`` over anything else (a ``CASE``, a bare parameter) is kept.
+    """
+    if isinstance(expr, Not):
+        return _negate(push_not_down(expr.operand))
+    if isinstance(expr, BoolExpr):
+        operands = [push_not_down(operand) for operand in expr.operands]
+        if expr.op is BoolConnective.AND:
+            return conjunction(operands)
+        return disjunction(operands)
+    return expr
+
+
+def _negate(expr: Expr) -> Expr:
+    """The exact three-valued negation of an NNF expression."""
+    if isinstance(expr, Not):
+        return expr.operand
+    if isinstance(expr, Literal):
+        return Literal(values.logical_not(expr.value))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op.negated(), expr.left, expr.right)
+    if isinstance(expr, IsNull):
+        return IsNull(expr.operand, negated=not expr.negated)
+    if isinstance(expr, InList):
+        return InList(expr.operand, expr.items, negated=not expr.negated)
+    if isinstance(expr, Like):
+        return Like(expr.operand, expr.pattern, negated=not expr.negated)
+    if isinstance(expr, Between):
+        return Between(expr.operand, expr.low, expr.high, negated=not expr.negated)
+    if isinstance(expr, BoolExpr):
+        negated = [_negate(operand) for operand in expr.operands]
+        if expr.op is BoolConnective.AND:
+            return disjunction(negated)
+        return conjunction(negated)
+    return Not(expr)
+
+
+def to_cnf(expr: Expr, budget: int = DEFAULT_CNF_BUDGET) -> List[Expr]:
+    """Convert an expression to a list of CNF clauses (ANDed together).
+
+    The expression is first normalized with :func:`push_not_down`; ORs are
+    then distributed over ANDs.  When distribution would produce more than
+    ``budget`` clauses, the offending subtree is kept whole as one clause —
+    the result is always an exact conjunction-of-clauses decomposition of the
+    input, just possibly a coarser one.
+    """
+    return _cnf_clauses(push_not_down(expr), budget)
+
+
+def _cnf_clauses(expr: Expr, budget: int) -> List[Expr]:
+    if isinstance(expr, BoolExpr) and expr.op is BoolConnective.AND:
+        clauses: List[Expr] = []
+        for operand in expr.operands:
+            clauses.extend(_cnf_clauses(operand, budget))
+        return clauses
+    if isinstance(expr, BoolExpr) and expr.op is BoolConnective.OR:
+        operand_clauses = [_cnf_clauses(operand, budget) for operand in expr.operands]
+        count = 1
+        for clauses in operand_clauses:
+            count *= len(clauses)
+            if count > budget:
+                return [expr]
+        return [
+            disjunction(list(combo)) for combo in product(*operand_clauses)
+        ]
+    return [expr]

@@ -1,45 +1,73 @@
-"""Name resolution: turn a parsed query into a bound query.
+"""Name resolution, type inference and constant folding.
 
-The binder resolves table aliases against the catalog, checks that every
-referenced column exists, qualifies unqualified column references when they
-are unambiguous, and splits the WHERE clause into per-alias filter
-predicates and equi-join predicates.  The optimizer and the re-optimization
-driver work exclusively on :class:`BoundQuery` objects.
+The binder turns a parsed query into a bound query: it resolves table
+aliases against the catalog, resolves and type-checks every expression,
+constant-folds literal-only subtrees, and classifies the WHERE clause's
+conjuncts — after CNF normalization by :mod:`repro.optimizer.rewrite` — into
+
+* **per-alias filter expressions** (pushed down to the scans),
+* **equi-join predicates** (``a.x = b.y`` across two aliases, the edges the
+  join-order enumerator works on),
+* **residual join filters** (any other multi-table predicate — non-equi
+  comparisons, cross-table ``OR`` trees — applied at the first join that
+  covers their tables), and
+* **constant filters** (conjuncts that folded to a literal: ``WHERE 1 = 1``
+  is recorded and dropped, ``WHERE 2 < 1`` additionally marks the whole
+  query ``always_false`` so the planner prunes execution).
 
 Result shaping is validated here too:
 
 * ``GROUP BY`` keys are resolved against the catalog, and every
-  non-aggregate select item must be one of the group keys (the standard
-  grouped-select rule);
+  non-aggregate select item may only reference group-key columns (the
+  standard grouped-select rule);
 * ``ORDER BY`` keys are resolved against the *output* of the query: for a
   projected/aggregated select list they become references to output columns
   (by ``AS`` name or by matching a select item), for ``SELECT *`` they stay
   qualified base-table columns;
 * ``LIMIT``/``OFFSET``/``DISTINCT`` are carried through unchanged.
+
+Every bound select item carries its inferred
+:class:`~repro.catalog.schema.ColumnType` (``result_type``): arithmetic
+follows numeric widening (INT op INT -> INT, anything FLOAT -> FLOAT),
+comparisons and boolean trees are BOOL (surfaced as INT, SQLite-style),
+``CASE`` takes the common type of its branches, ``COUNT`` is INT and ``AVG``
+FLOAT.  ``Cursor.description`` reads these type codes directly.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import ColumnType
 from repro.errors import BindError
+from repro.sql import values
 from repro.sql.ast import (
     AggregateFunc,
-    BetweenPredicate,
+    Arithmetic,
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Case,
+    Column,
     ColumnRef,
-    ComparisonPredicate,
-    InPredicate,
-    JoinPredicate,
-    LikePredicate,
-    NullPredicate,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
     OrderItem,
-    OrPredicate,
-    Predicate,
+    Param,
     SelectItem,
     SelectQuery,
+    render_conjunct,
+    transform_expr,
 )
 
 
@@ -53,6 +81,116 @@ def output_column_name(item: SelectItem, position: int) -> str:
     BY-addressable.
     """
     return item.output_name or f"col{position}"
+
+
+class ExprType(enum.Enum):
+    """Inferred static type of an expression."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+    #: The type of a bare ``NULL`` literal (compatible with everything).
+    NULL = "null"
+    #: The type of an unbound ``?`` parameter (compatible with everything).
+    ANY = "any"
+
+    def is_numeric(self) -> bool:
+        """Usable as an arithmetic operand."""
+        return self in (ExprType.INT, ExprType.FLOAT, ExprType.NULL, ExprType.ANY)
+
+    def is_textual(self) -> bool:
+        """Usable as a LIKE operand/pattern."""
+        return self in (ExprType.TEXT, ExprType.NULL, ExprType.ANY)
+
+    def is_boolean(self) -> bool:
+        """Usable as a predicate / boolean-connective operand."""
+        return self in (ExprType.BOOL, ExprType.NULL, ExprType.ANY)
+
+    def column_type(self) -> Optional[ColumnType]:
+        """The :class:`ColumnType` surfaced by ``Cursor.description``.
+
+        BOOL maps to INT (the engines store Python booleans, SQLite-style);
+        NULL/ANY carry no type code.
+        """
+        if self is ExprType.INT:
+            return ColumnType.INT
+        if self is ExprType.FLOAT:
+            return ColumnType.FLOAT
+        if self is ExprType.TEXT:
+            return ColumnType.TEXT
+        if self is ExprType.BOOL:
+            return ColumnType.INT
+        return None
+
+
+_COLUMN_TO_EXPR_TYPE = {
+    ColumnType.INT: ExprType.INT,
+    ColumnType.FLOAT: ExprType.FLOAT,
+    ColumnType.TEXT: ExprType.TEXT,
+}
+
+
+def _widen(left: ExprType, right: ExprType) -> ExprType:
+    """Numeric widening: FLOAT wins, NULL/ANY defer to the other side."""
+    if ExprType.FLOAT in (left, right):
+        return ExprType.FLOAT
+    if left in (ExprType.NULL, ExprType.ANY):
+        return right if right is ExprType.INT else left
+    return left
+
+
+def _comparable(left: ExprType, right: ExprType) -> bool:
+    """Whether two operand types may meet in a comparison/IN/BETWEEN."""
+    if left in (ExprType.NULL, ExprType.ANY) or right in (
+        ExprType.NULL,
+        ExprType.ANY,
+    ):
+        return True
+    if left.is_numeric() and right.is_numeric():
+        return True
+    return left is right
+
+
+def _common_type(left: ExprType, right: ExprType, context: str) -> ExprType:
+    """Common result type of two CASE branches (numeric widening applies)."""
+    if left in (ExprType.NULL, ExprType.ANY):
+        return right
+    if right in (ExprType.NULL, ExprType.ANY):
+        return left
+    if left is right:
+        return left
+    if left.is_numeric() and right.is_numeric():
+        return _widen(left, right)
+    raise BindError(
+        f"{context} mixes incompatible result types "
+        f"{left.value} and {right.value}"
+    )
+
+
+@dataclass(frozen=True)
+class ConstantFilter:
+    """A WHERE conjunct that folded to a constant at bind time.
+
+    ``expr`` is the original (bound) expression, kept for EXPLAIN and SQL
+    rendering; ``value`` is the folded three-valued result.  A value other
+    than ``True`` makes the whole query return no rows.
+    """
+
+    expr: Expr
+    value: object
+
+    @property
+    def passes(self) -> bool:
+        """Whether the constant filter keeps rows."""
+        return values.is_truthy(self.value)
+
+    def to_sql(self) -> str:
+        """Render the original predicate text."""
+        return self.expr.to_sql()
+
+    def __str__(self) -> str:
+        return self.to_sql()
 
 
 @dataclass(frozen=True)
@@ -131,11 +269,14 @@ class BoundQuery:
         name: optional workload-level query name (e.g. ``"q07a"``).
         aliases: FROM-clause aliases in declaration order.
         alias_tables: mapping of alias to catalog table name.
-        select_items: bound output columns.
-        filters: per-alias single-table filter predicates.
+        select_items: bound output columns (with inferred ``result_type``).
+        filters: per-alias single-table filter expressions.
         joins: equi-join predicates.
+        residuals: multi-table non-equi-join filter expressions, applied at
+            the first join covering their aliases.
+        constant_filters: conjuncts that folded to a constant at bind time.
         param_count: number of unbound ``?`` placeholders still present in
-            the filter predicates (0 once parameters are substituted).
+            the filter expressions (0 once parameters are substituted).
         distinct: drop duplicate output rows.
         group_by: fully qualified grouping keys (empty when ungrouped).
         order_by: resolved sort keys over the query output.
@@ -147,14 +288,21 @@ class BoundQuery:
     aliases: List[str]
     alias_tables: Dict[str, str]
     select_items: List[SelectItem]
-    filters: Dict[str, List[Predicate]] = field(default_factory=dict)
+    filters: Dict[str, List[Expr]] = field(default_factory=dict)
     joins: List[BoundJoin] = field(default_factory=list)
+    residuals: List[Expr] = field(default_factory=list)
+    constant_filters: List[ConstantFilter] = field(default_factory=list)
     param_count: int = 0
     distinct: bool = False
     group_by: List[ColumnRef] = field(default_factory=list)
     order_by: List[BoundSortKey] = field(default_factory=list)
     limit: Optional[int] = None
     offset: Optional[int] = None
+
+    @property
+    def always_false(self) -> bool:
+        """True when a constant filter makes the query return no rows."""
+        return any(not constant.passes for constant in self.constant_filters)
 
     def table_for(self, alias: str) -> str:
         """Catalog table name for ``alias``."""
@@ -163,8 +311,8 @@ class BoundQuery:
         except KeyError:
             raise BindError(f"unknown alias {alias!r} in query {self.name!r}") from None
 
-    def filters_for(self, alias: str) -> List[Predicate]:
-        """Filter predicates that apply to ``alias`` (possibly empty)."""
+    def filters_for(self, alias: str) -> List[Expr]:
+        """Filter expressions that apply to ``alias`` (possibly empty)."""
         return self.filters.get(alias, [])
 
     def joins_between(self, left_aliases, right_aliases) -> List[BoundJoin]:
@@ -195,8 +343,10 @@ class BoundQuery:
         )
         clauses: List[str] = []
         for alias in self.aliases:
-            clauses.extend(p.to_sql() for p in self.filters_for(alias))
+            clauses.extend(render_conjunct(p) for p in self.filters_for(alias))
         clauses.extend(j.to_sql() for j in self.joins)
+        clauses.extend(render_conjunct(p) for p in self.residuals)
+        clauses.extend(render_conjunct(c.expr) for c in self.constant_filters)
         prefix = "SELECT DISTINCT" if self.distinct else "SELECT"
         text = f"{prefix} {select}\nFROM {tables}"
         if clauses:
@@ -212,6 +362,85 @@ class BoundQuery:
         return text + ";"
 
 
+def fold_constants(expr: Expr) -> Expr:
+    """Fold literal-only subtrees bottom-up into :class:`Literal` nodes.
+
+    Expressions must already be bound and type-checked; evaluation uses the
+    exact value semantics of :mod:`repro.sql.values`, so a folded result is
+    bit-identical to what either engine would compute at runtime
+    (``1/0`` folds to NULL, ``1 = NULL`` to NULL, ...).
+    """
+
+    def fold(node: Expr) -> Expr:
+        if isinstance(node, Negate) and isinstance(node.operand, Literal):
+            return Literal(values.negate(node.operand.value))
+        if isinstance(node, Arithmetic):
+            if isinstance(node.left, Literal) and isinstance(node.right, Literal):
+                return Literal(
+                    values.arith(node.op, node.left.value, node.right.value)
+                )
+        elif isinstance(node, Comparison):
+            if isinstance(node.left, Literal) and isinstance(node.right, Literal):
+                return Literal(
+                    values.compare(node.op, node.left.value, node.right.value)
+                )
+        elif isinstance(node, IsNull):
+            if isinstance(node.operand, Literal):
+                answer = node.operand.value is None
+                return Literal(not answer if node.negated else answer)
+        elif isinstance(node, InList):
+            if isinstance(node.operand, Literal) and all(
+                isinstance(item, Literal) for item in node.items
+            ):
+                answer = values.in_list(
+                    node.operand.value, [item.value for item in node.items]
+                )
+                return Literal(
+                    values.logical_not(answer) if node.negated else answer
+                )
+        elif isinstance(node, Like):
+            if isinstance(node.operand, Literal) and isinstance(
+                node.pattern, Literal
+            ):
+                answer = values.like(node.operand.value, node.pattern.value)
+                return Literal(
+                    values.logical_not(answer) if node.negated else answer
+                )
+        elif isinstance(node, Between):
+            if (
+                isinstance(node.operand, Literal)
+                and isinstance(node.low, Literal)
+                and isinstance(node.high, Literal)
+            ):
+                answer = values.between(
+                    node.operand.value, node.low.value, node.high.value
+                )
+                return Literal(
+                    values.logical_not(answer) if node.negated else answer
+                )
+        elif isinstance(node, Not):
+            if isinstance(node.operand, Literal):
+                return Literal(values.logical_not(node.operand.value))
+        elif isinstance(node, BoolExpr):
+            if all(isinstance(operand, Literal) for operand in node.operands):
+                operand_values = [operand.value for operand in node.operands]
+                if node.op is BoolConnective.AND:
+                    return Literal(values.logical_and(operand_values))
+                return Literal(values.logical_or(operand_values))
+        elif isinstance(node, Case):
+            if all(
+                isinstance(condition, Literal) and isinstance(result, Literal)
+                for condition, result in node.whens
+            ) and (node.default is None or isinstance(node.default, Literal)):
+                for condition, result in node.whens:
+                    if values.is_truthy(condition.value):
+                        return result
+                return node.default if node.default is not None else Literal(None)
+        return node
+
+    return transform_expr(expr, fold)
+
+
 class Binder:
     """Resolves parsed queries against a :class:`~repro.catalog.catalog.Catalog`."""
 
@@ -222,10 +451,14 @@ class Binder:
         """Bind a parsed query.
 
         Raises:
-            BindError: on unknown tables/columns, ambiguous references,
-                predicates spanning more than one table that are not
-                equi-joins, or select lists violating the grouping rules.
+            BindError: on unknown tables/columns, ambiguous references, type
+                errors inside expressions, or select lists violating the
+                grouping rules.
         """
+        # Imported here: repro.optimizer.rewrite depends only on the AST, but
+        # a top-level import would make sql <-> optimizer circular.
+        from repro.optimizer.rewrite import to_cnf
+
         alias_tables: Dict[str, str] = {}
         for table_ref in query.tables:
             if table_ref.alias in alias_tables:
@@ -253,15 +486,67 @@ class Binder:
         bound.order_by = self._bind_order_by(query.order_by, bound)
 
         for predicate in query.predicates:
-            if isinstance(predicate, JoinPredicate):
-                bound.joins.append(self._bind_join(predicate, bound))
-            else:
-                resolved = self._bind_filter(predicate, bound)
-                alias = resolved.referenced_aliases()[0]
-                bound.filters.setdefault(alias, []).append(resolved)
+            resolved, expr_type = self._bind_expr(predicate, bound)
+            if not expr_type.is_boolean():
+                raise BindError(
+                    f"WHERE clause term {predicate.to_sql()!r} is not a "
+                    f"boolean expression (it has type {expr_type.value})"
+                )
+            folded = fold_constants(resolved)
+            if isinstance(folded, Literal):
+                bound.constant_filters.append(
+                    ConstantFilter(expr=resolved, value=folded.value)
+                )
+                continue
+            for clause in to_cnf(folded):
+                self._classify_conjunct(clause, bound)
         return bound
 
-    # -- helpers ----------------------------------------------------------
+    # -- predicate classification -----------------------------------------
+
+    def _classify_conjunct(self, clause: Expr, bound: BoundQuery) -> None:
+        """File one CNF clause as a filter, equi-join or residual."""
+        clause = fold_constants(clause)
+        if isinstance(clause, Literal):
+            bound.constant_filters.append(
+                ConstantFilter(expr=clause, value=clause.value)
+            )
+            return
+        aliases = clause.referenced_aliases()
+        if not aliases:
+            raise BindError(
+                f"predicate {clause.to_sql()!r} references no FROM-clause "
+                "column and does not fold to a constant"
+            )
+        join = self._as_equi_join(clause)
+        if join is not None:
+            bound.joins.append(join)
+            return
+        if len(aliases) == 1:
+            bound.filters.setdefault(aliases[0], []).append(clause)
+            return
+        bound.residuals.append(clause)
+
+    @staticmethod
+    def _as_equi_join(clause: Expr) -> Optional[BoundJoin]:
+        """Match the canonical equi-join shape ``a.x = b.y`` (two aliases)."""
+        if not isinstance(clause, Comparison) or clause.op is not ComparisonOp.EQ:
+            return None
+        if not isinstance(clause.left, Column) or not isinstance(
+            clause.right, Column
+        ):
+            return None
+        left, right = clause.left.ref, clause.right.ref
+        if left.alias == right.alias:
+            return None
+        return BoundJoin(
+            left_alias=left.alias,
+            left_column=left.column,
+            right_alias=right.alias,
+            right_column=right.column,
+        )
+
+    # -- expression binding ------------------------------------------------
 
     def _resolve_column(self, ref: ColumnRef, bound: BoundQuery) -> ColumnRef:
         """Return a fully qualified column reference, validating existence."""
@@ -286,21 +571,198 @@ class Binder:
             )
         return ColumnRef(alias=candidates[0], column=ref.column)
 
-    def _bind_select_item(self, item: SelectItem, bound: BoundQuery) -> SelectItem:
-        if item.column is None:  # COUNT(*)
-            return item
-        column = self._resolve_column(item.column, bound)
-        if item.aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
-            table = bound.table_for(column.alias)
-            col_type = self._catalog.schema(table).column(column.column).col_type
-            if col_type is ColumnType.TEXT:
+    def _column_expr_type(self, ref: ColumnRef, bound: BoundQuery) -> ExprType:
+        table = bound.table_for(ref.alias)
+        col_type = self._catalog.schema(table).column(ref.column).col_type
+        return _COLUMN_TO_EXPR_TYPE[col_type]
+
+    def _bind_expr(
+        self, expr: Expr, bound: BoundQuery
+    ) -> Tuple[Expr, ExprType]:
+        """Resolve, type-check and rebuild one expression tree."""
+        if isinstance(expr, Literal):
+            return expr, self._literal_type(expr.value)
+        if isinstance(expr, Param):
+            return expr, ExprType.ANY
+        if isinstance(expr, Column):
+            ref = self._resolve_column(expr.ref, bound)
+            return Column(ref), self._column_expr_type(ref, bound)
+        if isinstance(expr, Negate):
+            operand, operand_type = self._bind_expr(expr.operand, bound)
+            if not operand_type.is_numeric():
                 raise BindError(
-                    f"{item.aggregate.value.upper()}({column}) is not defined "
-                    f"for text column {table}.{column.column}"
+                    f"unary minus needs a numeric operand, got "
+                    f"{operand_type.value} in {expr.to_sql()!r}"
                 )
+            return Negate(operand), operand_type
+        if isinstance(expr, Arithmetic):
+            left, left_type = self._bind_expr(expr.left, bound)
+            right, right_type = self._bind_expr(expr.right, bound)
+            if not left_type.is_numeric() or not right_type.is_numeric():
+                raise BindError(
+                    f"arithmetic {expr.op.value!r} needs numeric operands, got "
+                    f"{left_type.value} and {right_type.value} in "
+                    f"{expr.to_sql()!r}"
+                )
+            return Arithmetic(expr.op, left, right), _widen(left_type, right_type)
+        if isinstance(expr, Comparison):
+            left, left_type = self._bind_expr(expr.left, bound)
+            right, right_type = self._bind_expr(expr.right, bound)
+            if not _comparable(left_type, right_type):
+                raise BindError(
+                    f"cannot compare {left_type.value} with {right_type.value} "
+                    f"in {expr.to_sql()!r}"
+                )
+            return Comparison(expr.op, left, right), ExprType.BOOL
+        if isinstance(expr, IsNull):
+            operand, _ = self._bind_expr(expr.operand, bound)
+            return IsNull(operand, negated=expr.negated), ExprType.BOOL
+        if isinstance(expr, InList):
+            operand, operand_type = self._bind_expr(expr.operand, bound)
+            items: List[Expr] = []
+            for item in expr.items:
+                bound_item, item_type = self._bind_expr(item, bound)
+                if not _comparable(operand_type, item_type):
+                    raise BindError(
+                        f"IN list item {item.to_sql()!r} has type "
+                        f"{item_type.value}, incompatible with "
+                        f"{operand_type.value} operand {expr.operand.to_sql()!r}"
+                    )
+                items.append(bound_item)
+            return (
+                InList(operand, tuple(items), negated=expr.negated),
+                ExprType.BOOL,
+            )
+        if isinstance(expr, Like):
+            operand, operand_type = self._bind_expr(expr.operand, bound)
+            pattern, pattern_type = self._bind_expr(expr.pattern, bound)
+            if not operand_type.is_textual() or not pattern_type.is_textual():
+                raise BindError(
+                    f"LIKE needs text operands, got {operand_type.value} and "
+                    f"{pattern_type.value} in {expr.to_sql()!r}"
+                )
+            return Like(operand, pattern, negated=expr.negated), ExprType.BOOL
+        if isinstance(expr, Between):
+            operand, operand_type = self._bind_expr(expr.operand, bound)
+            low, low_type = self._bind_expr(expr.low, bound)
+            high, high_type = self._bind_expr(expr.high, bound)
+            if not _comparable(operand_type, low_type) or not _comparable(
+                operand_type, high_type
+            ):
+                raise BindError(
+                    f"BETWEEN bounds must be comparable with the operand in "
+                    f"{expr.to_sql()!r}"
+                )
+            return (
+                Between(operand, low, high, negated=expr.negated),
+                ExprType.BOOL,
+            )
+        if isinstance(expr, Not):
+            operand, operand_type = self._bind_expr(expr.operand, bound)
+            if not operand_type.is_boolean():
+                raise BindError(
+                    f"NOT needs a boolean operand, got {operand_type.value} "
+                    f"in {expr.to_sql()!r}"
+                )
+            return Not(operand), ExprType.BOOL
+        if isinstance(expr, BoolExpr):
+            operands: List[Expr] = []
+            for operand in expr.operands:
+                bound_operand, operand_type = self._bind_expr(operand, bound)
+                if not operand_type.is_boolean():
+                    raise BindError(
+                        f"argument of {expr.op.value} must be a boolean "
+                        f"expression, got {operand_type.value} in "
+                        f"{operand.to_sql()!r}"
+                    )
+                operands.append(bound_operand)
+            return BoolExpr(expr.op, tuple(operands)), ExprType.BOOL
+        if isinstance(expr, Case):
+            whens: List[Tuple[Expr, Expr]] = []
+            result_type: Optional[ExprType] = None
+            for condition, result in expr.whens:
+                bound_condition, condition_type = self._bind_expr(condition, bound)
+                if not condition_type.is_boolean():
+                    raise BindError(
+                        f"CASE WHEN condition must be boolean, got "
+                        f"{condition_type.value} in {condition.to_sql()!r}"
+                    )
+                bound_result, branch_type = self._bind_expr(result, bound)
+                result_type = (
+                    branch_type
+                    if result_type is None
+                    else _common_type(result_type, branch_type, "CASE expression")
+                )
+                whens.append((bound_condition, bound_result))
+            default: Optional[Expr] = None
+            if expr.default is not None:
+                default, default_type = self._bind_expr(expr.default, bound)
+                result_type = _common_type(
+                    result_type, default_type, "CASE expression"
+                )
+            return Case(whens=tuple(whens), default=default), (
+                result_type or ExprType.NULL
+            )
+        raise BindError(f"unsupported expression type {type(expr).__name__}")
+
+    @staticmethod
+    def _literal_type(value: object) -> ExprType:
+        if value is None:
+            return ExprType.NULL
+        if isinstance(value, bool):
+            return ExprType.BOOL
+        if isinstance(value, int):
+            return ExprType.INT
+        if isinstance(value, float):
+            return ExprType.FLOAT
+        return ExprType.TEXT
+
+    # -- select list -------------------------------------------------------
+
+    def _bind_select_item(self, item: SelectItem, bound: BoundQuery) -> SelectItem:
+        if item.expr is None:  # COUNT(*)
+            return SelectItem(
+                expr=None,
+                aggregate=item.aggregate,
+                output_name=item.output_name,
+                result_type=ColumnType.INT,
+            )
+        expr, expr_type = self._bind_expr(item.expr, bound)
+        expr = fold_constants(expr)
+        if item.aggregate in (AggregateFunc.SUM, AggregateFunc.AVG):
+            if not expr_type.is_numeric():
+                ref = item.column
+                if ref is not None and ref.alias is not None:
+                    # Keep the precise message for the common bare-column case.
+                    resolved = self._resolve_column(ref, bound)
+                    table = bound.table_for(resolved.alias)
+                    raise BindError(
+                        f"{item.aggregate.value.upper()}({resolved}) is not "
+                        f"defined for text column {table}.{resolved.column}"
+                    )
+                raise BindError(
+                    f"{item.aggregate.value.upper()}({expr.to_sql()}) needs a "
+                    f"numeric argument, got {expr_type.value}"
+                )
+        result_type = self._aggregate_result_type(item.aggregate, expr_type)
         return SelectItem(
-            column=column, aggregate=item.aggregate, output_name=item.output_name
+            expr=expr,
+            aggregate=item.aggregate,
+            output_name=item.output_name,
+            result_type=result_type,
         )
+
+    @staticmethod
+    def _aggregate_result_type(
+        aggregate: Optional[AggregateFunc], operand: ExprType
+    ) -> Optional[ColumnType]:
+        """Output type code of a select item (numeric widening rules)."""
+        if aggregate is AggregateFunc.COUNT:
+            return ColumnType.INT
+        if aggregate is AggregateFunc.AVG:
+            return ColumnType.FLOAT
+        # MIN/MAX/SUM and plain expressions keep the operand's type.
+        return operand.column_type()
 
     def _check_grouping_rules(self, bound: BoundQuery) -> None:
         """Enforce the standard grouped-select rules on the bound select list."""
@@ -312,13 +774,14 @@ class Binder:
                 raise BindError("SELECT * cannot be combined with GROUP BY")
             keys = {(ref.alias, ref.column) for ref in bound.group_by}
             for item in bound.select_items:
-                if item.aggregate is not None:
+                if item.aggregate is not None or item.expr is None:
                     continue
-                if (item.column.alias, item.column.column) not in keys:
-                    raise BindError(
-                        f"column {item.column} must appear in the GROUP BY "
-                        "clause or be used in an aggregate function"
-                    )
+                for ref in item.expr.referenced_columns():
+                    if (ref.alias, ref.column) not in keys:
+                        raise BindError(
+                            f"column {ref} must appear in the GROUP BY "
+                            "clause or be used in an aggregate function"
+                        )
         elif has_aggregate:
             # The parser enforces the same rule with token positions for SQL
             # text (_check_bare_columns); this branch covers queries bound
@@ -326,9 +789,11 @@ class Binder:
             for item in bound.select_items:
                 if item.aggregate is None:
                     raise BindError(
-                        f"bare column {item.column} cannot be mixed with "
+                        f"bare column {item.expr} cannot be mixed with "
                         "aggregates without GROUP BY"
                     )
+
+    # -- ORDER BY ----------------------------------------------------------
 
     def _bind_order_by(
         self, order_by: List[OrderItem], bound: BoundQuery
@@ -358,7 +823,11 @@ class Binder:
         plain_query = not bound.group_by and all(
             select_item.aggregate is None for select_item in bound.select_items
         )
-        can_sort_below = plain_query and not bound.distinct
+        can_sort_below = (
+            plain_query
+            and not bound.distinct
+            and all(item.column is not None for item in bound.select_items)
+        )
         matches = [self._match_output(item, bound) for item in order_by]
         if all(match is not None for match in matches):
             # The executor resolves output columns *by name*; a duplicate of
@@ -424,6 +893,14 @@ class Binder:
                 f"for SELECT DISTINCT, ORDER BY column {unmatched.column} must "
                 "appear in the select list"
             )
+        if not can_sort_below:
+            # Computed select items exist: the sort must happen above the
+            # projection, so every key has to name an output column.
+            self._resolve_column(unmatched.column, bound)
+            raise BindError(
+                f"ORDER BY column {unmatched.column} must appear in the select "
+                "list when the select list contains computed expressions"
+            )
         # Sort below the projection: keys that matched an output column keep
         # pointing at that select item's *base* column (so an AS alias still
         # wins even when it shadows a real column name); the rest resolve
@@ -482,57 +959,3 @@ class Binder:
             if select_item.aggregate is None and select_item.column == resolved:
                 return position
         return None
-
-    def _bind_join(self, predicate: JoinPredicate, bound: BoundQuery) -> BoundJoin:
-        left = self._resolve_column(predicate.left, bound)
-        right = self._resolve_column(predicate.right, bound)
-        if left.alias == right.alias:
-            raise BindError(
-                f"join predicate {predicate.to_sql()!r} references a single table"
-            )
-        return BoundJoin(
-            left_alias=left.alias,
-            left_column=left.column,
-            right_alias=right.alias,
-            right_column=right.column,
-        )
-
-    def _bind_filter(self, predicate: Predicate, bound: BoundQuery) -> Predicate:
-        if isinstance(predicate, ComparisonPredicate):
-            return ComparisonPredicate(
-                self._resolve_column(predicate.column, bound),
-                predicate.op,
-                predicate.value,
-            )
-        if isinstance(predicate, InPredicate):
-            return InPredicate(
-                self._resolve_column(predicate.column, bound), predicate.values
-            )
-        if isinstance(predicate, LikePredicate):
-            return LikePredicate(
-                self._resolve_column(predicate.column, bound),
-                predicate.pattern,
-                predicate.negated,
-            )
-        if isinstance(predicate, BetweenPredicate):
-            return BetweenPredicate(
-                self._resolve_column(predicate.column, bound),
-                predicate.low,
-                predicate.high,
-            )
-        if isinstance(predicate, NullPredicate):
-            return NullPredicate(
-                self._resolve_column(predicate.column, bound), predicate.negated
-            )
-        if isinstance(predicate, OrPredicate):
-            operands = tuple(
-                self._bind_filter(operand, bound) for operand in predicate.operands
-            )
-            aliases = {op.referenced_aliases()[0] for op in operands}
-            if len(aliases) != 1:
-                raise BindError(
-                    "OR predicates must reference exactly one table, "
-                    f"found aliases {sorted(aliases)}"
-                )
-            return OrPredicate(operands)
-        raise BindError(f"unsupported predicate type {type(predicate).__name__}")

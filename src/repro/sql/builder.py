@@ -17,9 +17,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import BindError
 from repro.sql.ast import (
     AggregateFunc,
+    Column,
     ColumnRef,
-    Predicate,
+    Expr,
     SelectItem,
+    transform_expr,
 )
 from repro.sql.binder import BoundJoin, BoundQuery, BoundSortKey
 
@@ -38,8 +40,9 @@ class QueryBuilder:
         self._aliases: List[str] = []
         self._alias_tables: Dict[str, str] = {}
         self._select_items: List[SelectItem] = []
-        self._filters: Dict[str, List[Predicate]] = {}
+        self._filters: Dict[str, List[Expr]] = {}
         self._joins: List[BoundJoin] = []
+        self._residuals: List[Expr] = []
         self._distinct = False
         self._group_by: List[ColumnRef] = []
         self._order_by: List[BoundSortKey] = []
@@ -66,10 +69,25 @@ class QueryBuilder:
         self._require_alias(alias)
         self._select_items.append(
             SelectItem(
-                column=ColumnRef(alias=alias, column=column),
+                expr=Column(ColumnRef(alias=alias, column=column)),
                 aggregate=aggregate,
                 output_name=output_name,
             )
+        )
+        return self
+
+    def add_select_expr(
+        self,
+        expr: Expr,
+        aggregate: Optional[AggregateFunc] = None,
+        output_name: Optional[str] = None,
+    ) -> "QueryBuilder":
+        """Add a computed output column (optionally aggregated)."""
+        for ref in expr.referenced_columns():
+            if ref.alias is not None:
+                self._require_alias(ref.alias)
+        self._select_items.append(
+            SelectItem(expr=expr, aggregate=aggregate, output_name=output_name)
         )
         return self
 
@@ -77,15 +95,23 @@ class QueryBuilder:
         """Add a ``COUNT(*)`` output column."""
         self._select_items.append(
             SelectItem(
-                column=None, aggregate=AggregateFunc.COUNT, output_name=output_name
+                expr=None, aggregate=AggregateFunc.COUNT, output_name=output_name
             )
         )
         return self
 
-    def add_filter(self, alias: str, predicate: Predicate) -> "QueryBuilder":
-        """Attach a single-table filter predicate to ``alias``."""
+    def add_filter(self, alias: str, predicate: Expr) -> "QueryBuilder":
+        """Attach a single-table filter expression to ``alias``."""
         self._require_alias(alias)
         self._filters.setdefault(alias, []).append(predicate)
+        return self
+
+    def add_residual(self, predicate: Expr) -> "QueryBuilder":
+        """Attach a multi-table residual join filter."""
+        for ref in predicate.referenced_columns():
+            if ref.alias is not None:
+                self._require_alias(ref.alias)
+        self._residuals.append(predicate)
         return self
 
     def add_join(
@@ -143,6 +169,7 @@ class QueryBuilder:
             select_items=list(self._select_items),
             filters={alias: list(preds) for alias, preds in self._filters.items()},
             joins=list(self._joins),
+            residuals=list(self._residuals),
             distinct=self._distinct,
             group_by=list(self._group_by),
             order_by=list(self._order_by),
@@ -209,17 +236,27 @@ def collapse_aliases(
     }
     new_alias_tables[temp_alias] = temp_table
 
+    def remap_expr(expr: Expr) -> Expr:
+        def remap_node(node: Expr) -> Expr:
+            if isinstance(node, Column):
+                alias, column = remap(node.ref.alias, node.ref.column)
+                if (alias, column) != (node.ref.alias, node.ref.column):
+                    return Column(ColumnRef(alias=alias, column=column))
+            return node
+
+        return transform_expr(expr, remap_node)
+
     new_select: List[SelectItem] = []
     for item in query.select_items:
-        if item.column is None:  # COUNT(*) references no specific column
+        if item.expr is None:  # COUNT(*) references no specific column
             new_select.append(item)
             continue
-        alias, column = remap(item.column.alias, item.column.column)
         new_select.append(
             SelectItem(
-                column=ColumnRef(alias=alias, column=column),
+                expr=remap_expr(item.expr),
                 aggregate=item.aggregate,
                 output_name=item.output_name,
+                result_type=item.result_type,
             )
         )
 
@@ -237,11 +274,24 @@ def collapse_aliases(
             key = BoundSortKey(alias=alias, column=column, ascending=key.ascending)
         new_order_by.append(key)
 
-    new_filters: Dict[str, List[Predicate]] = {
+    new_filters: Dict[str, List[Expr]] = {
         alias: list(preds)
         for alias, preds in query.filters.items()
         if alias not in collapsed_set
     }
+
+    # Residual join filters fully inside the collapsed set were already
+    # applied while materializing the sub-join; partially overlapping ones
+    # are remapped onto the temp table's columns and kept.
+    new_residuals: List[Expr] = []
+    for residual in query.residuals:
+        aliases = set(residual.referenced_aliases())
+        if aliases <= collapsed_set:
+            continue
+        if aliases & collapsed_set:
+            new_residuals.append(remap_expr(residual))
+        else:
+            new_residuals.append(residual)
 
     new_joins: List[BoundJoin] = []
     seen: set = set()
@@ -277,6 +327,8 @@ def collapse_aliases(
         select_items=new_select,
         filters=new_filters,
         joins=new_joins,
+        residuals=new_residuals,
+        constant_filters=list(query.constant_filters),
         distinct=query.distinct,
         group_by=new_group_by,
         order_by=new_order_by,
@@ -289,8 +341,11 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
     """Columns of ``aliases`` referenced outside the group or in the select list.
 
     Used by the re-optimization driver to decide which columns the
-    materialized temporary table must expose.  Grouping keys and (for
-    ``SELECT *`` queries) base-table sort keys count as referenced too.
+    materialized temporary table must expose.  Select-list expressions are
+    walked for every column they touch; grouping keys, (for ``SELECT *``
+    queries) base-table sort keys, joins to non-collapsed tables and
+    residual join filters straddling the group boundary count as referenced
+    too.
     """
     alias_set = set(aliases)
     needed: List[Tuple[str, str]] = []
@@ -300,8 +355,9 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
             needed.append((alias, column))
 
     for item in query.select_items:
-        if item.column is not None:
-            add(item.column.alias, item.column.column)
+        if item.expr is not None:
+            for ref in item.expr.referenced_columns():
+                add(ref.alias, ref.column)
     for ref in query.group_by:
         add(ref.alias, ref.column)
     for key in query.order_by:
@@ -314,4 +370,11 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
             add(join.left_alias, join.left_column)
         elif right_in and not left_in:
             add(join.right_alias, join.right_column)
+    for residual in query.residuals:
+        referenced = set(residual.referenced_aliases())
+        if referenced & alias_set and not referenced <= alias_set:
+            # The filter straddles the boundary: the remainder of the query
+            # still evaluates it, so the collapsed side's columns ride along.
+            for ref in residual.referenced_columns():
+                add(ref.alias, ref.column)
     return needed

@@ -38,6 +38,13 @@ KEYWORDS = {
     "temporary",
     "table",
     "distinct",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "true",
+    "false",
 }
 
 
@@ -72,7 +79,7 @@ class Token:
         return self.type is TokenType.KEYWORD and self.value == keyword.lower()
 
 
-_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "/", "%")
 
 
 def tokenize(sql: str) -> List[Token]:
@@ -101,7 +108,10 @@ def _iter_tokens(sql: str) -> Iterator[Token]:
             value, i = _read_string(sql, i)
             yield Token(TokenType.STRING, value, i)
             continue
-        if ch.isdigit() or (ch == "-" and i + 1 < length and sql[i + 1].isdigit()):
+        # A leading ``-`` is always the operator token; the parser folds
+        # unary minus over number literals itself, so ``x-3`` and ``x - 3``
+        # tokenize identically.
+        if ch.isdigit():
             start = i
             i += 1
             while i < length and (sql[i].isdigit() or sql[i] == "."):

@@ -3,28 +3,27 @@
 Prepared statements parse and bind SQL containing ``?`` placeholders once;
 each execution substitutes concrete values into the bound template with
 :func:`bind_parameters`.  :func:`parameterize` is the inverse: it lifts every
-filter literal of a bound query out into a parameter list, which is how the
-test suite checks that the prepared path returns exactly the rows of the
-literal SQL for every workload query.
+literal of the filter and residual expressions out into a parameter list,
+which is how the test suite checks that the prepared path returns exactly the
+rows of the literal SQL for every workload query.
 
-Parameters only ever appear in filter predicates: join predicates are
-column-to-column and the select list carries no literals in this dialect.
+Parameters appear anywhere an expression does inside WHERE predicates; join
+predicates are column-to-column and constant filters fold away their
+literals at bind time, so neither carries parameters.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.sql.ast import (
-    BetweenPredicate,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
-    NullPredicate,
-    OrPredicate,
+    Expr,
+    Like,
+    Literal,
+    Param,
     Parameter,
-    Predicate,
+    transform_expr,
 )
 from repro.sql.binder import BoundQuery
 
@@ -49,15 +48,27 @@ def bind_parameters(query: BoundQuery, params: Sequence[object]) -> BoundQuery:
     if query.param_count == 0:
         return query
 
-    def lookup(value: object) -> object:
-        if isinstance(value, Parameter):
-            return values[value.index]
-        return value
+    def substitute(node: Expr) -> Expr:
+        if isinstance(node, Param):
+            return Literal(values[node.index])
+        if isinstance(node, Like):
+            pattern = node.pattern
+            if isinstance(pattern, Literal) and not isinstance(
+                pattern.value, str
+            ):
+                raise ParameterError(
+                    f"LIKE pattern parameter must be a string, got "
+                    f"{pattern.value!r}"
+                )
+        return node
 
     filters = {
-        alias: [_map_predicate(predicate, lookup) for predicate in predicates]
+        alias: [transform_expr(predicate, substitute) for predicate in predicates]
         for alias, predicates in query.filters.items()
     }
+    residuals = [
+        transform_expr(predicate, substitute) for predicate in query.residuals
+    ]
     return BoundQuery(
         name=query.name,
         aliases=list(query.aliases),
@@ -65,6 +76,8 @@ def bind_parameters(query: BoundQuery, params: Sequence[object]) -> BoundQuery:
         select_items=list(query.select_items),
         filters=filters,
         joins=list(query.joins),
+        residuals=residuals,
+        constant_filters=list(query.constant_filters),
         param_count=0,
         distinct=query.distinct,
         group_by=list(query.group_by),
@@ -78,20 +91,24 @@ def parameterize(query: BoundQuery) -> Tuple[BoundQuery, List[object]]:
     """Replace every filter literal with a ``?`` and return the values.
 
     The parameters are numbered in the order ``BoundQuery.to_sql`` renders
-    the predicates (per-alias filters in FROM order, then joins), so the
-    returned values line up with the placeholders of the re-parsed SQL text.
+    the predicates (per-alias filters in FROM order, then joins — which
+    carry no literals — then residual join filters), so the returned values
+    line up with the placeholders of the re-parsed SQL text.
     """
     values: List[object] = []
 
-    def lift(value: object) -> Parameter:
-        values.append(value)
-        return Parameter(len(values) - 1)
+    def lift(node: Expr) -> Expr:
+        if isinstance(node, Literal):
+            values.append(node.value)
+            return Param(Parameter(len(values) - 1))
+        return node
 
-    filters: Dict[str, List[Predicate]] = {}
+    filters: Dict[str, List[Expr]] = {}
     for alias in query.aliases:
         predicates = query.filters_for(alias)
         if predicates:
-            filters[alias] = [_map_predicate(p, lift) for p in predicates]
+            filters[alias] = [transform_expr(p, lift) for p in predicates]
+    residuals = [transform_expr(p, lift) for p in query.residuals]
     parameterized = BoundQuery(
         name=query.name,
         aliases=list(query.aliases),
@@ -99,6 +116,8 @@ def parameterize(query: BoundQuery) -> Tuple[BoundQuery, List[object]]:
         select_items=list(query.select_items),
         filters=filters,
         joins=list(query.joins),
+        residuals=residuals,
+        constant_filters=list(query.constant_filters),
         param_count=len(values),
         distinct=query.distinct,
         group_by=list(query.group_by),
@@ -107,37 +126,3 @@ def parameterize(query: BoundQuery) -> Tuple[BoundQuery, List[object]]:
         offset=query.offset,
     )
     return parameterized, values
-
-
-def _map_predicate(
-    predicate: Predicate, transform: Callable[[object], object]
-) -> Predicate:
-    """Rebuild a filter predicate with every literal slot transformed."""
-    if isinstance(predicate, ComparisonPredicate):
-        return ComparisonPredicate(
-            predicate.column, predicate.op, transform(predicate.value)
-        )
-    if isinstance(predicate, InPredicate):
-        return InPredicate(
-            predicate.column, tuple(transform(v) for v in predicate.values)
-        )
-    if isinstance(predicate, LikePredicate):
-        pattern = transform(predicate.pattern)
-        if not isinstance(pattern, (str, Parameter)):
-            raise ParameterError(
-                f"LIKE pattern parameter must be a string, got {pattern!r}"
-            )
-        return LikePredicate(predicate.column, pattern, predicate.negated)
-    if isinstance(predicate, BetweenPredicate):
-        return BetweenPredicate(
-            predicate.column, transform(predicate.low), transform(predicate.high)
-        )
-    if isinstance(predicate, NullPredicate):
-        return predicate
-    if isinstance(predicate, OrPredicate):
-        return OrPredicate(
-            tuple(_map_predicate(op, transform) for op in predicate.operands)
-        )
-    raise ParameterError(
-        f"unsupported predicate type {type(predicate).__name__} for parameters"
-    )

@@ -3,32 +3,46 @@
 Grammar (informal)::
 
     query      := SELECT [DISTINCT] select_list FROM table_list
-                  [WHERE conjunction] [GROUP BY column_list]
+                  [WHERE expr] [GROUP BY column_list]
                   [ORDER BY order_list] [LIMIT number [OFFSET number]] [';']
     select_list:= select_item (',' select_item)* | '*'
-    select_item:= agg '(' column ')' [AS ident] | COUNT '(' '*' ')' [AS ident]
-                | column [AS ident]
+    select_item:= agg '(' expr ')' [AS ident] | COUNT '(' '*' ')' [AS ident]
+                | expr [AS ident]
     agg        := MIN | MAX | COUNT | SUM | AVG
     table_list := table_ref (',' table_ref)*
     table_ref  := ident [AS ident | ident]
-    conjunction:= condition (AND condition)*
-    condition  := '(' disjunction ')' | simple
-    disjunction:= simple (OR simple)*
-    simple     := column op literal | column op column
-                | column [NOT] IN '(' literal (',' literal)* ')'
-                | column [NOT] LIKE string
-                | column BETWEEN literal AND literal
-                | column IS [NOT] NULL
+
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive [cmp_op additive]
+                | additive IS [NOT] NULL
+                | additive [NOT] IN '(' additive (',' additive)* ')'
+                | additive [NOT] LIKE additive
+                | additive [NOT] BETWEEN additive AND additive
+    cmp_op     := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+    additive   := multiplicative (('+' | '-') multiplicative)*
+    multiplicative := unary (('*' | '/' | '%') unary)*
+    unary      := '-' unary | primary
+    primary    := NUMBER | STRING | NULL | TRUE | FALSE | '?'
+                | CASE (WHEN expr THEN expr)+ [ELSE expr] END
+                | '(' expr ')' | column
     column_list:= column (',' column)*
     order_list := column [ASC|DESC] (',' column [ASC|DESC])*
     column     := ident ['.' ident]
 
-A ``column op column`` condition with ``=`` over two different aliases is a
-join predicate; anything else is a filter predicate.
+Operators bind in the usual order (tightest first): unary ``-``;
+``* / %``; ``+ -``; comparisons / ``IS NULL`` / ``IN`` / ``LIKE`` /
+``BETWEEN``; ``NOT``; ``AND``; ``OR``.  All binary operators are
+left-associative.  The parser produces one unified :class:`~repro.sql.ast.Expr`
+tree; classifying predicates into single-table filters, equi-joins and
+residual join filters is the binder's job.
 
-Parse errors carry the character offset of the offending token and an
-excerpt of the SQL around it, so messages read like
-``LIMIT must come after FROM/WHERE (at offset 12, near 'LIMIT 5 FROM t')``.
+Parse errors carry the character offset, line/column and an excerpt of the
+SQL around the offending token, so messages read like
+``LIMIT must come after FROM/WHERE (at offset 12, line 1 column 13, near
+'LIMIT 5 FROM t')``.
 """
 
 from __future__ import annotations
@@ -38,21 +52,30 @@ from typing import List, NoReturn, Optional, Tuple
 from repro.errors import ParseError
 from repro.sql.ast import (
     AggregateFunc,
-    BetweenPredicate,
+    ArithOp,
+    Arithmetic,
+    Between,
+    Case,
+    Column,
     ColumnRef,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    JoinPredicate,
-    LikePredicate,
-    NullPredicate,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Negate,
+    Not,
     OrderItem,
-    OrPredicate,
+    Param,
     Parameter,
-    Predicate,
     SelectItem,
     SelectQuery,
     TableRef,
+    conjunction,
+    disjunction,
+    split_conjuncts,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
 
@@ -61,6 +84,9 @@ _AGGREGATE_KEYWORDS = tuple(func.value for func in AggregateFunc)
 #: Clause keywords that can only appear after the select list; seeing one in
 #: place of FROM gets a dedicated "misplaced clause" error.
 _TRAILING_CLAUSE_KEYWORDS = ("where", "group", "order", "limit", "offset")
+
+_ADDITIVE_OPS = {"+": ArithOp.ADD, "-": ArithOp.SUB}
+_MULTIPLICATIVE_OPS = {"/": ArithOp.DIV, "%": ArithOp.MOD}
 
 
 def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
@@ -78,6 +104,16 @@ def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
     query = parser.parse_query()
     query.name = name
     return query
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone scalar/boolean expression (for tests and tools)."""
+    parser = _Parser(tokenize(sql), sql)
+    expr = parser.parse_expr()
+    token = parser._peek()
+    if token.type is not TokenType.EOF:
+        parser._fail(f"unexpected trailing input {token.value!r}", token)
+    return expr
 
 
 class _Parser:
@@ -135,7 +171,7 @@ class _Parser:
                 token,
             )
 
-    # -- productions -----------------------------------------------------
+    # -- statement productions -------------------------------------------
 
     def parse_query(self) -> SelectQuery:
         """Parse a full SELECT statement."""
@@ -144,9 +180,9 @@ class _Parser:
         select_items, item_tokens = self._parse_select_list()
         self._expect_keyword("from")
         tables = self._parse_table_list()
-        predicates: List[Predicate] = []
+        predicates: List[Expr] = []
         if self._accept_keyword("where"):
-            predicates = self._parse_conjunction()
+            predicates = self._parse_where()
         group_by = self._parse_group_by()
         self._check_bare_columns(select_items, item_tokens, group_by)
         order_by = self._parse_order_by()
@@ -195,8 +231,12 @@ class _Parser:
     def _parse_select_item(self) -> SelectItem:
         token = self._peek()
         aggregate: Optional[AggregateFunc] = None
-        column: Optional[ColumnRef]
-        if token.type is TokenType.KEYWORD and token.value in _AGGREGATE_KEYWORDS:
+        expr: Optional[Expr]
+        if (
+            token.type is TokenType.KEYWORD
+            and token.value in _AGGREGATE_KEYWORDS
+            and self._peek(1).type is TokenType.LPAREN
+        ):
             aggregate = AggregateFunc(token.value)
             self._advance()
             self._expect(TokenType.LPAREN)
@@ -208,18 +248,18 @@ class _Parser:
                         f"{aggregate.value.upper()}",
                         star_token,
                     )
-                column = None
+                expr = None
             else:
-                column = self._parse_column_ref()
+                expr = self.parse_expr()
             self._expect(TokenType.RPAREN)
         else:
-            column = self._parse_column_ref()
+            expr = self.parse_expr()
         output_name = None
         if self._accept_keyword("as"):
             output_name = self._expect(TokenType.IDENTIFIER).value
         elif self._peek().type is TokenType.IDENTIFIER:
             output_name = self._advance().value
-        return SelectItem(column=column, aggregate=aggregate, output_name=output_name)
+        return SelectItem(expr=expr, aggregate=aggregate, output_name=output_name)
 
     def _check_bare_columns(
         self,
@@ -227,13 +267,13 @@ class _Parser:
         item_tokens: List[Token],
         group_by: List[ColumnRef],
     ) -> None:
-        """Reject bare columns mixed with aggregates unless the query is grouped."""
+        """Reject non-aggregate items mixed with aggregates unless grouped."""
         if group_by or not any(item.aggregate is not None for item in select_items):
             return
         for item, token in zip(select_items, item_tokens):
             if item.aggregate is None:
                 self._fail(
-                    f"bare column {item.column} cannot be mixed with aggregates "
+                    f"bare column {item.expr} cannot be mixed with aggregates "
                     "without GROUP BY",
                     token,
                 )
@@ -278,15 +318,19 @@ class _Parser:
 
     def _parse_count(self, clause: str) -> int:
         token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            number = self._peek(1)
+            self._fail(
+                f"{clause} takes a non-negative integer, "
+                f"found '-{number.value}'",
+                token,
+            )
         if token.type is not TokenType.NUMBER or "." in token.value:
             self._fail(
                 f"{clause} takes a non-negative integer, found {token.value!r}",
                 token,
             )
-        value = int(self._advance().value)
-        if value < 0:
-            self._fail(f"{clause} takes a non-negative integer, found {value}", token)
-        return value
+        return int(self._advance().value)
 
     def _parse_table_list(self) -> List[TableRef]:
         tables = [self._parse_table_ref()]
@@ -304,75 +348,173 @@ class _Parser:
             alias = self._advance().value
         return TableRef(table=name, alias=alias)
 
-    def _parse_conjunction(self) -> List[Predicate]:
-        predicates = [self._parse_condition()]
-        while self._accept_keyword("and"):
-            predicates.append(self._parse_condition())
-        return predicates
+    # -- expression productions ------------------------------------------
 
-    def _parse_condition(self) -> Predicate:
-        if self._peek().type is TokenType.LPAREN:
-            self._advance()
-            predicate = self._parse_disjunction()
-            self._expect(TokenType.RPAREN)
-            return predicate
-        return self._parse_simple()
+    def _parse_where(self) -> List[Expr]:
+        """Parse the WHERE clause, split at its top-level ANDs."""
+        return split_conjuncts(self.parse_expr())
 
-    def _parse_disjunction(self) -> Predicate:
-        operands = [self._parse_condition()]
+    def parse_expr(self) -> Expr:
+        """Parse one full expression (entry point: OR level)."""
+        operands = [self._parse_and()]
         while self._accept_keyword("or"):
-            operands.append(self._parse_condition())
+            operands.append(self._parse_and())
         if len(operands) == 1:
             return operands[0]
-        flattened: List[Predicate] = []
-        for operand in operands:
-            if isinstance(operand, OrPredicate):
-                flattened.extend(operand.operands)
-            else:
-                flattened.append(operand)
-        return OrPredicate(tuple(flattened))
+        return disjunction(operands)
 
-    def _parse_simple(self) -> Predicate:
-        column = self._parse_column_ref()
+    def _parse_and(self) -> Expr:
+        operands = [self._parse_not()]
+        while self._accept_keyword("and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return conjunction(operands)
+
+    def _parse_not(self) -> Expr:
+        if self._accept_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
         token = self._peek()
-        if token.matches_keyword("not"):
-            self._advance()
-            if self._accept_keyword("in"):
-                return InPredicate(column, self._parse_literal_list())
-            self._expect_keyword("like")
-            return LikePredicate(column, self._parse_like_pattern(), negated=True)
-        if token.matches_keyword("in"):
-            self._advance()
-            return InPredicate(column, self._parse_literal_list())
-        if token.matches_keyword("like"):
-            self._advance()
-            return LikePredicate(column, self._parse_like_pattern())
-        if token.matches_keyword("between"):
-            self._advance()
-            low = self._parse_literal()
-            self._expect_keyword("and")
-            high = self._parse_literal()
-            return BetweenPredicate(column, low, high)
         if token.matches_keyword("is"):
             self._advance()
             negated = self._accept_keyword("not")
             self._expect_keyword("null")
-            return NullPredicate(column, negated=negated)
-        if token.type is TokenType.OPERATOR:
-            op = ComparisonOp(self._advance().value)
-            right_token = self._peek()
-            if right_token.type is TokenType.IDENTIFIER:
-                right = self._parse_column_ref()
-                if op is ComparisonOp.EQ and right.alias != column.alias:
-                    return JoinPredicate(column, right)
+            return IsNull(left, negated=negated)
+        negated = False
+        if token.matches_keyword("not"):
+            follower = self._peek(1)
+            if not (
+                follower.matches_keyword("in")
+                or follower.matches_keyword("like")
+                or follower.matches_keyword("between")
+            ):
                 self._fail(
-                    "column-to-column comparisons are only supported as equi-joins "
-                    "between different tables",
-                    right_token,
+                    "expected IN, LIKE or BETWEEN after NOT", follower
                 )
-            value = self._parse_literal()
-            return ComparisonPredicate(column, op, value)
-        self._fail(f"unsupported condition near {token.value!r}", token)
+            self._advance()
+            negated = True
+            token = self._peek()
+        if token.matches_keyword("in"):
+            self._advance()
+            return InList(left, self._parse_expr_list(), negated=negated)
+        if token.matches_keyword("like"):
+            self._advance()
+            return Like(left, self._parse_additive(), negated=negated)
+        if token.matches_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high, negated=negated)
+        if negated:  # pragma: no cover - unreachable (checked above)
+            self._fail("expected IN, LIKE or BETWEEN after NOT", token)
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            op = ComparisonOp(self._advance().value)
+            right = self._parse_additive()
+            return Comparison(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in _ADDITIVE_OPS:
+                self._advance()
+                right = self._parse_multiplicative()
+                expr = Arithmetic(_ADDITIVE_OPS[token.value], expr, right)
+            else:
+                return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.STAR:
+                self._advance()
+                expr = Arithmetic(ArithOp.MUL, expr, self._parse_unary())
+            elif token.type is TokenType.OPERATOR and (
+                token.value in _MULTIPLICATIVE_OPS
+            ):
+                self._advance()
+                expr = Arithmetic(
+                    _MULTIPLICATIVE_OPS[token.value], expr, self._parse_unary()
+                )
+            else:
+                return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_unary()
+            # Fold unary minus over a plain number so ``x = -3`` carries the
+            # literal -3, exactly as the pre-expression dialect did.
+            if isinstance(operand, Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return Literal(-operand.value)
+            return Negate(operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            return Param(self._next_parameter())
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.matches_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.matches_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.matches_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.matches_keyword("case"):
+            return self._parse_case()
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            expr = self.parse_expr()
+            self._expect(TokenType.RPAREN)
+            return expr
+        if token.type is TokenType.IDENTIFIER:
+            return Column(self._parse_column_ref())
+        self._fail(f"expected an expression but found {token.value!r}", token)
+
+    def _parse_case(self) -> Expr:
+        self._expect_keyword("case")
+        whens: List[Tuple[Expr, Expr]] = []
+        while self._accept_keyword("when"):
+            condition = self.parse_expr()
+            self._expect_keyword("then")
+            result = self.parse_expr()
+            whens.append((condition, result))
+        if not whens:
+            self._fail("CASE requires at least one WHEN branch")
+        default: Optional[Expr] = None
+        if self._accept_keyword("else"):
+            default = self.parse_expr()
+        self._expect_keyword("end")
+        return Case(whens=tuple(whens), default=default)
 
     def _parse_column_ref(self) -> ColumnRef:
         first = self._expect(TokenType.IDENTIFIER).value
@@ -390,38 +532,14 @@ class _Parser:
             return ColumnRef(alias=first, column=second)
         return ColumnRef(alias=None, column=first)
 
-    def _parse_literal_list(self) -> Tuple[object, ...]:
+    def _parse_expr_list(self) -> Tuple[Expr, ...]:
         self._expect(TokenType.LPAREN)
-        values = [self._parse_literal()]
+        values = [self._parse_additive()]
         while self._peek().type is TokenType.COMMA:
             self._advance()
-            values.append(self._parse_literal())
+            values.append(self._parse_additive())
         self._expect(TokenType.RPAREN)
         return tuple(values)
-
-    def _parse_literal(self) -> object:
-        token = self._peek()
-        if token.type is TokenType.PARAMETER:
-            self._advance()
-            return self._next_parameter()
-        if token.type is TokenType.STRING:
-            self._advance()
-            return token.value
-        if token.type is TokenType.NUMBER:
-            self._advance()
-            if "." in token.value:
-                return float(token.value)
-            return int(token.value)
-        if token.matches_keyword("null"):
-            self._advance()
-            return None
-        self._fail(f"expected a literal but found {token.value!r}", token)
-
-    def _parse_like_pattern(self) -> object:
-        if self._peek().type is TokenType.PARAMETER:
-            self._advance()
-            return self._next_parameter()
-        return self._expect(TokenType.STRING).value
 
     def _next_parameter(self) -> Parameter:
         parameter = Parameter(self._param_count)

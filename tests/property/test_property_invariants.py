@@ -16,14 +16,17 @@ from repro.executor.expressions import (
 from repro.executor.operators import ResultSet, join_results
 from repro.optimizer.plan import JoinAlgorithm, ScanNode
 from repro.sql.ast import (
-    BetweenPredicate,
-    ColumnRef,
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
-    NullPredicate,
-    OrPredicate,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    column,
 )
 from repro.sql.binder import BoundJoin
 from repro.stats import EquiDepthHistogram, MostCommonValues
@@ -124,41 +127,52 @@ _int_or_null = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
 _text_or_null = st.one_of(st.none(), st.text(alphabet="abc", max_size=3))
 _random_rows = st.lists(st.tuples(_int_or_null, _text_or_null), max_size=60)
 
-_int_column = ColumnRef("t", "a")
-_text_column = ColumnRef("t", "b")
+_int_column = column("t", "a")
+_text_column = column("t", "b")
 
 _comparison = st.builds(
-    ComparisonPredicate,
-    st.just(_int_column),
+    lambda op, value: Comparison(op, _int_column, Literal(value)),
     st.sampled_from(list(ComparisonOp)),
     st.integers(min_value=-5, max_value=5),
 )
 _in = st.builds(
-    InPredicate,
-    st.just(_int_column),
-    st.lists(st.integers(min_value=-5, max_value=5), max_size=4).map(tuple),
+    lambda values, negated: InList(
+        _int_column, tuple(Literal(v) for v in values), negated=negated
+    ),
+    st.lists(st.integers(min_value=-5, max_value=5), max_size=4),
+    st.booleans(),
 )
 _like = st.builds(
-    LikePredicate,
-    st.just(_text_column),
+    lambda pattern, negated: Like(_text_column, Literal(pattern), negated=negated),
     st.text(alphabet="abc%_", max_size=4),
     st.booleans(),
 )
 _between = st.builds(
-    BetweenPredicate,
-    st.just(_int_column),
+    lambda low, high, negated: Between(
+        _int_column, Literal(low), Literal(high), negated=negated
+    ),
     st.integers(min_value=-5, max_value=0),
     st.integers(min_value=0, max_value=5),
+    st.booleans(),
 )
 _null = st.builds(
-    NullPredicate, st.sampled_from([_int_column, _text_column]), st.booleans()
+    IsNull, st.sampled_from([_int_column, _text_column]), st.booleans()
 )
 _simple_predicate = st.one_of(_comparison, _in, _like, _between, _null)
+_connective = st.sampled_from([BoolConnective.AND, BoolConnective.OR])
 _predicate = st.one_of(
     _simple_predicate,
-    st.lists(_simple_predicate, min_size=2, max_size=3)
-    .map(tuple)
-    .map(OrPredicate),
+    st.builds(
+        lambda op, operands: BoolExpr(op, tuple(operands)),
+        _connective,
+        st.lists(_simple_predicate, min_size=2, max_size=3),
+    ),
+    st.builds(Not, _simple_predicate),
+    st.builds(
+        lambda op, operands: Not(BoolExpr(op, tuple(operands))),
+        _connective,
+        st.lists(_simple_predicate, min_size=2, max_size=2),
+    ),
 )
 
 

@@ -1,11 +1,14 @@
 """Random-query differential fuzzer: batch engine vs. the row oracle.
 
 Hypothesis generates small schemas' worth of data and random queries across
-the full supported grammar — joins x predicates x GROUP BY x ORDER BY x
-LIMIT/OFFSET x DISTINCT x all aggregates (``MIN``/``MAX``/``COUNT``/
-``COUNT(*)``/``SUM``/``AVG``) — renders them to SQL text, runs the text
-through parse → bind → plan once, then executes the *same* physical plan on
-both engines and asserts they agree on:
+the full supported grammar — joins (equi and non-equi residual) x predicate
+trees (nested ``AND``/``OR``/``NOT``, arithmetic comparisons, ``NOT IN``/
+``NOT LIKE``/``NOT BETWEEN``, flipped BETWEEN bounds, division by zero) x
+arithmetic/CASE select lists x GROUP BY x ORDER BY x LIMIT/OFFSET x DISTINCT
+x all aggregates (``MIN``/``MAX``/``COUNT``/``COUNT(*)``/``SUM``/``AVG``,
+including aggregates over expressions) — renders them to SQL text, runs the
+text through parse → bind → plan once, then executes the *same* physical
+plan on both engines and asserts they agree on:
 
 * the exact result rows (both engines pin row order by construction:
   probe-side-major joins, first-appearance grouping, stable sorts);
@@ -140,21 +143,24 @@ def _columns_for(tables: List[Tuple[str, str]]) -> List[Tuple[str, str, str]]:
 
 @st.composite
 def predicate_strategy(draw, alias: str, column: str, kind: str) -> str:
-    """One single-table predicate rendered as SQL."""
+    """One single-table predicate leaf rendered as SQL."""
     ref = f"{alias}.{column}"
     if kind == "text":
         template = draw(
-            st.sampled_from(["eq", "in", "like", "not_like", "null", "not_null", "or"])
+            st.sampled_from(
+                ["eq", "in", "not_in", "like", "not_like", "null", "not_null", "or"]
+            )
         )
         value = draw(st.sampled_from(TEXT_VALUES))
         if template == "eq":
             return f"{ref} = '{value}'"
-        if template == "in":
+        if template in ("in", "not_in"):
             values = draw(
                 st.lists(st.sampled_from(TEXT_VALUES), min_size=1, max_size=3)
             )
             rendered = ", ".join(f"'{v}'" for v in values)
-            return f"{ref} IN ({rendered})"
+            op = "NOT IN" if template == "not_in" else "IN"
+            return f"{ref} {op} ({rendered})"
         if template == "like":
             return f"{ref} LIKE '{draw(st.sampled_from(LIKE_PATTERNS))}'"
         if template == "not_like":
@@ -165,26 +171,99 @@ def predicate_strategy(draw, alias: str, column: str, kind: str) -> str:
             return f"{ref} IS NOT NULL"
         return f"({ref} = '{value}' OR {ref} IS NULL)"
     template = draw(
-        st.sampled_from(["cmp", "in", "between", "null", "not_null", "or"])
+        st.sampled_from(
+            [
+                "cmp",
+                "arith_cmp",
+                "in",
+                "not_in",
+                "between",
+                "not_between",
+                "null",
+                "not_null",
+                "or",
+            ]
+        )
     )
     value = draw(st.integers(min_value=0, max_value=7))
     if template == "cmp":
         op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
         return f"{ref} {op} {value}"
-    if template == "in":
+    if template == "arith_cmp":
+        # Scalar arithmetic inside a predicate, divisor drawn from a range
+        # that includes 0 so division-by-zero -> NULL keeps getting fuzzed.
+        op = draw(st.sampled_from(["=", "<>", "<", ">="]))
+        arith = draw(
+            st.sampled_from(
+                [
+                    f"{ref} + {value}",
+                    f"{ref} * 2 - 1",
+                    f"{ref} % {draw(st.integers(min_value=0, max_value=3))}",
+                    f"{ref} / {draw(st.integers(min_value=0, max_value=2))}",
+                    f"-{ref}",
+                ]
+            )
+        )
+        return f"{arith} {op} {draw(st.integers(min_value=-3, max_value=9))}"
+    if template in ("in", "not_in"):
         values = draw(
             st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=3)
         )
-        return f"{ref} IN ({', '.join(map(str, values))})"
-    if template == "between":
-        low = draw(st.integers(min_value=0, max_value=5))
-        high = draw(st.integers(min_value=low, max_value=8))
-        return f"{ref} BETWEEN {low} AND {high}"
+        op = "NOT IN" if template == "not_in" else "IN"
+        return f"{ref} {op} ({', '.join(map(str, values))})"
+    if template in ("between", "not_between"):
+        # Bounds are drawn independently, so flipped (empty) ranges occur.
+        low = draw(st.integers(min_value=0, max_value=8))
+        high = draw(st.integers(min_value=0, max_value=8))
+        op = "NOT BETWEEN" if template == "not_between" else "BETWEEN"
+        return f"{ref} {op} {low} AND {high}"
     if template == "null":
         return f"{ref} IS NULL"
     if template == "not_null":
         return f"{ref} IS NOT NULL"
     return f"({ref} < {value} OR {ref} IS NULL)"
+
+
+@st.composite
+def boolean_tree_strategy(
+    draw, columns: List[Tuple[str, str, str]], depth: int = 2
+) -> str:
+    """A nested AND/OR/NOT predicate tree rendered as parenthesized SQL."""
+    if depth <= 0 or draw(st.integers(min_value=0, max_value=2)) == 0:
+        alias, col, kind = draw(st.sampled_from(columns))
+        leaf = draw(predicate_strategy(alias, col, kind))
+        if draw(st.booleans()):
+            return leaf
+        return f"NOT ({leaf})"
+    connective = draw(st.sampled_from(["AND", "OR"]))
+    count = draw(st.integers(min_value=2, max_value=3))
+    operands = [draw(boolean_tree_strategy(columns, depth - 1)) for _ in range(count)]
+    tree = f" {connective} ".join(f"({operand})" for operand in operands)
+    if draw(st.booleans()):
+        return f"NOT ({tree})"
+    return f"({tree})"
+
+
+@st.composite
+def int_expression_strategy(draw, columns: List[Tuple[str, str, str]]) -> str:
+    """A scalar arithmetic expression over the int columns (select lists)."""
+    ints = [(a, c) for a, c, kind in columns if kind == "int"]
+    alias, col = draw(st.sampled_from(ints))
+    ref = f"{alias}.{col}"
+    shape = draw(st.sampled_from(["plus", "times", "mod", "div", "case", "mixed"]))
+    k = draw(st.integers(min_value=0, max_value=4))
+    if shape == "plus":
+        return f"{ref} + {k}"
+    if shape == "times":
+        return f"{ref} * {k} - 1"
+    if shape == "mod":
+        return f"{ref} % {draw(st.integers(min_value=0, max_value=3))}"
+    if shape == "div":
+        return f"{ref} / {draw(st.integers(min_value=0, max_value=2))}"
+    if shape == "case":
+        return f"CASE WHEN {ref} > {k} THEN {ref} ELSE -{ref} END"
+    other_alias, other_col = draw(st.sampled_from(ints))
+    return f"({ref} + {other_alias}.{other_col}) * 2"
 
 
 @st.composite
@@ -217,6 +296,16 @@ def sql_query_strategy(draw) -> str:
         )
         return draw(st.sampled_from(funcs))
 
+    def aggregate_argument(i: int) -> str:
+        """An aggregate select item: over a column or over an expression."""
+        if draw(st.booleans()):
+            return f"count(*) AS a{i}"
+        if draw(st.booleans()):
+            alias, col, kind = draw(st.sampled_from(columns))
+            return f"{aggregate_for(kind)}({alias}.{col}) AS a{i}"
+        func = draw(st.sampled_from(["min", "max", "count", "sum", "avg"]))
+        return f"{func}({draw(int_expression_strategy(columns))}) AS a{i}"
+
     if mode == "star":
         select_sql = "*"
         order_candidates = [(f"{alias}.{col}", False) for alias, col, _ in columns]
@@ -225,14 +314,25 @@ def sql_query_strategy(draw) -> str:
             st.lists(st.sampled_from(columns), min_size=1, max_size=3, unique=True)
         )
         distinct = draw(st.booleans())
+        computed = False
         for i, (alias, col, _) in enumerate(picked):
+            if draw(st.integers(min_value=0, max_value=3)) == 0:
+                # Arithmetic in the select list (always AS-named so ORDER BY
+                # can address it).
+                computed = True
+                select_parts.append(
+                    f"{draw(int_expression_strategy(columns))} AS p{i}"
+                )
+                order_candidates.append((f"p{i}", True))
+                continue
             named = draw(st.booleans())
             select_parts.append(
                 f"{alias}.{col} AS p{i}" if named else f"{alias}.{col}"
             )
             order_candidates.append((f"p{i}", True) if named else (f"{alias}.{col}", False))
-        if not distinct:
-            # Plain queries may also sort on non-projected base columns.
+        if not distinct and not computed:
+            # Plain all-column queries may also sort on non-projected base
+            # columns (computed select lists must sort above the projection).
             order_candidates.extend(
                 (f"{alias}.{col}", False) for alias, col, _ in columns
             )
@@ -240,11 +340,7 @@ def sql_query_strategy(draw) -> str:
     elif mode == "agg":
         num = draw(st.integers(min_value=1, max_value=3))
         for i in range(num):
-            if draw(st.booleans()):
-                select_parts.append(f"count(*) AS a{i}")
-            else:
-                alias, col, kind = draw(st.sampled_from(columns))
-                select_parts.append(f"{aggregate_for(kind)}({alias}.{col}) AS a{i}")
+            select_parts.append(aggregate_argument(i))
             order_candidates.append((f"a{i}", True))
         select_sql = ", ".join(select_parts)
     else:  # group
@@ -257,19 +353,28 @@ def sql_query_strategy(draw) -> str:
             order_candidates.append((f"k{i}", True))
         num_aggs = draw(st.integers(min_value=1, max_value=2))
         for i in range(num_aggs):
-            if draw(st.booleans()):
-                select_parts.append(f"count(*) AS a{i}")
-            else:
-                alias, col, kind = draw(st.sampled_from(columns))
-                select_parts.append(f"{aggregate_for(kind)}({alias}.{col}) AS a{i}")
+            select_parts.append(aggregate_argument(i))
             order_candidates.append((f"a{i}", True))
         select_sql = ", ".join(select_parts)
 
     predicates: List[str] = list(joins)
+    if len(tables) == 2 and draw(st.integers(min_value=0, max_value=3)) == 0:
+        # Non-equi join predicate: lands in the planner's residual filters.
+        left_alias = tables[0][0]
+        right_alias = tables[1][0]
+        left_col = "score" if tables[0][1] == "groups" else "val"
+        right_col = "score" if tables[1][1] == "groups" else "val"
+        op = draw(st.sampled_from(["<", "<=", "<>", ">"]))
+        predicates.append(
+            f"{left_alias}.{left_col} {op} {right_alias}.{right_col}"
+        )
     num_filters = draw(st.integers(min_value=0, max_value=2))
     for _ in range(num_filters):
-        alias, col, kind = draw(st.sampled_from(columns))
-        predicates.append(draw(predicate_strategy(alias, col, kind)))
+        if draw(st.integers(min_value=0, max_value=2)) == 0:
+            predicates.append(draw(boolean_tree_strategy(columns)))
+        else:
+            alias, col, kind = draw(st.sampled_from(columns))
+            predicates.append(draw(predicate_strategy(alias, col, kind)))
 
     prefix = "SELECT DISTINCT" if distinct else "SELECT"
     sql = f"{prefix} {select_sql} FROM " + ", ".join(
@@ -440,6 +545,73 @@ REGRESSION_CORPUS: List[Tuple[str, List[tuple], List[tuple], Optional[str]]] = [
         [(1, 1, 1, "x"), (2, 2, 2, "y"), (3, 3, 3, "z"), (4, 2, 4, "w")],
         "SELECT g.tag, r.val FROM groups AS g, records AS r "
         "WHERE r.gid = g.id LIMIT 2 OFFSET 1",
+    ),
+    (
+        # Division by zero yields NULL (never an error), in filters and in
+        # projections alike; NULL divisors propagate NULL too.
+        "division-by-zero-is-null",
+        [(1, "a", 0), (2, "b", 3), (3, "c", None)],
+        [],
+        "SELECT g.id, g.score / g.score AS q, 6 / g.score AS w "
+        "FROM groups AS g ORDER BY g.id",
+    ),
+    (
+        # NULL propagates through every arithmetic operator; comparing the
+        # NULL result filters the row (three-valued logic).
+        "null-propagation-through-arithmetic",
+        [(1, "a", None), (2, "b", 2)],
+        [],
+        "SELECT g.id, g.score * 2 + 1 AS e FROM groups AS g "
+        "WHERE g.score + 1 > 0 OR g.score IS NULL ORDER BY g.id",
+    ),
+    (
+        # Flipped BETWEEN bounds (low > high) select nothing; NOT BETWEEN on
+        # the same bounds keeps every non-NULL row.
+        "flipped-between-bounds",
+        [(1, "a", 1), (2, "b", 5), (3, "c", None)],
+        [],
+        "SELECT g.id FROM groups AS g WHERE g.score BETWEEN 5 AND 1",
+    ),
+    (
+        "not-between-flipped-bounds-keeps-non-null",
+        [(1, "a", 1), (2, "b", 5), (3, "c", None)],
+        [],
+        "SELECT g.id FROM groups AS g WHERE g.score NOT BETWEEN 5 AND 1",
+    ),
+    (
+        # NOT over a cross-column OR tree: De Morgan pushdown must keep the
+        # three-valued semantics intact on NULL-heavy data.
+        "negated-boolean-tree-with-nulls",
+        [(1, None, None), (2, "a", 3), (3, "b", 0)],
+        [],
+        "SELECT g.id FROM groups AS g "
+        "WHERE NOT (g.score < 2 OR g.tag = 'a') ORDER BY g.id",
+    ),
+    (
+        # Non-equi residual join predicate next to the equi join.
+        "residual-join-filter-next-to-equi-join",
+        [(1, "a", 2), (2, "b", 8)],
+        [(1, 1, 5, "x"), (2, 1, 1, "y"), (3, 2, 9, "z"), (4, 2, None, "w")],
+        "SELECT g.id, r.id FROM groups AS g, records AS r "
+        "WHERE r.gid = g.id AND g.score < r.val ORDER BY g.id, r.id",
+    ),
+    (
+        # Aggregates over expressions, including a zero divisor inside SUM.
+        "aggregate-over-expression-with-zero-divisor",
+        [(1, "a", 0), (2, "a", 2), (3, "b", 4)],
+        [],
+        "SELECT g.tag AS k, sum(g.score * 2) AS d, avg(4 / g.score) AS q, "
+        "count(g.score / g.score) AS n FROM groups AS g GROUP BY g.tag "
+        "ORDER BY k",
+    ),
+    (
+        # CASE in the select list over a NULL-able column.
+        "case-expression-projection",
+        [(1, "a", None), (2, "b", 4), (3, "c", 0)],
+        [],
+        "SELECT g.id, CASE WHEN g.score IS NULL THEN -1 "
+        "WHEN g.score > 2 THEN 1 ELSE 0 END AS bucket "
+        "FROM groups AS g ORDER BY g.id",
     ),
 ]
 

@@ -7,13 +7,15 @@ from repro.executor import ResultSet, explain_plan
 from repro.executor.expressions import ColumnResolver, compile_conjunction, like_match
 from repro.executor.operators import aggregate_result, join_results, scan_table
 from repro.optimizer.plan import JoinAlgorithm
-from repro.sql import parse_select
+
 from repro.sql.ast import (
     AggregateFunc,
+    Column,
     ColumnRef,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
+    InList,
+    Literal,
     SelectItem,
 )
 from repro.sql.binder import BoundJoin
@@ -33,8 +35,8 @@ class TestPredicateCompilation:
         resolver = ColumnResolver([("t", "a"), ("t", "b")])
         predicate = compile_conjunction(
             [
-                ComparisonPredicate(ColumnRef("t", "a"), ComparisonOp.GT, 5),
-                InPredicate(ColumnRef("t", "b"), ("x", "y")),
+                Comparison(ComparisonOp.GT, Column(ColumnRef("t", "a")), Literal(5)),
+                InList(Column(ColumnRef("t", "b")), (Literal("x"), Literal("y"))),
             ],
             resolver,
         )
@@ -51,7 +53,7 @@ class TestPredicateCompilation:
         resolver = ColumnResolver([("t", "a")])
         with pytest.raises(ExecutionError):
             compile_conjunction(
-                [ComparisonPredicate(ColumnRef("t", "zz"), ComparisonOp.EQ, 1)], resolver
+                [Comparison(ComparisonOp.EQ, Column(ColumnRef("t", "zz")), Literal(1))], resolver
             )
 
 
@@ -61,14 +63,14 @@ class TestOperators:
             stock_db.catalog,
             "c",
             "company",
-            [ComparisonPredicate(ColumnRef("c", "sector"), ComparisonOp.EQ, "tech")],
+            [Comparison(ComparisonOp.EQ, Column(ColumnRef("c", "sector")), Literal("tech"))],
         )
         assert fetched == 150
         assert 0 < len(result) < 150
         assert ("c", "symbol") in result.columns
 
     def test_scan_through_index(self, stock_db):
-        predicate = ComparisonPredicate(ColumnRef("c", "id"), ComparisonOp.EQ, 5)
+        predicate = Comparison(ComparisonOp.EQ, Column(ColumnRef("c", "id")), Literal(5))
         result, fetched = scan_table(
             stock_db.catalog,
             "c",
@@ -85,7 +87,7 @@ class TestOperators:
             stock_db.catalog,
             "c",
             "company",
-            [ComparisonPredicate(ColumnRef("c", "symbol"), ComparisonOp.EQ, "SYM1")],
+            [Comparison(ComparisonOp.EQ, Column(ColumnRef("c", "symbol")), Literal("SYM1"))],
         )
         right, _ = scan_table(stock_db.catalog, "t", "trades", [])
         joined = join_results(left, right, [BoundJoin("c", "id", "t", "company_id")])
@@ -100,15 +102,15 @@ class TestOperators:
         aggregated = aggregate_result(
             result,
             [
-                SelectItem(ColumnRef("t", "a"), AggregateFunc.MIN, "lo"),
-                SelectItem(ColumnRef("t", "b"), AggregateFunc.COUNT, "n"),
+                SelectItem(Column(ColumnRef("t", "a")), AggregateFunc.MIN, "lo"),
+                SelectItem(Column(ColumnRef("t", "b")), AggregateFunc.COUNT, "n"),
             ],
         )
         assert aggregated.rows == [(1, 2)]
 
     def test_plain_projection(self):
         result = ResultSet([("t", "a"), ("t", "b")], [(3, "x"), (1, "y")])
-        projected = aggregate_result(result, [SelectItem(ColumnRef("t", "b"))])
+        projected = aggregate_result(result, [SelectItem(Column(ColumnRef("t", "b")))])
         assert projected.rows == [("x",), ("y",)]
 
 

@@ -16,7 +16,7 @@ from repro.executor.batch import ColumnBatch
 from repro.executor.operators import aggregate_result, join_results
 from repro.executor.reference import ResultSet
 from repro.executor import reference
-from repro.sql.ast import AggregateFunc, ColumnRef, SelectItem
+from repro.sql.ast import AggregateFunc, Column, ColumnRef, SelectItem
 from repro.sql.binder import BoundJoin
 
 ENGINES = [ExecutionEngine.VECTORIZED, ExecutionEngine.REFERENCE]
@@ -102,8 +102,8 @@ class TestAggregateEdgeCases:
     def test_direct_aggregate_of_empty_input_both_engines(self):
         columns = [("t", "a")]
         items = [
-            SelectItem(ColumnRef("t", "a"), AggregateFunc.MIN, "lo"),
-            SelectItem(ColumnRef("t", "a"), AggregateFunc.COUNT, "n"),
+            SelectItem(Column(ColumnRef("t", "a")), AggregateFunc.MIN, "lo"),
+            SelectItem(Column(ColumnRef("t", "a")), AggregateFunc.COUNT, "n"),
         ]
         vectorized = aggregate_result(ColumnBatch.from_rows(columns, []), items)
         oracle = reference.aggregate_result(ResultSet(columns, []), items)

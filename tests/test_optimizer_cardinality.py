@@ -5,21 +5,19 @@ import pytest
 from repro.errors import CardinalityError
 from repro.optimizer import CardinalityEstimator, DictInjection, SelectivityEstimator
 from repro.optimizer.cardinality import clamp_selectivity
-from repro.sql import parse_select
+
 from repro.sql.ast import (
-    BetweenPredicate,
-    ColumnRef,
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
-    NullPredicate,
-    OrPredicate,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    column as col,
 )
-
-
-def col(alias, column):
-    return ColumnRef(alias=alias, column=column)
 
 
 class TestSelectivityEstimator:
@@ -27,55 +25,56 @@ class TestSelectivityEstimator:
         estimator = SelectivityEstimator(stock_db.catalog)
         # Company 1 holds ~35% of the trades (skew planted by the fixture).
         selectivity = estimator.filter_selectivity(
-            "trades", ComparisonPredicate(col("t", "company_id"), ComparisonOp.EQ, 1)
+            "trades", Comparison(ComparisonOp.EQ, col("t", "company_id"), Literal(1))
         )
         assert 0.25 < selectivity < 0.45
 
     def test_equality_rare_value(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         selectivity = estimator.filter_selectivity(
-            "company", ComparisonPredicate(col("c", "symbol"), ComparisonOp.EQ, "SYM7")
+            "company", Comparison(ComparisonOp.EQ, col("c", "symbol"), Literal("SYM7"))
         )
         assert selectivity == pytest.approx(1.0 / 150, rel=0.5)
 
     def test_in_sums_equalities(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         single = estimator.filter_selectivity(
-            "company", ComparisonPredicate(col("c", "symbol"), ComparisonOp.EQ, "SYM7")
+            "company", Comparison(ComparisonOp.EQ, col("c", "symbol"), Literal("SYM7"))
         )
         multiple = estimator.filter_selectivity(
-            "company", InPredicate(col("c", "symbol"), ("SYM7", "SYM8", "SYM9"))
+            "company", InList(col("c", "symbol"), (Literal("SYM7"), Literal("SYM8"), Literal("SYM9")))
         )
         assert multiple == pytest.approx(3 * single, rel=0.01)
 
     def test_range_uses_histogram(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         selectivity = estimator.filter_selectivity(
-            "trades", ComparisonPredicate(col("t", "shares"), ComparisonOp.LT, 2500)
+            "trades", Comparison(ComparisonOp.LT, col("t", "shares"), Literal(2500))
         )
         assert 0.35 < selectivity < 0.65
 
     def test_between(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         selectivity = estimator.filter_selectivity(
-            "trades", BetweenPredicate(col("t", "shares"), 1000, 4000)
+            "trades", Between(col("t", "shares"), Literal(1000), Literal(4000))
         )
         assert 0.4 < selectivity < 0.8
 
     def test_null_predicate(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         selectivity = estimator.filter_selectivity(
-            "trades", NullPredicate(col("t", "shares"))
+            "trades", IsNull(col("t", "shares"))
         )
         assert selectivity <= 1.0e-6 or selectivity < 0.01
 
     def test_or_predicate(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
-        either = OrPredicate(
+        either = BoolExpr(
+            BoolConnective.OR,
             (
-                ComparisonPredicate(col("c", "sector"), ComparisonOp.EQ, "tech"),
-                ComparisonPredicate(col("c", "sector"), ComparisonOp.EQ, "energy"),
-            )
+                Comparison(ComparisonOp.EQ, col("c", "sector"), Literal("tech")),
+                Comparison(ComparisonOp.EQ, col("c", "sector"), Literal("energy")),
+            ),
         )
         selectivity = estimator.filter_selectivity("company", either)
         assert 0.3 < selectivity < 0.6
@@ -83,10 +82,10 @@ class TestSelectivityEstimator:
     def test_like_is_data_independent(self, stock_db):
         estimator = SelectivityEstimator(stock_db.catalog)
         contains = estimator.filter_selectivity(
-            "company", LikePredicate(col("c", "symbol"), "%YM1%")
+            "company", Like(col("c", "symbol"), Literal("%YM1%"))
         )
         prefix = estimator.filter_selectivity(
-            "company", LikePredicate(col("c", "symbol"), "SYM1%")
+            "company", Like(col("c", "symbol"), Literal("SYM1%"))
         )
         assert 0 < contains < 0.2
         assert 0 < prefix < 0.2

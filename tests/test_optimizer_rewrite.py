@@ -1,0 +1,277 @@
+"""Unit tests for boolean-tree normalization and residual join planning."""
+
+import pytest
+
+from repro.catalog import ColumnType, make_schema
+from repro.engine import Database, ExecutionEngine
+from repro.optimizer.rewrite import push_not_down, split_conjuncts, to_cnf
+from repro.sql import parse_expression
+from repro.sql.ast import (
+    Between,
+    BoolConnective,
+    BoolExpr,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Like,
+    Not,
+)
+
+
+class TestNegationPushdown:
+    def test_comparison_complements(self):
+        expr = push_not_down(parse_expression("NOT a < 5"))
+        assert isinstance(expr, Comparison)
+        assert expr.op is ComparisonOp.GE
+
+    def test_de_morgan(self):
+        expr = push_not_down(parse_expression("NOT (a = 1 AND b = 2)"))
+        assert isinstance(expr, BoolExpr) and expr.op is BoolConnective.OR
+        assert all(isinstance(op, Comparison) for op in expr.operands)
+        assert [op.op for op in expr.operands] == [ComparisonOp.NE, ComparisonOp.NE]
+
+    def test_double_negation(self):
+        expr = push_not_down(parse_expression("NOT NOT a = 1"))
+        assert isinstance(expr, Comparison) and expr.op is ComparisonOp.EQ
+
+    def test_negated_leaf_forms_toggle(self):
+        null = push_not_down(parse_expression("NOT (a IS NULL)"))
+        assert isinstance(null, IsNull) and null.negated
+        within = push_not_down(parse_expression("NOT (a BETWEEN 1 AND 2)"))
+        assert isinstance(within, Between) and within.negated
+        member = push_not_down(parse_expression("NOT (a IN (1, 2))"))
+        assert isinstance(member, InList) and member.negated
+        pattern = push_not_down(parse_expression("NOT (a LIKE 'x%')"))
+        assert isinstance(pattern, Like) and pattern.negated
+
+    def test_unpushable_not_kept(self):
+        expr = push_not_down(
+            parse_expression("NOT (CASE WHEN a = 1 THEN b = 2 ELSE a = 3 END)")
+        )
+        assert isinstance(expr, Not)
+
+
+class TestCNF:
+    def test_or_of_ands_distributes(self):
+        clauses = to_cnf(parse_expression("(a = 1 AND b = 2) OR (a = 3 AND b = 4)"))
+        assert len(clauses) == 4
+        assert all(
+            isinstance(c, BoolExpr) and c.op is BoolConnective.OR for c in clauses
+        )
+
+    def test_plain_conjunction_splits(self):
+        clauses = to_cnf(parse_expression("a = 1 AND b = 2 AND c = 3"))
+        assert len(clauses) == 3
+
+    def test_budget_keeps_tree_whole(self):
+        disjuncts = " OR ".join(f"(a = {i} AND b = {i})" for i in range(8))
+        clauses = to_cnf(parse_expression(disjuncts), budget=16)
+        # 2^8 = 256 clauses exceed the budget: kept as one exact conjunct.
+        assert len(clauses) == 1
+
+    def test_split_conjuncts_flattens(self):
+        conjuncts = split_conjuncts(parse_expression("a = 1 AND (b = 2 AND c = 3)"))
+        assert len(conjuncts) == 3
+
+
+@pytest.fixture()
+def pair_db() -> Database:
+    db = Database()
+    db.create_table(
+        make_schema(
+            "lhs",
+            [("id", ColumnType.INT), ("x", ColumnType.INT), ("tag", ColumnType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        make_schema(
+            "rhs",
+            [
+                ("id", ColumnType.INT),
+                ("lhs_id", ColumnType.INT),
+                ("y", ColumnType.INT),
+            ],
+            primary_key="id",
+            foreign_keys=[("lhs_id", "lhs", "id")],
+        )
+    )
+    db.load_rows("lhs", [(i, i * 2, "ab"[i % 2]) for i in range(1, 7)])
+    db.load_rows(
+        "rhs",
+        [(i, (i % 6) + 1, 15 - i) for i in range(1, 13)]
+        + [(13, None, None), (14, 3, None)],
+    )
+    db.finalize_load()
+    return db
+
+
+def _python_rows(db):
+    lhs = list(db.catalog.table("lhs").iter_rows())
+    rhs = list(db.catalog.table("rhs").iter_rows())
+    return lhs, rhs
+
+
+class TestCNFPushdown:
+    def test_cross_table_or_of_ands_pushes_single_table_clauses(self, pair_db):
+        bound = pair_db.parse(
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r "
+            "WHERE l.id = r.lhs_id AND "
+            "((l.x = 2 AND r.y > 5) OR (l.x = 4 AND r.y > 5))"
+        )
+        # CNF distributes: (l.x=2 OR l.x=4) pushes to the lhs scan, (r.y>5)
+        # to the rhs scan; the two mixed clauses remain residual.
+        assert len(bound.filters_for("l")) == 1
+        assert len(bound.filters_for("r")) == 1
+        assert len(bound.residuals) == 2
+
+    def test_pushdown_preserves_semantics(self, pair_db):
+        sql = (
+            "SELECT l.id, r.id FROM lhs AS l, rhs AS r "
+            "WHERE l.id = r.lhs_id AND "
+            "((l.x = 2 AND r.y > 5) OR (l.x = 4 AND r.y > 5))"
+        )
+        run = pair_db.run(sql)
+        lhs, rhs = _python_rows(pair_db)
+        expected = sorted(
+            (lrow[0], rrow[0])
+            for lrow in lhs
+            for rrow in rhs
+            if rrow[1] == lrow[0]
+            and (
+                (lrow[1] == 2 and rrow[2] is not None and rrow[2] > 5)
+                or (lrow[1] == 4 and rrow[2] is not None and rrow[2] > 5)
+            )
+        )
+        assert sorted(run.rows) == expected
+
+
+class TestResidualJoins:
+    def test_non_equi_join_executes_on_both_engines(self, pair_db):
+        sql = (
+            "SELECT l.id, r.id FROM lhs AS l, rhs AS r WHERE l.x < r.y"
+        )
+        planned = pair_db.plan(sql)
+        vectorized = pair_db.executor_for(ExecutionEngine.VECTORIZED).execute(
+            planned.plan
+        )
+        reference = pair_db.executor_for(ExecutionEngine.REFERENCE).execute(
+            planned.plan
+        )
+        assert vectorized.result.rows == reference.result.rows
+        assert vectorized.total_work == reference.total_work
+        lhs, rhs = _python_rows(pair_db)
+        expected = sorted(
+            (lrow[0], rrow[0])
+            for lrow in lhs
+            for rrow in rhs
+            if rrow[2] is not None and lrow[1] < rrow[2]
+        )
+        assert sorted(vectorized.result.rows) == expected
+
+    def test_equi_join_with_residual_filter(self, pair_db):
+        sql = (
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r "
+            "WHERE l.id = r.lhs_id AND l.x <> r.y"
+        )
+        run = pair_db.run(sql)
+        lhs, rhs = _python_rows(pair_db)
+        expected = sum(
+            1
+            for lrow in lhs
+            for rrow in rhs
+            if rrow[1] == lrow[0] and rrow[2] is not None and lrow[1] != rrow[2]
+        )
+        assert run.rows == [(expected,)]
+
+    def test_explain_marks_pushed_down_vs_residual(self, pair_db):
+        text = pair_db.explain(
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r "
+            "WHERE l.id = r.lhs_id AND l.x + 1 < r.y AND l.tag = 'a'"
+        )
+        assert "Filter (pushed down): l.tag = 'a'" in text
+        assert "Join Filter (residual): l.x + 1 < r.y" in text
+
+    def test_residual_only_join_plans_nested_loop(self, pair_db):
+        planned = pair_db.plan(
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r WHERE l.x < r.y"
+        )
+        joins = planned.plan.join_nodes()
+        assert len(joins) == 1
+        assert not joins[0].join_predicates
+        assert joins[0].residual_filters
+        assert "Nested Loop" in joins[0].label()
+
+    def test_residual_join_through_serving_pipeline(self, pair_db):
+        import repro
+
+        with repro.connect(pair_db) as connection:
+            cursor = connection.execute(
+                "SELECT count(*) AS n FROM lhs AS l, rhs AS r "
+                "WHERE l.id = r.lhs_id AND (l.x > r.y OR r.y IS NULL)"
+            )
+            rows = cursor.fetchall()
+        lhs, rhs = _python_rows(pair_db)
+        expected = sum(
+            1
+            for lrow in lhs
+            for rrow in rhs
+            if rrow[1] == lrow[0]
+            and (rrow[2] is None or (lrow[1] is not None and lrow[1] > rrow[2]))
+        )
+        assert rows == [(expected,)]
+
+    def test_residual_spanning_three_tables(self, pair_db):
+        """A residual over 3 aliases plans (the bridged pairs cross-join).
+
+        The pair subsets are connected only through the wider residual, so
+        the enumerator must give them plain cross-product candidates and
+        apply the filter at the first join covering all three aliases.
+        """
+        sql = (
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r, rhs AS s "
+            "WHERE l.x + r.y < s.y * 2 AND l.id = 1 AND r.id = 2 AND s.id = 3"
+        )
+        run = pair_db.run(sql)
+        lhs, rhs = _python_rows(pair_db)
+        expected = sum(
+            1
+            for lrow in lhs
+            for rrow in rhs
+            for srow in rhs
+            if lrow[0] == 1
+            and rrow[0] == 2
+            and srow[0] == 3
+            and rrow[2] is not None
+            and srow[2] is not None
+            and lrow[1] + rrow[2] < srow[2] * 2
+        )
+        assert run.rows == [(expected,)]
+        trigger = next(
+            node
+            for node in run.planned.plan.join_nodes()
+            if node.residual_filters
+        )
+        assert len(trigger.aliases) == 3
+
+    def test_reoptimization_preserves_residual_semantics(self, pair_db):
+        """The materialize-and-rewrite loop keeps residual filters intact."""
+        import repro
+        from repro.core.triggers import ReoptimizationPolicy
+        from repro.optimizer.injection import CardinalityInjector
+
+        class UnderestimateJoins(CardinalityInjector):
+            def lookup(self, query, subset):
+                return 1.0 if len(subset) > 1 else None
+
+        sql = (
+            "SELECT count(*) AS n FROM lhs AS l, rhs AS r "
+            "WHERE l.id = r.lhs_id AND l.x <> r.y"
+        )
+        expected = pair_db.run(sql).rows
+        policy = ReoptimizationPolicy(threshold=2.0)
+        for adaptive in (False, True):
+            with repro.connect(pair_db, policy=policy, adaptive=adaptive) as conn:
+                ctx = conn.pipeline.run(sql=sql, injector=UnderestimateJoins())
+                assert ctx.rows == expected, f"adaptive={adaptive}"

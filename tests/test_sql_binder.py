@@ -49,21 +49,26 @@ class TestBinder:
         with pytest.raises(BindError):
             stock_db.parse("SELECT c.id FROM company AS c, trades AS c")
 
-    def test_single_table_join_predicate_rejected(self, stock_db):
-        # The parser already rejects same-alias column comparisons; a
-        # hand-built bound query with such a join is rejected by the binder
-        # (both errors share the SQLError base class).
-        from repro.errors import SQLError
+    def test_single_table_column_comparison_is_a_filter(self, stock_db):
+        # Same-alias column-to-column comparisons are ordinary single-table
+        # filters in the unified expression tree, not join predicates.
+        bound = stock_db.parse(
+            "SELECT c.id FROM company AS c, trades AS t "
+            "WHERE c.id = c.id AND c.id = t.company_id"
+        )
+        assert len(bound.joins) == 1
+        assert len(bound.filters_for("c")) == 1
 
-        with pytest.raises(SQLError):
-            stock_db.parse("SELECT c.id FROM company AS c, trades AS t WHERE c.id = c.id")
-
-    def test_or_predicate_must_stay_single_table(self, stock_db):
-        with pytest.raises(BindError):
-            stock_db.parse(
-                "SELECT c.id FROM company AS c, trades AS t "
-                "WHERE (c.symbol = 'A' OR t.venue = 'NYSE') AND c.id = t.company_id"
-            )
+    def test_multi_table_or_predicate_becomes_residual(self, stock_db):
+        # A cross-table OR is a residual join filter: it cannot be pushed to
+        # either scan, so it is applied at the join covering both tables.
+        bound = stock_db.parse(
+            "SELECT c.id FROM company AS c, trades AS t "
+            "WHERE (c.symbol = 'A' OR t.venue = 'NYSE') AND c.id = t.company_id"
+        )
+        assert len(bound.joins) == 1
+        assert len(bound.residuals) == 1
+        assert set(bound.residuals[0].referenced_aliases()) == {"c", "t"}
 
     def test_bound_query_to_sql_roundtrip(self, stock_db):
         bound = stock_db.parse(SQL, name="demo")

@@ -5,11 +5,12 @@ import pytest
 from repro.errors import BindError
 from repro.sql import (
     AggregateFunc,
+    Comparison,
     ComparisonOp,
-    ComparisonPredicate,
-    ColumnRef,
+    Literal,
     QueryBuilder,
     collapse_aliases,
+    column,
     referenced_columns,
 )
 
@@ -19,7 +20,7 @@ def build_three_table_query():
     builder.add_table("keyword", "k").add_table("movie_keyword", "mk").add_table("title", "t")
     builder.add_select("t", "title", aggregate=AggregateFunc.MIN, output_name="movie_title")
     builder.add_filter(
-        "k", ComparisonPredicate(ColumnRef("k", "keyword"), ComparisonOp.EQ, "superhero")
+        "k", Comparison(ComparisonOp.EQ, column("k", "keyword"), Literal("superhero"))
     )
     builder.add_join("k", "id", "mk", "keyword_id")
     builder.add_join("mk", "movie_id", "t", "id")
@@ -124,7 +125,7 @@ class TestQueryBuilder:
 
         query = QueryBuilder(name="sum-star").add_table("company", "c").build()
         query.select_items.append(
-            SelectItem(column=None, aggregate=AggregateFunc.SUM, output_name="s")
+            SelectItem(expr=None, aggregate=AggregateFunc.SUM, output_name="s")
         )
         with pytest.raises(PlanningError, match=r"SUM\(\*\) is not defined"):
             stock_db.plan(query)

@@ -23,12 +23,23 @@ class TestTokenize:
         ]
 
     def test_numbers(self):
+        # ``-`` is always the operator token; the parser folds unary minus
+        # over number literals, so ``x-7`` and ``x - 7`` parse identically.
         tokens = token_values("42 3.14 -7")
         assert tokens == [
             (TokenType.NUMBER, "42"),
             (TokenType.NUMBER, "3.14"),
-            (TokenType.NUMBER, "-7"),
+            (TokenType.OPERATOR, "-"),
+            (TokenType.NUMBER, "7"),
         ]
+
+    def test_arithmetic_operators(self):
+        tokens = token_values("a + b - c / d % e * f")
+        assert (TokenType.OPERATOR, "+") in tokens
+        assert (TokenType.OPERATOR, "-") in tokens
+        assert (TokenType.OPERATOR, "/") in tokens
+        assert (TokenType.OPERATOR, "%") in tokens
+        assert (TokenType.STAR, "*") in tokens
 
     def test_strings_with_escaped_quote(self):
         tokens = token_values("'it''s fine'")

@@ -5,13 +5,18 @@ import pytest
 from repro.errors import ParameterError
 from repro.sql import bind_parameters, parameterize, parse_select
 from repro.sql.ast import (
-    BetweenPredicate,
-    ComparisonPredicate,
-    InPredicate,
-    LikePredicate,
+    Between,
+    Comparison,
+    InList,
+    Like,
+    Param,
     Parameter,
 )
 from repro.sql.lexer import TokenType, tokenize
+
+
+def _param(index: int) -> Param:
+    return Param(Parameter(index))
 
 
 class TestLexerAndParser:
@@ -26,21 +31,27 @@ class TestLexerAndParser:
         )
         assert query.param_count == 5
         between = query.predicates[0]
-        assert isinstance(between, BetweenPredicate)
-        assert between.low == Parameter(0)
-        assert between.high == Parameter(1)
+        assert isinstance(between, Between)
+        assert between.low == _param(0)
+        assert between.high == _param(1)
         in_pred = query.predicates[1]
-        assert isinstance(in_pred, InPredicate)
-        assert in_pred.values == (Parameter(2), Parameter(3))
+        assert isinstance(in_pred, InList)
+        assert in_pred.items == (_param(2), _param(3))
         comparison = query.predicates[2]
-        assert isinstance(comparison, ComparisonPredicate)
-        assert comparison.value == Parameter(4)
+        assert isinstance(comparison, Comparison)
+        assert comparison.right == _param(4)
+
+    def test_parameter_inside_arithmetic(self):
+        query = parse_select(
+            "SELECT t.id FROM trades AS t WHERE t.shares * ? > ? + 1"
+        )
+        assert query.param_count == 2
 
     def test_like_pattern_parameter(self):
         query = parse_select("SELECT c.id FROM company AS c WHERE c.symbol LIKE ?")
         like = query.predicates[0]
-        assert isinstance(like, LikePredicate)
-        assert like.pattern == Parameter(0)
+        assert isinstance(like, Like)
+        assert like.pattern == _param(0)
 
     def test_parameter_renders_as_question_mark(self):
         query = parse_select("SELECT c.id FROM company AS c WHERE c.id = ?")
@@ -82,8 +93,9 @@ class TestBindParameters:
         assert bound.param_count == 3
         filters = [p for preds in bound.filters.values() for p in preds]
         assert any(
-            isinstance(p, ComparisonPredicate) and isinstance(p.value, Parameter)
-            for p in filters
+            isinstance(node, Param)
+            for predicate in filters
+            for node in predicate.walk()
         )
 
     def test_wrong_arity_rejected(self, template):
@@ -102,6 +114,18 @@ class TestBindParameters:
         concrete = bind_parameters(bound, ("SYM1%",))
         assert concrete.param_count == 0
 
+    def test_arithmetic_parameter_substitution(self, stock_db):
+        bound = stock_db.binder.bind(
+            parse_select(
+                "SELECT count(*) AS n FROM trades AS t WHERE t.shares % ? = 0"
+            )
+        )
+        concrete = bind_parameters(bound, (2,))
+        literal = stock_db.run(
+            "SELECT count(*) AS n FROM trades AS t WHERE t.shares % 2 = 0"
+        )
+        assert stock_db.run(concrete).rows == literal.rows
+
 
 class TestParameterize:
     def test_roundtrip_through_sql_text(self, stock_db):
@@ -116,5 +140,18 @@ class TestParameterize:
         # Re-parse the rendered ?-SQL and substitute: same rows as literal.
         reparsed = stock_db.binder.bind(parse_select(template.to_sql()))
         assert reparsed.param_count == len(values)
+        concrete = bind_parameters(reparsed, values)
+        assert stock_db.run(concrete).rows == stock_db.run(bound).rows
+
+    def test_roundtrip_with_expression_predicates(self, stock_db):
+        sql = (
+            "SELECT count(*) AS n FROM company AS c, trades AS t "
+            "WHERE (c.symbol = 'SYM1' OR t.shares + 5 > 100) "
+            "AND c.id = t.company_id"
+        )
+        bound = stock_db.binder.bind(parse_select(sql))
+        template, values = parameterize(bound)
+        assert template.param_count == len(values)
+        reparsed = stock_db.binder.bind(parse_select(template.to_sql()))
         concrete = bind_parameters(reparsed, values)
         assert stock_db.run(concrete).rows == stock_db.run(bound).rows
