@@ -11,7 +11,11 @@
 #                  adaptive=True vs adaptive=False vs the reference oracle)
 #   make fuzz-nightly - the randomized nightly profile (10x examples); pass
 #                  SEED=... to reproduce a nightly CI failure
-#   make guards  - the engine/aggregation/expression-eval speedup guards
+#   make fuzz-parallel - the CI fuzz stream with the fuzz databases serving
+#                  from the morsel-parallel engine (fused kernels, small
+#                  morsels, 3 workers)
+#   make guards  - the engine/aggregation/expression-eval/parallel speedup
+#                  guards
 #   make bench   - paper-figure benchmarks plus the speedup guards; set
 #                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
 #                  report, compare with `make bench-compare`
@@ -22,11 +26,11 @@ PYTHON ?= python
 SEED ?= 0
 export PYTHONPATH := src
 
-.PHONY: ci test unit diff fuzz fuzz-nightly guards bench bench-compare lint all
+.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel guards bench bench-compare lint all
 
 # Mirrors the CI workflow's step sequence exactly (lint job, then the test
-# job's three pytest steps, then the speedup guards).
-ci: lint unit diff fuzz guards
+# job's four pytest steps, then the speedup guards).
+ci: lint unit diff fuzz fuzz-parallel guards
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -46,8 +50,11 @@ fuzz:
 fuzz-nightly:
 	HYPOTHESIS_PROFILE=nightly $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py --hypothesis-seed=$(SEED)
 
+fuzz-parallel:
+	HYPOTHESIS_PROFILE=ci REPRO_FUZZ_ENGINE=parallel $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
+
 guards:
-	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py
 
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks

@@ -78,10 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[engine.value for engine in ExecutionEngine],
         default=None,
         help=(
-            "execution engine: 'vectorized' (columnar batches, default) or "
-            "'reference' (row-at-a-time oracle); simulated times are identical, "
+            "execution engine: 'vectorized' (columnar batches, default), "
+            "'reference' (row-at-a-time oracle) or 'parallel' (morsel-driven "
+            "scans/joins over a worker pool); simulated times are identical, "
             "only wall-clock changes"
         ),
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for --engine parallel (default 4)",
+    )
+    run.add_argument(
+        "--morsel-size",
+        type=int,
+        default=None,
+        help="rows per morsel for --engine parallel (default 4096)",
     )
     run.add_argument("--output", type=str, default=None, help="also write results to this file")
 
@@ -96,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[engine.value for engine in ExecutionEngine],
         default=None,
         help="execution engine (vectorized default)",
+    )
+    sql.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for --engine parallel (default 4)",
+    )
+    sql.add_argument(
+        "--morsel-size",
+        type=int,
+        default=None,
+        help="rows per morsel for --engine parallel (default 4096)",
     )
     sql.add_argument(
         "--execute",
@@ -135,19 +160,37 @@ def _resolve_ids(requested: List[str]) -> List[str]:
     return requested
 
 
+def _engine_settings(
+    engine: Optional[str],
+    workers: Optional[int] = None,
+    morsel_size: Optional[int] = None,
+) -> Optional[EngineSettings]:
+    """Settings for the CLI's engine knobs (None when all are default)."""
+    if engine is None and workers is None and morsel_size is None:
+        return None
+    settings = EngineSettings()
+    if engine is not None:
+        settings.engine = ExecutionEngine.from_name(engine)
+    if workers is not None:
+        settings.workers = workers
+    if morsel_size is not None:
+        settings.morsel_size = morsel_size
+    return settings
+
+
 def run_experiments(
     ids: List[str],
     scale: Optional[float] = None,
     seed: int = 42,
     query_limit: Optional[int] = None,
     engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    morsel_size: Optional[int] = None,
     emit: Callable[[str], None] = print,
 ) -> List[ExperimentResult]:
     """Run the requested experiments and emit their text artifacts."""
     ids = _resolve_ids(ids)
-    settings: Optional[EngineSettings] = None
-    if engine is not None:
-        settings = EngineSettings(engine=ExecutionEngine.from_name(engine))
+    settings = _engine_settings(engine, workers, morsel_size)
     context: Optional[WorkloadContext] = None
     results: List[ExperimentResult] = []
     for experiment_id in ids:
@@ -229,9 +272,7 @@ def _print_statement(
 
 def run_sql(args, stdin: Optional[TextIO] = None) -> int:
     """The ``sql`` command: a Connection-backed statement shell."""
-    settings = None
-    if args.engine is not None:
-        settings = EngineSettings(engine=ExecutionEngine.from_name(args.engine))
+    settings = _engine_settings(args.engine, args.workers, args.morsel_size)
     print(
         f"# building the synthetic IMDB database (scale={args.scale})...",
         flush=True,
@@ -296,6 +337,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         query_limit=args.query_limit,
         engine=args.engine,
+        workers=args.workers,
+        morsel_size=args.morsel_size,
         emit=emit,
     )
     if args.output:

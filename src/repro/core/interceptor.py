@@ -43,6 +43,7 @@ from repro.engine.pipeline import Proceed, QueryContext, QueryInterceptor
 from repro.errors import ReoptimizationError
 from repro.executor.executor import ExecutionResult
 from repro.optimizer.optimizer import PlannedQuery
+from repro.optimizer.provenance import plan_output_columns
 from repro.sql.ast import Column, ColumnRef, SelectItem
 from repro.sql.binder import BoundQuery
 from repro.sql.builder import collapse_aliases, referenced_columns
@@ -141,6 +142,14 @@ class ReoptimizationInterceptor(QueryInterceptor):
         current = ctx.bound
         planned = ctx.planned
         temp_tables: List[str] = []
+        # SELECT * rewrites rename and reorder columns (the collapsed aliases
+        # come back as temp-table columns); track where each original output
+        # column lives so the final result can be projected back to the
+        # original shape, exactly like the adaptive executor does.
+        original_columns = plan_output_columns(ctx.planned.plan, db.catalog)
+        locations: Dict[Tuple[str, str], Tuple[str, str]] = {
+            qcol: qcol for qcol in original_columns
+        }
 
         try:
             for iteration in range(policy.max_iterations + 1):
@@ -155,14 +164,9 @@ class ReoptimizationInterceptor(QueryInterceptor):
                 report.wall_seconds += execution.wall_seconds
 
                 trigger = None
-                # SELECT * queries are excluded from the SQL-rewrite
-                # simulation: collapsing aliases into a temp table cannot
-                # preserve the star output's columns.  The adaptive executor
-                # restores the original output shape and handles them.
                 can_still_rewrite = (
                     iteration < policy.max_iterations
                     and current.num_tables() > 1
-                    and bool(current.select_items)
                 )
                 if can_still_rewrite and not self._too_short(iteration, execution):
                     trigger = find_trigger_join(planned.plan, policy)
@@ -175,7 +179,8 @@ class ReoptimizationInterceptor(QueryInterceptor):
                     break
 
                 current = self._materialize_and_rewrite(
-                    db, current, planned, trigger, iteration, report, temp_tables
+                    db, current, planned, trigger, iteration, report, temp_tables,
+                    locations,
                 )
             else:  # pragma: no cover - loop always breaks
                 raise ReoptimizationError(
@@ -187,12 +192,38 @@ class ReoptimizationInterceptor(QueryInterceptor):
                     if name in db.catalog:
                         db.drop_table(name)
 
+        if report.steps and not ctx.bound.select_items:
+            self._restore_star_output(report, original_columns, locations)
         ctx.report = report
         ctx.planned = report.final_planned
         ctx.execution = report.final_execution
         return ctx
 
     # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _restore_star_output(
+        report: ReoptimizationReport,
+        original_columns: List[Tuple[str, str]],
+        locations: Dict[Tuple[str, str], Tuple[str, str]],
+    ) -> None:
+        """Project a rewritten star query's result back to the original shape.
+
+        The rewritten query's ``SELECT *`` emits temp-table columns under
+        mapped names in rewritten FROM order; the client must see the original
+        query's columns in the original order, just like a plain execution or
+        the adaptive path.
+        """
+        # Imported lazily: the adaptive executor pulls in repro.core.triggers,
+        # so a module-level import would be circular through repro.core.
+        from repro.executor.adaptive import AdaptiveExecutor
+
+        execution = report.final_execution
+        if execution is None:
+            return
+        execution.result = AdaptiveExecutor._restore_output(
+            execution.result, original_columns, locations
+        )
 
     def _too_short(self, iteration: int, execution: ExecutionResult) -> bool:
         """Skip re-optimization for queries below the policy's length cutoff."""
@@ -209,11 +240,26 @@ class ReoptimizationInterceptor(QueryInterceptor):
         iteration: int,
         report: ReoptimizationReport,
         temp_tables: List[str],
+        locations: Dict[Tuple[str, str], Tuple[str, str]],
     ) -> BoundQuery:
         sub_execution = db.executor.execute(trigger)
         report.rows_processed += sub_execution.rows_processed
         report.wall_seconds += sub_execution.wall_seconds
-        needed = referenced_columns(current, trigger.aliases)
+        if not current.select_items:
+            # SELECT *: every column of every collapsed alias is part of the
+            # client-visible output, so all of them ride along — in
+            # FROM-clause declaration order, matching the adaptive handover
+            # and the LIMIT tie-break's canonical star column sequence.
+            needed = [
+                (alias, column)
+                for alias in current.aliases
+                if alias in trigger.aliases
+                for column in db.catalog.schema(
+                    current.table_for(alias)
+                ).column_names
+            ]
+        else:
+            needed = referenced_columns(current, trigger.aliases)
         if not needed:
             # Nothing above references the sub-join (it is the whole query);
             # still expose one join column so the rewrite stays well-formed.
@@ -233,6 +279,10 @@ class ReoptimizationInterceptor(QueryInterceptor):
             analyze=self.policy.analyze_temp_tables,
         )
         temp_tables.append(temp_name)
+
+        for qcol, location in locations.items():
+            if location[0] in trigger.aliases:
+                locations[qcol] = (temp_name, mapping[location])
 
         materialize_work = db.cost_model.materialize_cost(
             len(sub_execution.result), len(needed)

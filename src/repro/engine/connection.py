@@ -31,6 +31,7 @@ from repro.engine.pipeline import (
 from repro.engine.plancache import PlanCache, PlanCacheStats
 from repro.engine.settings import EngineSettings
 from repro.errors import InterfaceError
+from repro.executor.protocol import ExecutionEngine
 from repro.optimizer.injection import CardinalityInjector
 from repro.sql.ast import AggregateFunc, ColumnRef
 from repro.sql.binder import BoundQuery
@@ -62,6 +63,9 @@ def connect(
     plan_cache_size: Optional[int] = None,
     interceptors: Sequence[QueryInterceptor] = (),
     capture_explain: bool = False,
+    engine=None,
+    workers: Optional[int] = None,
+    morsel_size: Optional[int] = None,
 ) -> "Connection":
     """Open a connection (the package-level entry point of the serving API).
 
@@ -83,6 +87,13 @@ def connect(
             and the re-optimization loop.
         capture_explain: record EXPLAIN ANALYZE text of every statement on
             its cursor (``Cursor.explain_text``).
+        engine: execution engine name or :class:`ExecutionEngine` overriding
+            the settings (``"vectorized"``, ``"reference"``, ``"parallel"``).
+        workers: worker-pool size for the parallel engine (default 4).
+        morsel_size: rows per scan/join morsel for the parallel engine
+            (default 4096).  ``engine``/``workers``/``morsel_size`` rebuild
+            the database's executor, so they also apply to an existing
+            ``database``.
     """
     return Connection(
         database,
@@ -93,6 +104,9 @@ def connect(
         plan_cache_size=plan_cache_size,
         interceptors=interceptors,
         capture_explain=capture_explain,
+        engine=engine,
+        workers=workers,
+        morsel_size=morsel_size,
     )
 
 
@@ -110,6 +124,9 @@ class Connection:
         plan_cache_size: Optional[int] = None,
         interceptors: Sequence[QueryInterceptor] = (),
         capture_explain: bool = False,
+        engine=None,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> None:
         # Imported here, not at module level: repro.core builds its session
         # shim on this class, so a top-level import would be circular.
@@ -117,6 +134,15 @@ class Connection:
         from repro.core.triggers import ReoptimizationPolicy
 
         self.database = database if database is not None else Database(settings)
+        if engine is not None or workers is not None or morsel_size is not None:
+            db_settings = self.database.settings
+            if engine is not None:
+                db_settings.engine = ExecutionEngine.from_name(engine)
+            if workers is not None:
+                db_settings.workers = workers
+            if morsel_size is not None:
+                db_settings.morsel_size = morsel_size
+            self.database.executor = self.database.executor_for(db_settings.engine)
         if plan_cache_size is None:
             plan_cache_size = self.database.settings.plan_cache_size
         self.metrics = ConnectionMetrics()

@@ -72,17 +72,35 @@ class Database:
             planner_config=self.settings.planner,
         )
         self.cost_model = CostModel(self.catalog, self.settings.cost)
-        self.executor = Executor(self.catalog, self.cost_model, engine=self.settings.engine)
+        self.executor = Executor(
+            self.catalog,
+            self.cost_model,
+            engine=self.settings.engine,
+            workers=self.settings.workers,
+            morsel_size=self.settings.morsel_size,
+        )
         self.binder = Binder(self.catalog)
         self._temp_counter = 0
 
-    def executor_for(self, engine: ExecutionEngine) -> Executor:
+    def executor_for(
+        self,
+        engine: ExecutionEngine,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+    ) -> Executor:
         """A second executor over the same catalog using ``engine``.
 
         Used by the differential-testing harness to run one planned query
-        through both the vectorized and the reference engine.
+        through several engines.  ``workers``/``morsel_size`` default to the
+        database settings and only matter for the parallel engine.
         """
-        return Executor(self.catalog, self.cost_model, engine=engine)
+        return Executor(
+            self.catalog,
+            self.cost_model,
+            engine=engine,
+            workers=self.settings.workers if workers is None else workers,
+            morsel_size=self.settings.morsel_size if morsel_size is None else morsel_size,
+        )
 
     # -- DDL and loading ----------------------------------------------------
 

@@ -259,14 +259,15 @@ class PlanCacheInterceptor(QueryInterceptor):
     def around_plan(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
         if not self.cache.enabled or ctx.injector is not None:
             return proceed(ctx)
-        key = (ctx.bound.to_sql(), ctx.database.catalog.epoch)
-        planned = self.cache.get(key)
+        epoch = ctx.database.catalog.epoch
+        key = (ctx.bound.to_sql(), epoch)
+        planned = self.cache.get(key, epoch=epoch)
         if planned is not None:
             ctx.planned = planned
             ctx.plan_cached = True
             return ctx
         ctx = proceed(ctx)
-        self.cache.put(key, ctx.planned)
+        self.cache.put(key, ctx.planned, epoch=epoch)
         return ctx
 
 

@@ -5,8 +5,12 @@ SQL is the canonical rendering of the *bound* query (whitespace, keyword
 case and parameter values already resolved), so an ad-hoc statement and a
 prepared statement executed with the same values share one entry.  Keying on
 the catalog epoch makes invalidation implicit: ANALYZE, index creation and
-(temp-)table DDL all bump the epoch, so stale entries miss and age out of
-the LRU instead of requiring invalidation callbacks.
+(temp-)table DDL all bump the epoch, so stale entries can never be served
+again.  They are also *pruned eagerly*: the first probe after an epoch bump
+drops every entry from older epochs (counted in
+:attr:`PlanCacheStats.stale_evictions`), so dead plans do not squat in the
+LRU capacity and push out live ones — a tiny cache stays fully usable across
+ANALYZE/DDL churn.
 """
 
 from __future__ import annotations
@@ -31,6 +35,9 @@ class PlanCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries dropped because the catalog epoch moved past them (they could
+    #: never hit again), as opposed to LRU capacity ``evictions``.
+    stale_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -53,7 +60,10 @@ class PlanCache:
             raise ValueError("plan cache capacity must be non-negative")
         self.capacity = capacity
         self.stats = PlanCacheStats()
-        self._entries: "OrderedDict[CacheKey, PlannedQuery]" = OrderedDict()
+        self._entries: (
+            "OrderedDict[CacheKey, Tuple[PlannedQuery, Optional[Hashable]]]"
+        ) = OrderedDict()
+        self._epoch: Optional[Hashable] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -63,21 +73,48 @@ class PlanCache:
         """False when the cache was configured with zero capacity."""
         return self.capacity > 0
 
-    def get(self, key: CacheKey) -> Optional["PlannedQuery"]:
-        """Look up a plan, counting the probe as a hit or miss."""
+    def _prune_stale(self, epoch: Optional[Hashable]) -> None:
+        """Drop entries from older epochs on the first probe after a bump."""
+        if epoch is None or epoch == self._epoch:
+            return
+        stale = [
+            key
+            for key, (_, entry_epoch) in self._entries.items()
+            if entry_epoch != epoch
+        ]
+        for key in stale:
+            del self._entries[key]
+        self.stats.stale_evictions += len(stale)
+        self._epoch = epoch
+
+    def get(
+        self, key: CacheKey, epoch: Optional[Hashable] = None
+    ) -> Optional["PlannedQuery"]:
+        """Look up a plan, counting the probe as a hit or miss.
+
+        ``epoch`` is the caller's current catalog epoch; passing it lets the
+        cache prune entries stranded by an epoch bump before the lookup.
+        """
+        self._prune_stale(epoch)
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        return entry
+        return entry[0]
 
-    def put(self, key: CacheKey, planned: "PlannedQuery") -> None:
+    def put(
+        self,
+        key: CacheKey,
+        planned: "PlannedQuery",
+        epoch: Optional[Hashable] = None,
+    ) -> None:
         """Insert (or refresh) a plan, evicting the least recently used."""
         if not self.enabled:
             return
-        self._entries[key] = planned
+        self._prune_stale(epoch)
+        self._entries[key] = (planned, epoch)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)

@@ -42,6 +42,10 @@ class EngineSettings:
             materialize-and-rewrite simulation.  Off by default so the
             paper-figure benchmarks keep reproducing the published accounting;
             per-connection override on ``connect()``.
+        workers: worker-pool size for the morsel-driven parallel engine
+            (``engine="parallel"``); ignored by the serial engines.
+        morsel_size: rows per morsel for the parallel engine's scan and
+            join splitting; ignored by the serial engines.
     """
 
     statistics_target: int = 100
@@ -52,3 +56,5 @@ class EngineSettings:
     engine: ExecutionEngine = ExecutionEngine.VECTORIZED
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
     adaptive: bool = False
+    workers: int = 4
+    morsel_size: int = 4096

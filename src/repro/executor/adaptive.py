@@ -39,6 +39,12 @@ Differences from the SQL-rewrite simulation, by design:
 
 The loop is engine-agnostic: both the vectorized and the reference engine
 execute stage-wise through :meth:`Executor.execute_node`'s resumable memo.
+Under the morsel-driven parallel engine the stage boundaries double as the
+gather barriers: every hash-join breaker the loop pauses at is exactly the
+point where the parallel engine has already merged its per-worker partial
+build tables and concatenated the probe morsels back into deterministic
+order, so the observed cardinalities (and any handed-over intermediate) are
+identical to a serial run.
 """
 
 from __future__ import annotations
@@ -271,9 +277,13 @@ class AdaptiveExecutor:
             # SELECT *: every column of every collapsed alias is part of the
             # client-visible output, so all of them ride along (this is what
             # lets the adaptive path re-plan star queries transparently).
+            # FROM-clause declaration order, not sorted order: the LIMIT
+            # tie-break sorts star output on the declared column sequence, so
+            # the handover must preserve it across re-plans.
             return [
                 (alias, column)
-                for alias in sorted(trigger.aliases)
+                for alias in query.aliases
+                if alias in trigger.aliases
                 for column in self._db.catalog.schema(
                     query.table_for(alias)
                 ).column_names

@@ -6,12 +6,16 @@ model evaluated with true row counts.  This plays the role of
 ``EXPLAIN ANALYZE`` in the paper: the re-optimization driver compares each
 join's estimated and actual cardinality to decide whether to re-plan.
 
-Two interchangeable operator sets implement the plan nodes:
+Three interchangeable operator sets implement the plan nodes, all driven
+through the pull-style protocol in :mod:`repro.executor.protocol`:
 
 * :data:`ExecutionEngine.VECTORIZED` (default) — the columnar batch engine
   in :mod:`repro.executor.operators`;
 * :data:`ExecutionEngine.REFERENCE` — the original row-at-a-time oracle in
-  :mod:`repro.executor.reference`.
+  :mod:`repro.executor.reference`;
+* :data:`ExecutionEngine.PARALLEL` — the morsel-driven engine in
+  :mod:`repro.executor.parallel` (fused filter kernels, worker-pool scans
+  and hash joins, deterministic result order restored by morsel index).
 
 Work accounting is **engine-invariant**: charged work depends only on row
 counts (rows fetched, join input/output cardinalities, index probe matches),
@@ -24,15 +28,13 @@ are the primary execution-time proxy.
 
 from __future__ import annotations
 
-import enum
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-import repro.executor.operators as vectorized_operators
-import repro.executor.reference as reference_operators
 from repro.catalog.catalog import Catalog
 from repro.errors import ExecutionError
+from repro.executor.protocol import ExecutionEngine, OperatorSet, operators_for
 from repro.executor.reference import ResultSet
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import (
@@ -68,32 +70,6 @@ def batch_count(rows: int) -> int:
     return max(1, -(-int(rows) // VECTOR_BATCH_ROWS))
 
 
-class ExecutionEngine(enum.Enum):
-    """Which operator implementation executes plans."""
-
-    VECTORIZED = "vectorized"
-    REFERENCE = "reference"
-
-    @classmethod
-    def from_name(cls, name: "str | ExecutionEngine") -> "ExecutionEngine":
-        """Coerce a CLI/config string (or an engine) to an engine."""
-        if isinstance(name, cls):
-            return name
-        try:
-            return cls(str(name).lower())
-        except ValueError:
-            options = ", ".join(engine.value for engine in cls)
-            raise ExecutionError(
-                f"unknown execution engine {name!r} (expected one of: {options})"
-            ) from None
-
-
-_ENGINE_OPERATORS = {
-    ExecutionEngine.VECTORIZED: vectorized_operators,
-    ExecutionEngine.REFERENCE: reference_operators,
-}
-
-
 @dataclass
 class NodeMetrics:
     """Per-node instrumentation collected during execution.
@@ -101,8 +77,11 @@ class NodeMetrics:
     Beyond the estimated/actual cardinalities and charged work, the executor
     records ``batches`` (nominal :data:`VECTOR_BATCH_ROWS`-row vectors the
     output occupies — engine-invariant) and, for joins, the build/probe input
-    sizes observed at the hash-join pipeline breaker.  These runtime
-    statistics feed EXPLAIN ANALYZE and the adaptive re-optimization loop.
+    sizes observed at the hash-join pipeline breaker.  Under the parallel
+    engine, scans and joins additionally record ``morsels`` (row ranges
+    dispatched) and ``workers`` (pool slots actually usable for them).
+    These runtime statistics feed EXPLAIN ANALYZE and the adaptive
+    re-optimization loop.
     """
 
     node_id: int
@@ -113,6 +92,8 @@ class NodeMetrics:
     batches: int = 1
     build_rows: Optional[int] = None
     probe_rows: Optional[int] = None
+    morsels: Optional[int] = None
+    workers: Optional[int] = None
 
 
 @dataclass
@@ -161,6 +142,9 @@ class Executor:
         cost_model: work-accounting model (built from the catalog by default).
         engine: which operator implementation to use; work accounting is
             identical across engines by construction.
+        workers: worker-pool size for the parallel engine (ignored by the
+            serial engines).
+        morsel_size: scan/join morsel size (rows) for the parallel engine.
     """
 
     def __init__(
@@ -168,11 +152,15 @@ class Executor:
         catalog: Catalog,
         cost_model: Optional[CostModel] = None,
         engine: ExecutionEngine = ExecutionEngine.VECTORIZED,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
     ) -> None:
         self._catalog = catalog
         self.cost_model = cost_model or CostModel(catalog)
         self.engine = ExecutionEngine.from_name(engine)
-        self._ops = _ENGINE_OPERATORS[self.engine]
+        self._ops: OperatorSet = operators_for(
+            self.engine, workers=workers, morsel_size=morsel_size
+        )
 
     @property
     def operators(self):
@@ -228,11 +216,12 @@ class Executor:
             return memo[node.node_id]
         build_rows: Optional[int] = None
         probe_rows: Optional[int] = None
+        observed: Dict[str, int] = {}
         if isinstance(node, ScanNode):
-            result, work = self._execute_scan(node)
+            result, work = self._execute_scan(node, observed)
         elif isinstance(node, JoinNode):
             result, work, build_rows, probe_rows = self._execute_join(
-                node, metrics, memo
+                node, metrics, memo, observed
             )
         elif isinstance(node, AggregateNode):
             child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
@@ -250,7 +239,12 @@ class Executor:
             )
         elif isinstance(node, SortNode):
             child_result, child_work = self._execute_node(node.child, metrics, memo=memo)
-            result = self._ops.sort_result(child_result, list(node.keys))
+            result = self._ops.sort_result(
+                child_result,
+                list(node.keys),
+                tie_break=list(node.tie_break),
+                tie_break_all=node.tie_break_all,
+            )
             work = child_work + self.cost_model.sort_cost(
                 len(child_result), len(node.keys)
             )
@@ -300,6 +294,8 @@ class Executor:
             batches=batch_count(len(result)),
             build_rows=build_rows,
             probe_rows=probe_rows,
+            morsels=observed.get("morsels"),
+            workers=observed.get("workers"),
         )
         if memo is not None:
             memo[node.node_id] = (result, work)
@@ -307,7 +303,9 @@ class Executor:
 
     # -- operators ----------------------------------------------------------------
 
-    def _execute_scan(self, node: ScanNode) -> Tuple[ResultSet, float]:
+    def _execute_scan(
+        self, node: ScanNode, observed: Dict[str, int]
+    ) -> Tuple[ResultSet, float]:
         index_column = None
         index_filter = None
         if node.access_path is AccessPath.INDEX_SCAN:
@@ -320,6 +318,7 @@ class Executor:
             list(node.filters),
             index_column=index_column,
             index_filter=index_filter,
+            observed=observed,
         )
         if node.access_path is AccessPath.SEQ_SCAN:
             table_rows = self._catalog.table(node.table).row_count
@@ -336,13 +335,15 @@ class Executor:
         node: JoinNode,
         metrics: Dict[int, NodeMetrics],
         memo: Optional[Dict[int, Tuple[ResultSet, float]]] = None,
+        observed: Optional[Dict[str, int]] = None,
     ) -> Tuple[ResultSet, float, int, int]:
         inner_is_index_probed = node.algorithm is JoinAlgorithm.INDEX_NESTED_LOOP
         outer_result, outer_work = self._execute_node(node.left, metrics, memo=memo)
         inner_result, inner_work = self._execute_node(
             node.right, metrics, charge=not inner_is_index_probed, memo=memo
         )
-        observed: Dict[str, int] = {}
+        if observed is None:
+            observed = {}
         if node.join_predicates:
             joined = self._ops.join_results(
                 outer_result,

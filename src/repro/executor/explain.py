@@ -71,6 +71,10 @@ def _render(
             text += f" build_rows={metrics.build_rows}"
         if metrics.probe_rows is not None:
             text += f" probe_rows={metrics.probe_rows}"
+        if metrics.morsels is not None:
+            text += f" morsels={metrics.morsels}"
+        if metrics.workers is not None:
+            text += f" workers={metrics.workers}"
     elif node.actual_rows is not None:
         text += f" actual_rows={node.actual_rows}"
     text += ")"

@@ -65,11 +65,15 @@ def scan_table(
     filters: Sequence,
     index_column: Optional[str] = None,
     index_filter=None,
+    observed: Optional[Dict[str, int]] = None,
 ) -> Tuple[ColumnBatch, int]:
     """Scan a base table column-wise, optionally through an index.
 
     The sequential path hands the table's backing column lists straight into
     the batch (zero-copy); filtering only builds a selection vector.
+    ``observed`` is part of the operator protocol (the parallel engine
+    records morsel statistics through it); the serial scan has nothing to
+    report.
 
     Returns:
         ``(batch, rows_fetched)`` where ``rows_fetched`` is the number of
@@ -416,7 +420,12 @@ def _fold_grouped(
     return accumulator
 
 
-def sort_result(result: ColumnBatch, keys: Sequence[BoundSortKey]) -> ColumnBatch:
+def sort_result(
+    result: ColumnBatch,
+    keys: Sequence[BoundSortKey],
+    tie_break: Sequence = (),
+    tie_break_all: bool = False,
+) -> ColumnBatch:
     """Sort the batch on the given keys (multi-pass stable sort, zero-copy).
 
     One stable pass per key, last key first, each pass keyed on
@@ -425,9 +434,30 @@ def sort_result(result: ColumnBatch, keys: Sequence[BoundSortKey]) -> ColumnBatc
     input order.  The reference oracle reaches the same ordering through an
     independent comparator-based sort; the differential suite pins the two
     against each other.
+
+    ``tie_break`` (expressions over the sort input) or ``tie_break_all``
+    (every input column, positionally) appends a deterministic total order
+    *below* the declared keys: tie passes run first, ascending NULLS LAST,
+    so rows equal on all declared keys no longer depend on input order.  The
+    planner sets these only under ``LIMIT``, where the cut would otherwise
+    expose plan-dependent tie order.
     """
     result = ColumnBatch.from_result(result)
     order = list(range(len(result)))
+    if tie_break_all:
+        tie_columns = [result.values(p) for p in range(len(result.columns))]
+    else:
+        tie_columns = [
+            compile_batch_scalar(expr, result.resolver)(result, None)
+            for expr in tie_break
+        ]
+    for values in reversed(tie_columns):
+        order.sort(
+            key=lambda i, values=values: (
+                values[i] is None,
+                0 if values[i] is None else values[i],
+            )
+        )
     for key in reversed(keys):
         values = result.column_values(key.alias, key.column)
         order.sort(

@@ -1,0 +1,288 @@
+"""Morsel-driven parallel operators (the ``parallel`` execution engine).
+
+The engine splits pipeline sources into fixed-size *morsels* — contiguous
+row ranges — and dispatches them to a shared ``concurrent.futures`` thread
+pool:
+
+* **Scans** compile the whole filter conjunction into one fused single-pass
+  kernel (:func:`repro.executor.expressions.compile_fused_filter`) and run
+  one kernel invocation per morsel.  Each morsel returns its surviving row
+  indices in ascending order; concatenating the per-morsel results in morsel
+  index order reproduces the serial engine's selection vector exactly.
+* **Hash joins** build per-morsel partial hash tables over the build side,
+  merged at the barrier in morsel order (which reproduces the serial build's
+  ascending per-key row lists), then probe in parallel with the output of
+  each probe morsel concatenated in morsel order.
+
+Determinism is therefore structural, not incidental: for any worker count
+and morsel size the engine produces **bit-identical rows in identical
+order** to the serial vectorized engine, which the differential fuzzer pins.
+
+Every other operator (aggregation, sort, limit, distinct, residual filters)
+delegates to the vectorized implementation — those run above a pipeline
+breaker where the morsel results have already been gathered.  The gather
+points coincide with the adaptive executor's stage-wise pause points: when
+the adaptive scheduler pauses at a pipeline breaker to harvest observed
+cardinalities, all morsels of the stage have joined the barrier, so the
+observed statistics are complete.
+
+Parallel dispatch is recorded through the ``observed`` channel of the
+operator protocol (``morsels`` / ``workers``), surfaces in
+:class:`~repro.executor.executor.NodeMetrics` and renders in
+``EXPLAIN ANALYZE``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import repro.executor.operators as vectorized
+from repro.catalog.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.executor.batch import ColumnBatch
+from repro.executor.expressions import compile_fused_filter
+from repro.executor.operators import _key_rows
+from repro.executor.reference import resolve_join_positions
+from repro.sql.binder import BoundJoin
+
+DEFAULT_WORKERS = 4
+DEFAULT_MORSEL_SIZE = 4096
+
+#: Worker pools shared per worker count.  Morsel order — not scheduling
+#: order — determines result order, so sharing pools across executors is
+#: safe and keeps thread counts bounded when tests build many databases.
+_POOLS: Dict[int, concurrent.futures.ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(workers: int) -> concurrent.futures.ThreadPoolExecutor:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"morsel-{workers}"
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def _build_span(
+    keys: List[object], start: int, end: int, composite: bool
+) -> Dict[object, List[int]]:
+    """Partial hash table over one build-side morsel (NULL keys dropped)."""
+    buckets: Dict[object, List[int]] = {}
+    setdefault = buckets.setdefault
+    for i in range(start, end):
+        key = keys[i]
+        if (any(v is None for v in key) if composite else key is None):
+            continue
+        setdefault(key, []).append(i)
+    return buckets
+
+
+def _probe_span(
+    keys: List[object],
+    start: int,
+    end: int,
+    composite: bool,
+    buckets: Dict[object, List[int]],
+) -> Tuple[List[int], List[int]]:
+    """Probe one morsel against the merged hash table."""
+    build_idx: List[int] = []
+    probe_idx: List[int] = []
+    get = buckets.get
+    for i in range(start, end):
+        key = keys[i]
+        if (any(v is None for v in key) if composite else key is None):
+            continue
+        matches = get(key)
+        if not matches:
+            continue
+        build_idx.extend(matches)
+        probe_idx.extend([i] * len(matches))
+    return build_idx, probe_idx
+
+
+class MorselOperators:
+    """Operator set dispatching scans and joins morsel-wise to a worker pool.
+
+    Satisfies :class:`repro.executor.protocol.OperatorSet`; results are
+    :class:`~repro.executor.batch.ColumnBatch` objects, so everything
+    downstream of the parallel operators is shared with the vectorized
+    engine.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        morsel_size: Optional[int] = None,
+    ) -> None:
+        self.workers = max(1, int(workers if workers is not None else DEFAULT_WORKERS))
+        self.morsel_size = max(
+            1, int(morsel_size if morsel_size is not None else DEFAULT_MORSEL_SIZE)
+        )
+
+    # Operators above the scan/join pipeline breakers see fully gathered
+    # batches and are shared verbatim with the vectorized engine.
+    cross_join_results = staticmethod(vectorized.cross_join_results)
+    filter_result = staticmethod(vectorized.filter_result)
+    empty_result = staticmethod(vectorized.empty_result)
+    count_index_probe_matches = staticmethod(vectorized.count_index_probe_matches)
+    aggregate_result = staticmethod(vectorized.aggregate_result)
+    group_aggregate_result = staticmethod(vectorized.group_aggregate_result)
+    sort_result = staticmethod(vectorized.sort_result)
+    limit_result = staticmethod(vectorized.limit_result)
+    distinct_result = staticmethod(vectorized.distinct_result)
+
+    # -- morsel dispatch ---------------------------------------------------------
+
+    def _spans(self, length: int) -> List[Tuple[int, int]]:
+        size = self.morsel_size
+        return [(start, min(start + size, length)) for start in range(0, length, size)]
+
+    def _record(self, observed: Optional[Dict[str, int]], morsels: int, workers: int) -> None:
+        if observed is not None:
+            observed["morsels"] = morsels
+            observed["workers"] = workers
+
+    # -- operators ---------------------------------------------------------------
+
+    def scan_table(
+        self,
+        catalog: Catalog,
+        alias: str,
+        table_name: str,
+        filters: Sequence,
+        index_column: Optional[str] = None,
+        index_filter=None,
+        observed: Optional[Dict[str, int]] = None,
+    ) -> Tuple[ColumnBatch, int]:
+        """Morsel-parallel sequential scan with a fused filter kernel.
+
+        Index scans, unfiltered scans and filter shapes fusion cannot express
+        fall back to the (serial) vectorized scan — output and work
+        accounting are identical either way.
+        """
+        if index_column is not None and index_filter is not None:
+            self._record(observed, 1, 1)
+            return vectorized.scan_table(
+                catalog,
+                alias,
+                table_name,
+                filters,
+                index_column=index_column,
+                index_filter=index_filter,
+            )
+        table = catalog.table(table_name)
+        columns = [(alias, name) for name in table.schema.column_names]
+        length = table.row_count
+        data = table.column_data()
+        batch = ColumnBatch(columns, data, length=length)
+        filters = list(filters)
+        if not filters:
+            self._record(observed, 1, 1)
+            return batch, length
+        kernel = compile_fused_filter(filters, batch.resolver)
+        if kernel is None:
+            self._record(observed, 1, 1)
+            return vectorized.scan_table(catalog, alias, table_name, filters)
+        spans = self._spans(length)
+        if self.workers > 1 and len(spans) > 1:
+            pool = _shared_pool(self.workers)
+            parts = list(
+                pool.map(lambda span: kernel(data, span[0], span[1]), spans)
+            )
+            kept = [i for part in parts for i in part]
+            self._record(observed, len(spans), min(self.workers, len(spans)))
+        else:
+            kept = []
+            for start, end in spans:
+                kept.extend(kernel(data, start, end))
+            self._record(observed, max(1, len(spans)), 1)
+        return batch.restrict(kept), length
+
+    def join_results(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        joins: Sequence[BoundJoin],
+        observed: Optional[Dict[str, int]] = None,
+    ) -> ColumnBatch:
+        """Morsel-parallel hash join (parallel build, merge barrier, parallel probe).
+
+        Matches :func:`repro.executor.operators.join_results` row for row:
+        partial hash tables merge in morsel order (reproducing the serial
+        build's ascending per-key row lists), probe morsel outputs
+        concatenate in morsel order (reproducing the serial probe-major row
+        order), and the build side is always the smaller input.
+        """
+        if not joins:
+            raise ExecutionError("join_results requires at least one join predicate")
+        left = ColumnBatch.from_result(left)
+        right = ColumnBatch.from_result(right)
+        left_positions, right_positions = resolve_join_positions(left, right, joins)
+
+        build_on_left = len(left) <= len(right)
+        if observed is not None:
+            observed["build_rows"] = min(len(left), len(right))
+            observed["probe_rows"] = max(len(left), len(right))
+        if build_on_left:
+            build, probe = left, right
+            build_positions, probe_positions = left_positions, right_positions
+        else:
+            build, probe = right, left
+            build_positions, probe_positions = right_positions, left_positions
+
+        composite = len(build_positions) > 1
+        build_keys = _key_rows(build, build_positions)
+        probe_keys = _key_rows(probe, probe_positions)
+        build_spans = self._spans(len(build_keys))
+        probe_spans = self._spans(len(probe_keys))
+        parallel = self.workers > 1 and (len(build_spans) > 1 or len(probe_spans) > 1)
+
+        if parallel:
+            pool = _shared_pool(self.workers)
+            partials = list(
+                pool.map(
+                    lambda span: _build_span(build_keys, span[0], span[1], composite),
+                    build_spans,
+                )
+            )
+            buckets: Dict[object, List[int]] = {}
+            for partial in partials:  # merge barrier, morsel order
+                for key, indices in partial.items():
+                    existing = buckets.get(key)
+                    if existing is None:
+                        buckets[key] = indices
+                    else:
+                        existing.extend(indices)
+            parts = list(
+                pool.map(
+                    lambda span: _probe_span(
+                        probe_keys, span[0], span[1], composite, buckets
+                    ),
+                    probe_spans,
+                )
+            )
+            build_idx: List[int] = []
+            probe_idx: List[int] = []
+            for span_build, span_probe in parts:
+                build_idx.extend(span_build)
+                probe_idx.extend(span_probe)
+            morsels = len(build_spans) + len(probe_spans)
+            used = min(self.workers, max(len(build_spans), len(probe_spans), 1))
+            self._record(observed, morsels, used)
+        else:
+            buckets = _build_span(build_keys, 0, len(build_keys), composite)
+            build_idx, probe_idx = _probe_span(
+                probe_keys, 0, len(probe_keys), composite, buckets
+            )
+            self._record(observed, max(1, len(build_spans) + len(probe_spans)), 1)
+
+        if build_on_left:
+            left_sel, right_sel = build_idx, probe_idx
+        else:
+            left_sel, right_sel = probe_idx, build_idx
+        return ColumnBatch.concat(left.restrict(left_sel), right.restrict(right_sel))

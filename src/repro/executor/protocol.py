@@ -1,0 +1,142 @@
+"""The pull-style operator protocol every execution engine implements.
+
+The executor's scheduler (:class:`repro.executor.executor.Executor`) drives a
+physical plan by *pulling* each node's result from an operator set.  An
+operator set is anything satisfying :class:`OperatorSet`: one callable per
+plan-node shape, consuming child results and producing a new result.  Three
+implementations exist:
+
+* :data:`ExecutionEngine.VECTORIZED` — the columnar batch operators in
+  :mod:`repro.executor.operators` (a plain module; modules satisfy the
+  protocol structurally);
+* :data:`ExecutionEngine.REFERENCE` — the row-at-a-time oracle in
+  :mod:`repro.executor.reference`;
+* :data:`ExecutionEngine.PARALLEL` — the morsel-driven scheduler in
+  :mod:`repro.executor.parallel`, a stateful
+  :class:`~repro.executor.parallel.MorselOperators` instance carrying its
+  worker pool and morsel size.
+
+Because one scheduler drives all three through this protocol, work
+accounting stays engine-invariant by construction and every engine is
+differential-testable against the others.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import ExecutionError
+
+QualifiedColumn = Tuple[str, str]
+
+
+class ExecutionEngine(enum.Enum):
+    """Which operator implementation executes plans."""
+
+    VECTORIZED = "vectorized"
+    REFERENCE = "reference"
+    PARALLEL = "parallel"
+
+    @classmethod
+    def from_name(cls, name: "str | ExecutionEngine") -> "ExecutionEngine":
+        """Coerce a CLI/config string (or an engine) to an engine."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(str(name).lower())
+        except ValueError:
+            options = ", ".join(engine.value for engine in cls)
+            raise ExecutionError(
+                f"unknown execution engine {name!r} (expected one of: {options})"
+            ) from None
+
+
+class OperatorSet(Protocol):
+    """One relational operator per plan-node shape (pull-style).
+
+    Every result object is duck-type compatible between engines
+    (:class:`~repro.executor.batch.ColumnBatch` or
+    :class:`~repro.executor.reference.ResultSet`): ``len``, ``columns``,
+    ``rows``, ``column_position``, ``column_values`` and ``resolver`` behave
+    identically, which is what lets the scheduler stay engine-agnostic.
+
+    Operators that run a pipeline breaker accept an ``observed`` dict and
+    record runtime statistics into it (``build_rows``/``probe_rows`` for
+    joins; ``morsels``/``workers`` for morsel-parallel scans and joins); the
+    scheduler copies these into the node's :class:`NodeMetrics`.
+    """
+
+    def scan_table(
+        self,
+        catalog,
+        alias: str,
+        table_name: str,
+        filters: Sequence,
+        index_column: Optional[str] = None,
+        index_filter=None,
+        observed: Optional[Dict[str, int]] = None,
+    ): ...
+
+    def join_results(
+        self, left, right, joins: Sequence, observed: Optional[Dict[str, int]] = None
+    ): ...
+
+    def cross_join_results(
+        self, left, right, observed: Optional[Dict[str, int]] = None
+    ): ...
+
+    def filter_result(self, result, predicates: Sequence): ...
+
+    def empty_result(self, columns: Sequence[QualifiedColumn]): ...
+
+    def count_index_probe_matches(
+        self,
+        outer,
+        outer_positions: Sequence[int],
+        catalog,
+        inner_table: str,
+        inner_column: str,
+    ) -> int: ...
+
+    def aggregate_result(self, result, select_items: Sequence): ...
+
+    def group_aggregate_result(
+        self, result, group_keys: Sequence, select_items: Sequence
+    ): ...
+
+    def sort_result(
+        self,
+        result,
+        keys: Sequence,
+        tie_break: Sequence = (),
+        tie_break_all: bool = False,
+    ): ...
+
+    def limit_result(self, result, limit: int, offset: int = 0): ...
+
+    def distinct_result(self, result): ...
+
+
+def operators_for(
+    engine: "str | ExecutionEngine",
+    workers: Optional[int] = None,
+    morsel_size: Optional[int] = None,
+) -> OperatorSet:
+    """Resolve an engine name to its operator set.
+
+    ``workers`` and ``morsel_size`` configure the parallel engine and are
+    ignored by the serial ones (their operators have no tuning state).
+    """
+    engine = ExecutionEngine.from_name(engine)
+    if engine is ExecutionEngine.VECTORIZED:
+        import repro.executor.operators as vectorized_operators
+
+        return vectorized_operators
+    if engine is ExecutionEngine.REFERENCE:
+        import repro.executor.reference as reference_operators
+
+        return reference_operators
+    from repro.executor.parallel import MorselOperators
+
+    return MorselOperators(workers=workers, morsel_size=morsel_size)

@@ -71,8 +71,12 @@ def scan_table(
     filters: Sequence,
     index_column: Optional[str] = None,
     index_filter=None,
+    observed: Optional[Dict[str, int]] = None,
 ) -> Tuple[ResultSet, int]:
     """Scan a base table, optionally through an index.
+
+    ``observed`` is part of the operator protocol (the parallel engine
+    records morsel statistics through it); the serial scan reports nothing.
 
     Returns:
         ``(result, rows_fetched)`` where ``rows_fetched`` is the number of
@@ -379,7 +383,12 @@ def group_aggregate_result(
     return ResultSet(output_columns(select_items), out_rows)
 
 
-def sort_result(result: ResultSet, keys: Sequence[BoundSortKey]) -> ResultSet:
+def sort_result(
+    result: ResultSet,
+    keys: Sequence[BoundSortKey],
+    tie_break: Sequence = (),
+    tie_break_all: bool = False,
+) -> ResultSet:
     """Sort the result on the given keys (comparator-based, the oracle way).
 
     NULL placement is deterministic: NULLS LAST for ascending keys, NULLS
@@ -388,11 +397,23 @@ def sort_result(result: ResultSet, keys: Sequence[BoundSortKey]) -> ResultSet:
     of the vectorized engine's multi-pass sort — same ordering rules, a
     different algorithm — so the differential suite genuinely cross-checks
     ORDER BY semantics between the engines.
+
+    ``tie_break`` expressions (or, with ``tie_break_all``, every input
+    column positionally) extend the comparator below the declared keys as
+    ascending NULLS-LAST columns, realizing the same deterministic total
+    order the vectorized engine's extra tie passes produce under ``LIMIT``.
     """
     key_columns = [
         (result.column_values(key.alias, key.column), key.ascending)
         for key in keys
     ]
+    if tie_break_all:
+        for position in range(len(result.columns)):
+            key_columns.append(([row[position] for row in result.rows], True))
+    else:
+        for expr in tie_break:
+            scalar = compile_scalar(expr, result.resolver)
+            key_columns.append(([scalar(row) for row in result.rows], True))
 
     def compare(a: int, b: int) -> int:
         for values, ascending in key_columns:

@@ -44,6 +44,7 @@ from repro.optimizer.plan import (
 from repro.sql.ast import (
     AggregateFunc,
     Column,
+    ColumnRef,
     Comparison,
     ComparisonOp,
     Expr,
@@ -559,7 +560,7 @@ class JoinEnumerator:
             best = wrapped
         sort_below = bool(query.order_by) and query.select_items and has_base_keys
         if sort_below:
-            best = self._sort_node(best)
+            best = self._sort_node(best, below=True)
         root: PlanNode
         if query.group_by:
             groups = self._group_count_estimate(best.estimated_rows, query.group_by)
@@ -599,14 +600,64 @@ class JoinEnumerator:
             )
         return root
 
-    def _sort_node(self, child: PlanNode) -> SortNode:
-        """Wrap ``child`` in a Sort over the query's keys (rows preserved)."""
-        node = SortNode(child=child, keys=tuple(self.query.order_by))
+    def _sort_node(self, child: PlanNode, below: bool = False) -> SortNode:
+        """Wrap ``child`` in a Sort over the query's keys (rows preserved).
+
+        ``below`` marks the sort placed *under* the projection (base-table
+        keys with a select list); the root sort leaves it False.
+        """
+        tie_break, tie_break_all = self._limit_tie_break(below)
+        node = SortNode(
+            child=child,
+            keys=tuple(self.query.order_by),
+            tie_break=tie_break,
+            tie_break_all=tie_break_all,
+        )
         node.estimated_rows = child.estimated_rows
         node.estimated_cost = child.estimated_cost + self.cost_model.sort_cost(
             child.estimated_rows, len(self.query.order_by)
         )
         return node
+
+    def _limit_tie_break(self, below: bool) -> Tuple[Tuple[Expr, ...], bool]:
+        """Deterministic tie-break columns for a sort feeding a LIMIT cut.
+
+        Without a LIMIT no tie-break is needed: every row is returned, and
+        ties are allowed to keep plan order (the differential suites compare
+        limit-less ordered results as multisets across plans).  Under a
+        LIMIT the cut turns tie order into a correctness question, so the
+        sort gets a total order over the *projected* output:
+
+        * ``SELECT *``: one tie expression per table column, name-resolved,
+          in FROM-clause declaration order then schema order.  The star sort
+          input's positional column order is join-order dependent, so
+          positional ties would not survive a re-optimization rewrite;
+          name-resolved expressions do (a collapsed temp table exposes the
+          same values under the handover mapping, in the same declaration
+          order).
+        * Sort below the projection (base-table keys): the select items'
+          expressions, evaluated over the sort input.  Rewrites remap these
+          expressions together with the select list, so the tie values are
+          rewrite-invariant.
+        * Sort above the projection (output keys): every output column,
+          positionally (``tie_break_all``) — above the projection the input
+          *is* the projected output in select-item order, which no rewrite
+          changes.  Output names can collide (``SELECT g.id, r.id``), so
+          positional beats name-resolved here.
+        """
+        query = self.query
+        if query.limit is None:
+            return (), False
+        if not query.select_items:
+            exprs: List[Expr] = []
+            for alias in query.aliases:
+                table = query.alias_tables[alias]
+                for name in self._catalog.schema(table).column_names:
+                    exprs.append(Column(ColumnRef(alias=alias, column=name)))
+            return tuple(exprs), False
+        if below:
+            return tuple(item.expr for item in query.select_items), False
+        return (), True
 
     def _group_count_estimate(self, input_rows: float, group_keys) -> float:
         distincts = [

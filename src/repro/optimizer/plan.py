@@ -193,10 +193,20 @@ class HashAggregateNode(PlanNode):
 
 @dataclass
 class SortNode(PlanNode):
-    """Sort of the query output on one or more keys."""
+    """Sort of the query output on one or more keys.
+
+    Under ``LIMIT`` the planner appends a deterministic tie-break below the
+    declared keys — either explicit expressions over the sort input
+    (``tie_break``) or every input column positionally (``tie_break_all``) —
+    so the rows surviving the limit cut no longer depend on which plan
+    produced the input order.  Without a limit the whole result is returned
+    and ties may keep plan order.
+    """
 
     child: PlanNode
     keys: Tuple[BoundSortKey, ...]
+    tie_break: Tuple[Expr, ...] = ()
+    tie_break_all: bool = False
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -15,14 +15,25 @@ plan on both engines and asserts they agree on:
 * the charged work (the engine-invariance the paper's figures rely on);
 * per-node actual cardinalities.
 
+Every plan also runs on the morsel-driven parallel engine (small morsel
+size, several workers, so even the tiny fuzz tables split into multiple
+morsels) and must reproduce the oracle's rows, order, work and per-node
+cardinalities exactly — the merge-by-morsel-index design makes parallel
+execution bit-identical to serial.  Setting ``REPRO_FUZZ_ENGINE=parallel``
+additionally builds every fuzz database itself on the parallel engine, so
+the serving-pipeline legs (adaptive and simulated re-optimization) execute
+on it too; CI runs the fuzz step once in that mode.
+
 Every generated query additionally runs through the serving pipeline under
 operator-level adaptive execution (``adaptive=True``), the paper's
 materialize-and-rewrite simulation (``adaptive=False``) and is compared
 against the reference-oracle rows, at an aggressive re-optimization
 threshold so re-plans actually fire on the tiny fuzz tables.  Re-planning
-may change the final plan, so rows are compared as multisets; queries with
-LIMIT are exempt from this leg (without a total order, two valid plans may
-legitimately return different row subsets).
+may change the final plan, so rows are compared as multisets — except under
+ORDER BY + LIMIT, where the planner's deterministic tie-break gives the
+sort a total order over the projected output and the legs must agree on the
+*exact* row list; a bare LIMIT without ORDER BY only pins the row count
+(which plan-valid subset survives is legitimately plan-dependent).
 
 A checked-in regression corpus replays previously shrunk failures plus
 hand-picked nasty cases so they stay pinned even in quick dev runs.  CI
@@ -33,6 +44,7 @@ query stream.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
@@ -43,10 +55,23 @@ import repro
 from repro.catalog import ColumnType, make_schema
 from repro.core.triggers import ReoptimizationPolicy
 from repro.engine import Database, ExecutionEngine
+from repro.engine.settings import EngineSettings
 from repro.optimizer.injection import CardinalityInjector
 
 #: Re-plan whenever a join estimate is off by more than 2x.
 FUZZ_REOPT_THRESHOLD = 2.0
+
+#: Engine the fuzz databases themselves run on (the serving-pipeline legs);
+#: CI sets ``REPRO_FUZZ_ENGINE=parallel`` for one of its fuzz invocations.
+FUZZ_ENGINE = ExecutionEngine.from_name(
+    os.environ.get("REPRO_FUZZ_ENGINE", "vectorized")
+)
+
+#: Parallel-leg knobs: a morsel size far below the fuzz table sizes and more
+#: workers than morsels on the smallest tables, so splitting, the worker
+#: pool, partial-build merging and single-morsel fallbacks all get exercised.
+FUZZ_PARALLEL_WORKERS = 3
+FUZZ_PARALLEL_MORSEL_SIZE = 4
 
 
 class UnderestimateJoins(CardinalityInjector):
@@ -77,7 +102,13 @@ LIKE_PATTERNS = ["a%", "%b", "%a%", "a_", "%"]
 
 
 def build_database(g_rows: List[tuple], r_rows: List[tuple]) -> Database:
-    db = Database()
+    db = Database(
+        EngineSettings(
+            engine=FUZZ_ENGINE,
+            workers=FUZZ_PARALLEL_WORKERS,
+            morsel_size=FUZZ_PARALLEL_MORSEL_SIZE,
+        )
+    )
     db.create_table(
         make_schema(
             "groups",
@@ -416,17 +447,30 @@ def sql_query_strategy(draw) -> str:
 def assert_engines_agree(
     g_rows: List[tuple], r_rows: List[tuple], sql: str
 ) -> None:
-    """Plan once, execute on both engines, require exact agreement."""
+    """Plan once, execute on all three engines, require exact agreement."""
     db = build_database(g_rows, r_rows)
     planned = db.plan(sql)
     vectorized = db.executor_for(ExecutionEngine.VECTORIZED).execute(planned.plan)
     reference = db.executor_for(ExecutionEngine.REFERENCE).execute(planned.plan)
+    parallel = db.executor_for(
+        ExecutionEngine.PARALLEL,
+        workers=FUZZ_PARALLEL_WORKERS,
+        morsel_size=FUZZ_PARALLEL_MORSEL_SIZE,
+    ).execute(planned.plan)
     assert list(vectorized.result.rows) == list(reference.result.rows), sql
     assert vectorized.result.columns == reference.result.columns, sql
     assert vectorized.total_work == reference.total_work, sql
+    # The parallel engine must be bit-identical to the serial engines: same
+    # rows in the same order, same charged work, same per-node cardinality.
+    assert list(parallel.result.rows) == list(reference.result.rows), sql
+    assert parallel.result.columns == reference.result.columns, sql
+    assert parallel.total_work == reference.total_work, sql
     for node_id, metrics in vectorized.node_metrics.items():
         assert (
             metrics.actual_rows == reference.node_metrics[node_id].actual_rows
+        ), (sql, metrics.label)
+        assert (
+            metrics.actual_rows == parallel.node_metrics[node_id].actual_rows
         ), (sql, metrics.label)
     assert_reoptimization_modes_agree(db, planned, reference, sql)
 
@@ -438,19 +482,33 @@ def assert_reoptimization_modes_agree(
 
     Both modes run at :data:`FUZZ_REOPT_THRESHOLD` through the full serving
     pipeline.  Row *order* is plan-dependent once a re-plan changes the join
-    order, so rows are compared as multisets; LIMIT queries are excluded
-    because without a total order two valid plans may return different row
-    subsets (the same-plan engine legs above still cover them).
+    order, so rows are compared as multisets — with two LIMIT refinements:
+
+    * ORDER BY + LIMIT: the planner appends a deterministic tie-break to
+      the sort whenever a LIMIT can cut into a run of key-ties, making the
+      output order total over the projected row values; every leg must
+      return the oracle's *exact* row list.
+    * LIMIT without ORDER BY: which subset survives is legitimately
+      plan-dependent, but its size is not — the legs must agree on the row
+      count (the same-plan engine legs above still pin exact rows).
     """
-    if planned.query.limit is not None:
-        return
-    expected = Counter(reference.result.rows)
+    query = planned.query
+    expected_rows = list(reference.result.rows)
+    expected = Counter(expected_rows)
     policy = ReoptimizationPolicy(threshold=FUZZ_REOPT_THRESHOLD)
     injector = UnderestimateJoins()
     for adaptive in (False, True):
         with repro.connect(db, policy=policy, adaptive=adaptive) as connection:
             ctx = connection.pipeline.run(sql=sql, injector=injector)
-            assert Counter(ctx.rows) == expected, (f"adaptive={adaptive}", sql)
+            if query.limit is None:
+                assert Counter(ctx.rows) == expected, (f"adaptive={adaptive}", sql)
+            elif query.order_by:
+                assert list(ctx.rows) == expected_rows, (f"adaptive={adaptive}", sql)
+            else:
+                assert len(ctx.rows) == len(expected_rows), (
+                    f"adaptive={adaptive}",
+                    sql,
+                )
 
 
 @given(g_rows=g_rows_strategy, r_rows=r_rows_strategy, sql=sql_query_strategy())
@@ -612,6 +670,51 @@ REGRESSION_CORPUS: List[Tuple[str, List[tuple], List[tuple], Optional[str]]] = [
         "SELECT g.id, CASE WHEN g.score IS NULL THEN -1 "
         "WHEN g.score > 2 THEN 1 ELSE 0 END AS bucket "
         "FROM groups AS g ORDER BY g.id",
+    ),
+    (
+        # Sort-key ties exactly at the LIMIT cut, sort below the projection:
+        # rows 1/2/4 tie on score=1, the cut takes two of them.  The planner's
+        # tie-break (the projected expressions) makes the surviving tags
+        # plan-independent, so the re-optimization legs agree exactly.
+        "limit-cut-through-key-ties-below-projection",
+        [(1, "b", 1), (2, "a", 1), (3, "c", 0), (4, "a", 1)],
+        [],
+        "SELECT g.tag FROM groups AS g ORDER BY g.score DESC LIMIT 2",
+    ),
+    (
+        # SELECT * with duplicate sort keys at the cut: the tie-break is
+        # every declared column in FROM-then-schema order, a total order
+        # over full rows, so the cut is deterministic across plans.
+        "limit-cut-through-key-ties-select-star",
+        [],
+        [(1, 2, 5, "x"), (2, 1, 5, "y"), (3, 1, 2, "z"), (4, 2, 5, "w")],
+        "SELECT * FROM records AS r ORDER BY r.val DESC LIMIT 2",
+    ),
+    (
+        # Output-name sort keys with duplicates at the cut: the sort sits
+        # above the projection, where the tie-break is every output column
+        # positionally.
+        "limit-cut-through-output-key-ties",
+        [(1, "a", 9), (2, "a", 3), (3, "b", 7), (4, "a", 5)],
+        [],
+        "SELECT g.tag AS t, g.id AS i FROM groups AS g ORDER BY t LIMIT 2",
+    ),
+    (
+        # Join fan-out duplicates the join key the sort runs on; the star
+        # tie-break must survive a mid-query rewrite of the join.
+        "limit-cut-through-join-fanout-ties-star",
+        [(1, "a", 1), (2, "a", 2)],
+        [(1, 1, 4, "x"), (2, 1, 4, "y"), (3, 2, 4, "z"), (4, 2, 1, "w")],
+        "SELECT * FROM groups AS g, records AS r WHERE r.gid = g.id "
+        "ORDER BY g.tag LIMIT 3",
+    ),
+    (
+        # OFFSET lands inside a run of key-ties, so both edges of the window
+        # cut through ties.
+        "limit-offset-window-inside-key-ties",
+        [(1, "d", 1), (2, "c", 1), (3, "b", 1), (4, "a", 1)],
+        [],
+        "SELECT g.tag FROM groups AS g ORDER BY g.score LIMIT 2 OFFSET 1",
     ),
 ]
 

@@ -246,15 +246,20 @@ class TestPlanCacheEpochInteraction:
         assert conn.cache_stats.misses == 2
         assert conn.cache_stats.hits == 0
 
-    def test_legacy_simulation_skips_star_queries(self):
-        # The SQL-rewrite simulation cannot preserve SELECT * output shape;
-        # it must decline instead of corrupting the result.
+    def test_legacy_simulation_handles_star_queries(self):
+        # The SQL-rewrite simulation restores SELECT * output shape via the
+        # same provenance projection the adaptive path uses: original
+        # qualified column names, original order, same row multiset.
         db = build_skew_database()
-        plain = Counter(db.run(SELF_JOIN_STAR).rows)
-        with repro.connect(db, policy=adaptive_policy(), adaptive=False) as conn:
+        plain = db.run(SELF_JOIN_STAR)
+        db2 = build_skew_database()
+        with repro.connect(db2, policy=adaptive_policy(), adaptive=False) as conn:
             cursor = conn.execute(SELF_JOIN_STAR)
-            assert not cursor.context.reoptimized
-            assert Counter(cursor.fetchall()) == plain
+            assert cursor.context.reoptimized
+            assert tuple(cursor.context.execution.result.columns) == tuple(
+                plain.execution.result.columns
+            )
+            assert Counter(cursor.fetchall()) == Counter(plain.rows)
 
 
 if __name__ == "__main__":  # pragma: no cover

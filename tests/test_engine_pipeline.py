@@ -179,6 +179,33 @@ class TestPlanCacheInterceptor:
         assert pipeline.run(statements[0]).plan_cached is False
         assert pipeline.run(statements[2]).plan_cached is True
 
+    def test_stale_entries_pruned_eagerly_on_epoch_bump(self, stock_db):
+        # A tiny cache must stay fully usable across ANALYZE churn: entries
+        # stranded by an epoch bump are dropped on the first probe after it
+        # (counted as stale_evictions), instead of squatting in the LRU
+        # capacity and pushing out live plans.
+        cache = PlanCache(2)
+        pipeline = self._pipeline(stock_db, cache)
+        statements = [
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'tech'",
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'energy'",
+        ]
+        for _ in range(3):  # repeated ANALYZE/DDL churn rounds
+            for sql in statements:
+                pipeline.run(sql)
+            # Both plans are live: re-running hits without evicting anything.
+            assert pipeline.run(statements[0]).plan_cached
+            assert pipeline.run(statements[1]).plan_cached
+            stock_db.analyze(["company"])
+        # Each bump pruned both stranded entries on the next probe (the last
+        # bump's victims go on this final probe); the capacity-2 LRU itself
+        # never had to evict a live plan.
+        ctx = pipeline.run(statements[0])
+        assert not ctx.plan_cached
+        assert cache.stats.stale_evictions == 6
+        assert cache.stats.evictions == 0
+        assert len(cache) == 1
+
     def test_zero_capacity_disables(self, stock_db):
         cache = PlanCache(0)
         pipeline = self._pipeline(stock_db, cache)

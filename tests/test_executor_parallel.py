@@ -1,0 +1,247 @@
+"""Morsel-driven parallel engine: determinism, fused kernels, metrics.
+
+The parallel engine's contract is bit-identical results at any worker count
+and morsel size — deterministic order is restored by morsel index at every
+gather point, never by re-sorting.  These tests pin that contract at worker
+counts 1, 2 and 8, exercise the fused filter kernel codegen (including its
+fallbacks and its compile cache) and check the per-morsel accounting that
+EXPLAIN ANALYZE renders.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.catalog import ColumnType, make_schema
+from repro.core.triggers import ReoptimizationPolicy
+from repro.engine import Database, ExecutionEngine
+from repro.engine.settings import EngineSettings
+from repro.executor.batch import ColumnBatch
+from repro.executor.expressions import compile_fused_filter
+from repro.executor.explain import explain_plan
+from repro.optimizer.plan import JoinNode, ScanNode
+
+WORKER_COUNTS = (1, 2, 8)
+MORSEL_SIZE = 7  # far below the table sizes, so scans split into many morsels
+
+
+def build_db(engine: ExecutionEngine = ExecutionEngine.VECTORIZED, **knobs) -> Database:
+    db = Database(EngineSettings(engine=engine, **knobs))
+    db.create_table(
+        make_schema(
+            "t",
+            [("id", ColumnType.INT), ("v", ColumnType.INT), ("s", ColumnType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        make_schema(
+            "u",
+            [("id", ColumnType.INT), ("tid", ColumnType.INT), ("w", ColumnType.INT)],
+            primary_key="id",
+            foreign_keys=[("tid", "t", "id")],
+        )
+    )
+    texts = ["a", "ab", "b", None, "ba"]
+    db.load_rows(
+        "t",
+        [
+            (i, None if i % 11 == 0 else i % 7, texts[i % len(texts)])
+            for i in range(1, 121)
+        ],
+    )
+    db.load_rows(
+        "u",
+        [
+            (i, (i * 3) % 120 + 1, None if i % 13 == 0 else i % 9)
+            for i in range(1, 91)
+        ],
+    )
+    db.finalize_load()
+    return db
+
+
+#: Queries spanning the operator surface the parallel engine touches: fused
+#: arithmetic/LIKE/IN/BETWEEN/NULL kernels, fusion fallbacks (CASE), joins
+#: with fan-out, star output, grouping, DISTINCT, ORDER BY + LIMIT ties.
+QUERIES = [
+    "SELECT t.id, t.v FROM t WHERE (t.v * 2 - 1) % 3 = 0 AND t.id / 2 >= 10",
+    "SELECT t.id FROM t WHERE t.s LIKE 'a%' OR t.v IN (1, 2, 3) OR t.v IS NULL",
+    "SELECT t.id FROM t WHERE NOT (t.v BETWEEN 2 AND 5) AND t.s IS NOT NULL",
+    "SELECT t.id FROM t WHERE t.v / 0 IS NULL ORDER BY t.id LIMIT 10",
+    "SELECT count(*) AS n FROM t WHERE CASE WHEN t.v > 2 THEN 1 ELSE 0 END = 1",
+    "SELECT t.id, u.w FROM t, u WHERE t.id = u.tid AND t.v > 1 "
+    "ORDER BY u.w, t.id LIMIT 9",
+    "SELECT * FROM t, u WHERE t.id = u.tid ORDER BY t.v DESC LIMIT 7",
+    "SELECT t.v AS k, count(*) AS n, sum(u.w) AS s FROM t, u "
+    "WHERE t.id = u.tid GROUP BY t.v ORDER BY k",
+    "SELECT DISTINCT t.v FROM t WHERE t.s LIKE '%b%' ORDER BY t.v",
+]
+
+
+class TestDeterministicParallelExecution:
+    def test_identical_results_at_every_worker_count(self):
+        """Workers 1, 2 and 8 all reproduce the serial engines exactly."""
+        db = build_db()
+        for sql in QUERIES:
+            planned = db.plan(sql)
+            serial = db.executor_for(ExecutionEngine.VECTORIZED).execute(planned.plan)
+            oracle = db.executor_for(ExecutionEngine.REFERENCE).execute(planned.plan)
+            assert list(serial.result.rows) == list(oracle.result.rows), sql
+            for workers in WORKER_COUNTS:
+                parallel = db.executor_for(
+                    ExecutionEngine.PARALLEL,
+                    workers=workers,
+                    morsel_size=MORSEL_SIZE,
+                ).execute(planned.plan)
+                assert list(parallel.result.rows) == list(serial.result.rows), (
+                    sql,
+                    workers,
+                )
+                assert parallel.result.columns == serial.result.columns, sql
+                assert parallel.total_work == serial.total_work, (sql, workers)
+                for node_id, metrics in serial.node_metrics.items():
+                    assert (
+                        parallel.node_metrics[node_id].actual_rows
+                        == metrics.actual_rows
+                    ), (sql, workers, metrics.label)
+
+    def test_morsel_size_does_not_change_results(self):
+        db = build_db()
+        sql = QUERIES[5]
+        planned = db.plan(sql)
+        serial = db.executor_for(ExecutionEngine.VECTORIZED).execute(planned.plan)
+        for morsel_size in (1, 3, 64, 100000):
+            parallel = db.executor_for(
+                ExecutionEngine.PARALLEL, workers=4, morsel_size=morsel_size
+            ).execute(planned.plan)
+            assert list(parallel.result.rows) == list(serial.result.rows), morsel_size
+
+    def test_serving_pipeline_on_parallel_engine(self):
+        """connect() knobs route statements through the morsel engine."""
+        serial_rows = [
+            repro.connect(build_db(), reoptimize=False).execute(sql).fetchall()
+            for sql in QUERIES
+        ]
+        conn = repro.connect(
+            build_db(), reoptimize=False, engine="parallel", workers=4, morsel_size=MORSEL_SIZE
+        )
+        for sql, expected in zip(QUERIES, serial_rows):
+            assert conn.execute(sql).fetchall() == expected, sql
+
+    def test_adaptive_reoptimization_over_parallel_engine(self):
+        """Stage-wise pauses are gather barriers: adaptive + parallel agree."""
+        expected = Counter(
+            repro.connect(build_db(), reoptimize=False)
+            .execute(QUERIES[7])
+            .fetchall()
+        )
+        db = build_db(
+            ExecutionEngine.PARALLEL, workers=4, morsel_size=MORSEL_SIZE
+        )
+        policy = ReoptimizationPolicy(threshold=1.01, min_query_seconds=0.0)
+        with repro.connect(db, policy=policy, adaptive=True) as conn:
+            assert Counter(conn.execute(QUERIES[7]).fetchall()) == expected
+
+
+class TestFusedFilterKernels:
+    def _scan_filters(self, db: Database, sql: str):
+        planned = db.plan(sql)
+        scan = next(
+            node
+            for node in planned.plan.walk()
+            if isinstance(node, ScanNode) and node.filters
+        )
+        table = db.catalog.table(scan.table)
+        data = table.column_data()
+        batch = ColumnBatch(
+            [(scan.alias, name) for name in table.schema.column_names],
+            data,
+            length=table.row_count,
+        )
+        return list(scan.filters), batch, data
+
+    def test_kernel_compiles_and_matches_serial_selection(self):
+        db = build_db()
+        sql = QUERIES[1]
+        filters, batch, data = self._scan_filters(db, sql)
+        kernel = compile_fused_filter(filters, batch.resolver)
+        assert kernel is not None
+        assert "def _fused" in kernel._fused_source
+        # One fused pass over the whole table == the serial scan's selection.
+        serial = db.executor_for(ExecutionEngine.VECTORIZED)
+        planned = db.plan(sql)
+        expected = serial.execute(planned.plan).result.rows
+        kept = kernel(data, 0, len(batch))
+        got = [(data[0][i],) for i in kept]
+        assert got == list(expected), sql
+
+    def test_kernel_is_cached_per_filter_shape(self):
+        db = build_db()
+        filters, batch, _ = self._scan_filters(db, QUERIES[0])
+        first = compile_fused_filter(filters, batch.resolver)
+        second = compile_fused_filter(filters, batch.resolver)
+        assert first is second
+
+    def test_case_expression_falls_back_to_generic_scan(self):
+        db = build_db()
+        filters, batch, _ = self._scan_filters(db, QUERIES[4])
+        assert compile_fused_filter(filters, batch.resolver) is None
+        # ...and the engine still answers the query correctly through the
+        # vectorized fallback (covered again by the full-query sweep above).
+        planned = db.plan(QUERIES[4])
+        serial = db.executor_for(ExecutionEngine.VECTORIZED).execute(planned.plan)
+        parallel = db.executor_for(
+            ExecutionEngine.PARALLEL, workers=2, morsel_size=MORSEL_SIZE
+        ).execute(planned.plan)
+        assert list(parallel.result.rows) == list(serial.result.rows)
+
+    def test_division_by_zero_and_null_semantics_in_kernel(self):
+        db = build_db()
+        sql = "SELECT t.id FROM t WHERE t.v / 0 IS NULL AND t.v % 0 IS NULL"
+        planned = db.plan(sql)
+        serial = db.executor_for(ExecutionEngine.VECTORIZED).execute(planned.plan)
+        parallel = db.executor_for(
+            ExecutionEngine.PARALLEL, workers=8, morsel_size=3
+        ).execute(planned.plan)
+        assert list(parallel.result.rows) == list(serial.result.rows)
+        assert len(parallel.result.rows) == 120  # NULL for every row, incl. NULL v
+
+
+class TestParallelMetrics:
+    def test_scan_and_join_metrics_record_morsels_and_workers(self):
+        db = build_db(ExecutionEngine.PARALLEL, workers=4, morsel_size=MORSEL_SIZE)
+        execution = db.run(QUERIES[5]).execution
+        planned_nodes = {
+            metrics.label: metrics for metrics in execution.node_metrics.values()
+        }
+        scans = [m for m in execution.node_metrics.values() if m.morsels is not None]
+        assert scans, planned_nodes
+        split = [m for m in scans if m.morsels > 1]
+        assert split, "expected at least one operator to split into morsels"
+        for metrics in split:
+            assert 1 <= metrics.workers <= 4
+
+    def test_explain_analyze_renders_morsel_accounting(self):
+        db = build_db(ExecutionEngine.PARALLEL, workers=4, morsel_size=MORSEL_SIZE)
+        planned = db.plan(QUERIES[5])
+        execution = db.execute_plan(planned)
+        text = explain_plan(planned.plan, execution)
+        assert "morsels=" in text
+        assert "workers=" in text
+
+    def test_serial_engines_leave_parallel_metrics_unset(self):
+        db = build_db()
+        execution = db.run(QUERIES[5]).execution
+        for metrics in execution.node_metrics.values():
+            assert metrics.morsels is None
+            assert metrics.workers is None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-v"]))
