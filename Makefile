@@ -14,8 +14,12 @@
 #   make fuzz-parallel - the CI fuzz stream with the fuzz databases serving
 #                  from the morsel-parallel engine (fused kernels, small
 #                  morsels, 3 workers)
-#   make guards  - the engine/aggregation/expression-eval/parallel speedup
-#                  guards
+#   make fuzz-partitioned - the CI fuzz stream against partitioned +
+#                  compressed storage (4 shards per table, zone-map and
+#                  routing pruning live) under a tiny memory budget, so
+#                  grace hash joins and external merge sorts spill
+#   make guards  - the engine/aggregation/expression-eval/parallel/pruning
+#                  speedup guards
 #   make bench   - paper-figure benchmarks plus the speedup guards; set
 #                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
 #                  report, compare with `make bench-compare`
@@ -26,11 +30,11 @@ PYTHON ?= python
 SEED ?= 0
 export PYTHONPATH := src
 
-.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel guards bench bench-compare lint all
+.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel fuzz-partitioned guards bench bench-compare lint all
 
 # Mirrors the CI workflow's step sequence exactly (lint job, then the test
 # job's four pytest steps, then the speedup guards).
-ci: lint unit diff fuzz fuzz-parallel guards
+ci: lint unit diff fuzz fuzz-parallel fuzz-partitioned guards
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -53,8 +57,11 @@ fuzz-nightly:
 fuzz-parallel:
 	HYPOTHESIS_PROFILE=ci REPRO_FUZZ_ENGINE=parallel $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
 
+fuzz-partitioned:
+	HYPOTHESIS_PROFILE=ci REPRO_FUZZ_PARTITIONS=4 $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
+
 guards:
-	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py benchmarks/test_partition_pruning.py
 
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks

@@ -1,7 +1,14 @@
 """Catalog subsystem: schemas, foreign keys and the table registry."""
 
 from repro.catalog.catalog import Catalog, CatalogEntry
-from repro.catalog.schema import ColumnDef, ColumnType, ForeignKey, TableSchema, make_schema
+from repro.catalog.schema import (
+    ColumnDef,
+    ColumnType,
+    ForeignKey,
+    PartitionSpec,
+    TableSchema,
+    make_schema,
+)
 
 __all__ = [
     "Catalog",
@@ -9,6 +16,7 @@ __all__ = [
     "ColumnDef",
     "ColumnType",
     "ForeignKey",
+    "PartitionSpec",
     "TableSchema",
     "make_schema",
 ]

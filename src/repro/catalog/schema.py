@@ -85,6 +85,60 @@ class ForeignKey:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """How a table is split into columnar shards.
+
+    Attributes:
+        method: ``"hash"`` (rows routed by a deterministic hash of the key)
+            or ``"range"`` (rows routed by comparing the key against
+            ``bounds``).
+        column: the partition key column.
+        partitions: number of partitions (hash partitioning only).
+        bounds: strictly ascending *inclusive lower bounds* of partitions
+            ``1..n-1`` (range partitioning only); keys below ``bounds[0]``
+            land in partition 0, so ``len(bounds) + 1`` partitions exist.
+            NULL keys always route to partition 0 under either method.
+    """
+
+    method: str
+    column: str
+    partitions: int = 0
+    bounds: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.method not in ("hash", "range"):
+            raise CatalogError(
+                f"unknown partition method {self.method!r} (expected 'hash' or 'range')"
+            )
+        if self.method == "hash":
+            if self.partitions < 1:
+                raise CatalogError(
+                    f"hash partitioning needs at least 1 partition, got {self.partitions}"
+                )
+            if self.bounds:
+                raise CatalogError("hash partitioning does not take range bounds")
+        else:
+            if not self.bounds:
+                raise CatalogError("range partitioning needs at least one bound")
+            if self.partitions:
+                raise CatalogError(
+                    "range partitioning derives its partition count from the bounds"
+                )
+            for low, high in zip(self.bounds, self.bounds[1:]):
+                if not low < high:
+                    raise CatalogError(
+                        f"range partition bounds must be strictly ascending, got {self.bounds!r}"
+                    )
+
+    @property
+    def num_partitions(self) -> int:
+        """Total number of partitions the spec defines."""
+        if self.method == "hash":
+            return self.partitions
+        return len(self.bounds) + 1
+
+
+@dataclass(frozen=True)
 class TableSchema:
     """Immutable description of a table.
 
@@ -93,12 +147,15 @@ class TableSchema:
         columns: ordered column definitions.
         primary_key: name of the primary key column, if any.
         foreign_keys: foreign-key edges departing from this table.
+        partition_spec: optional :class:`PartitionSpec`; tables carrying one
+            are stored as :class:`~repro.storage.partition.PartitionedTable`.
     """
 
     name: str
     columns: Tuple[ColumnDef, ...]
     primary_key: Optional[str] = None
     foreign_keys: Tuple[ForeignKey, ...] = field(default_factory=tuple)
+    partition_spec: Optional[PartitionSpec] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.isidentifier():
@@ -115,6 +172,11 @@ class TableSchema:
                 raise CatalogError(
                     f"foreign key column {fk.column!r} is not a column of {self.name!r}"
                 )
+        if self.partition_spec is not None and self.partition_spec.column not in names:
+            raise CatalogError(
+                f"partition key {self.partition_spec.column!r} is not a column "
+                f"of {self.name!r}"
+            )
 
     @property
     def column_names(self) -> Tuple[str, ...]:
@@ -149,6 +211,7 @@ def make_schema(
     columns: Sequence[Tuple[str, ColumnType]],
     primary_key: Optional[str] = None,
     foreign_keys: Sequence[Tuple[str, str, str]] = (),
+    partition_by: Optional[PartitionSpec] = None,
 ) -> TableSchema:
     """Convenience constructor used throughout the workloads and tests.
 
@@ -157,10 +220,18 @@ def make_schema(
         columns: sequence of ``(column_name, ColumnType)`` pairs.
         primary_key: optional primary key column name.
         foreign_keys: sequence of ``(column, ref_table, ref_column)`` triples.
+        partition_by: optional :class:`PartitionSpec` splitting the table
+            into hash- or range-partitioned shards.
 
     Returns:
         A validated :class:`TableSchema`.
     """
     cols = tuple(ColumnDef(cname, ctype) for cname, ctype in columns)
     fks = tuple(ForeignKey(col, rt, rc) for col, rt, rc in foreign_keys)
-    return TableSchema(name=name, columns=cols, primary_key=primary_key, foreign_keys=fks)
+    return TableSchema(
+        name=name,
+        columns=cols,
+        primary_key=primary_key,
+        foreign_keys=fks,
+        partition_spec=partition_by,
+    )

@@ -25,10 +25,11 @@ from repro.optimizer.cost import CostModel
 from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.optimizer import Optimizer, PlannedQuery
 from repro.sql.binder import Binder, BoundQuery
-from repro.sql.parser import parse_select
+from repro.sql.parser import parse_create_table, parse_select
 from repro.stats.analyze import analyze_table
 from repro.storage.index import HashIndex, build_foreign_key_indexes
 from repro.storage.intermediate import IntermediateTable
+from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
 
 
@@ -78,6 +79,7 @@ class Database:
             engine=self.settings.engine,
             workers=self.settings.workers,
             morsel_size=self.settings.morsel_size,
+            memory_budget=self.settings.memory_budget,
         )
         self.binder = Binder(self.catalog)
         self._temp_counter = 0
@@ -87,12 +89,14 @@ class Database:
         engine: ExecutionEngine,
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        memory_budget: Optional[int] = None,
     ) -> Executor:
         """A second executor over the same catalog using ``engine``.
 
         Used by the differential-testing harness to run one planned query
-        through several engines.  ``workers``/``morsel_size`` default to the
-        database settings and only matter for the parallel engine.
+        through several engines.  ``workers``/``morsel_size``/
+        ``memory_budget`` default to the database settings; the first two
+        only matter for the parallel engine.
         """
         return Executor(
             self.catalog,
@@ -100,13 +104,30 @@ class Database:
             engine=engine,
             workers=self.settings.workers if workers is None else workers,
             morsel_size=self.settings.morsel_size if morsel_size is None else morsel_size,
+            memory_budget=(
+                self.settings.memory_budget if memory_budget is None else memory_budget
+            ),
         )
 
     # -- DDL and loading ----------------------------------------------------
 
-    def create_table(self, schema: TableSchema) -> Table:
-        """Create an empty table and register it in the catalog."""
-        table = Table(schema)
+    def create_table(
+        self, schema: Union[TableSchema, str]
+    ) -> Union[Table, PartitionedTable]:
+        """Create an empty table and register it in the catalog.
+
+        Accepts either a prepared :class:`TableSchema` or ``CREATE TABLE``
+        SQL text (including ``PARTITION BY HASH/RANGE`` clauses).  Schemas
+        carrying a partition spec are stored as
+        :class:`~repro.storage.partition.PartitionedTable` shards; plain
+        schemas keep the single-:class:`Table` storage.
+        """
+        if isinstance(schema, str):
+            schema = parse_create_table(schema)
+        if schema.partition_spec is not None:
+            table: Union[Table, PartitionedTable] = PartitionedTable(schema)
+        else:
+            table = Table(schema)
         self.catalog.register(schema, table)
         return table
 
@@ -154,10 +175,17 @@ class Database:
         self.catalog.add_index(table_name, HashIndex(table, column))
 
     def analyze(self, tables: Optional[Iterable[str]] = None) -> None:
-        """Run ANALYZE over ``tables`` (default: all tables)."""
+        """Run ANALYZE over ``tables`` (default: all tables).
+
+        Partitioned tables additionally refresh their per-partition zone
+        maps, re-deriving min/max/null-count exactly from storage.
+        """
         names = list(tables) if tables is not None else self.catalog.table_names()
         for name in names:
             entry = self.catalog.entry(name)
+            refresh = getattr(entry.table, "refresh_zone_maps", None)
+            if refresh is not None:
+                refresh()
             self.catalog.set_stats(
                 name, analyze_table(entry.table, self.settings.statistics_target)
             )

@@ -8,6 +8,7 @@ and tests can spin up differently configured engines succinctly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.engine.plancache import DEFAULT_PLAN_CACHE_SIZE
 from repro.executor.executor import ExecutionEngine
@@ -46,6 +47,12 @@ class EngineSettings:
             (``engine="parallel"``); ignored by the serial engines.
         morsel_size: rows per morsel for the parallel engine's scan and
             join splitting; ignored by the serial engines.
+        memory_budget: max rows a pipeline breaker may hold in memory
+            (``None`` = unbounded).  When set, hash-join build sides larger
+            than the budget run as grace hash joins and oversized sorts as
+            external merge sorts, both spilling row-index runs to temp files
+            (see :mod:`repro.executor.spilling`); results are bit-identical
+            to in-memory execution.
     """
 
     statistics_target: int = 100
@@ -58,3 +65,4 @@ class EngineSettings:
     adaptive: bool = False
     workers: int = 4
     morsel_size: int = 4096
+    memory_budget: Optional[int] = None

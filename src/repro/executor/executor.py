@@ -52,6 +52,8 @@ from repro.optimizer.plan import (
     SortNode,
 )
 from repro.optimizer.provenance import plan_output_columns
+from repro.optimizer.pruning import prune_partitions
+from repro.storage.partition import PartitionedTable
 
 # Conversion between abstract work units and "simulated seconds" reported by
 # the benchmark harness.  The constant is chosen so that a JOB-like workload
@@ -80,8 +82,10 @@ class NodeMetrics:
     sizes observed at the hash-join pipeline breaker.  Under the parallel
     engine, scans and joins additionally record ``morsels`` (row ranges
     dispatched) and ``workers`` (pool slots actually usable for them).
-    These runtime statistics feed EXPLAIN ANALYZE and the adaptive
-    re-optimization loop.
+    Sequential scans of partitioned tables record ``partitions_scanned`` /
+    ``partitions_pruned`` (the zone-map pruning actually applied at
+    execution time).  These runtime statistics feed EXPLAIN ANALYZE and the
+    adaptive re-optimization loop.
     """
 
     node_id: int
@@ -94,6 +98,8 @@ class NodeMetrics:
     probe_rows: Optional[int] = None
     morsels: Optional[int] = None
     workers: Optional[int] = None
+    partitions_scanned: Optional[int] = None
+    partitions_pruned: Optional[int] = None
 
 
 @dataclass
@@ -145,6 +151,9 @@ class Executor:
         workers: worker-pool size for the parallel engine (ignored by the
             serial engines).
         morsel_size: scan/join morsel size (rows) for the parallel engine.
+        memory_budget: max rows a pipeline breaker may hold in memory; when
+            set, hash-join build sides and sort runs beyond it spill to temp
+            files (grace hash join / external merge sort).
     """
 
     def __init__(
@@ -154,12 +163,16 @@ class Executor:
         engine: ExecutionEngine = ExecutionEngine.VECTORIZED,
         workers: Optional[int] = None,
         morsel_size: Optional[int] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         self._catalog = catalog
         self.cost_model = cost_model or CostModel(catalog)
         self.engine = ExecutionEngine.from_name(engine)
         self._ops: OperatorSet = operators_for(
-            self.engine, workers=workers, morsel_size=morsel_size
+            self.engine,
+            workers=workers,
+            morsel_size=morsel_size,
+            memory_budget=memory_budget,
         )
 
     @property
@@ -296,6 +309,8 @@ class Executor:
             probe_rows=probe_rows,
             morsels=observed.get("morsels"),
             workers=observed.get("workers"),
+            partitions_scanned=observed.get("partitions_scanned"),
+            partitions_pruned=observed.get("partitions_pruned"),
         )
         if memo is not None:
             memo[node.node_id] = (result, work)
@@ -311,6 +326,20 @@ class Executor:
         if node.access_path is AccessPath.INDEX_SCAN:
             index_column = node.index_column
             index_filter = node.index_filter
+        pruned_partitions: Optional[Tuple[int, ...]] = None
+        storage = self._catalog.table(node.table)
+        if node.access_path is AccessPath.SEQ_SCAN and isinstance(
+            storage, PartitionedTable
+        ):
+            # Pruning is re-derived here, not read off the plan: table loads
+            # do not invalidate cached plans, so the plan-time set can be
+            # stale.  Because this one scheduler drives every engine, the
+            # execution-time set is engine-invariant automatically.
+            pruned_partitions, total = prune_partitions(
+                storage, list(node.filters)
+            )
+            observed["partitions_scanned"] = total - len(pruned_partitions)
+            observed["partitions_pruned"] = len(pruned_partitions)
         result, rows_fetched = self._ops.scan_table(
             self._catalog,
             node.alias,
@@ -319,11 +348,14 @@ class Executor:
             index_column=index_column,
             index_filter=index_filter,
             observed=observed,
+            pruned_partitions=pruned_partitions,
         )
         if node.access_path is AccessPath.SEQ_SCAN:
-            table_rows = self._catalog.table(node.table).row_count
+            # ``rows_fetched`` is the storage rows the scan actually read:
+            # the full table normally, the unpruned partitions' rows for a
+            # partitioned table — pruning shrinks the charged CPU term.
             work = self.cost_model.seq_scan_cost(
-                node.table, table_rows, len(node.filters)
+                node.table, rows_fetched, len(node.filters)
             )
         else:
             residual = max(0, len(node.filters) - 1)

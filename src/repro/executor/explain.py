@@ -75,11 +75,20 @@ def _render(
             text += f" morsels={metrics.morsels}"
         if metrics.workers is not None:
             text += f" workers={metrics.workers}"
+        if metrics.partitions_scanned is not None:
+            text += f" partitions_scanned={metrics.partitions_scanned}"
+        if metrics.partitions_pruned is not None:
+            text += f" partitions_pruned={metrics.partitions_pruned}"
     elif node.actual_rows is not None:
         text += f" actual_rows={node.actual_rows}"
     text += ")"
     lines.append(text)
     detail_indent = "  " * (depth + 1) + ("    " if depth else "")
+    if isinstance(node, ScanNode) and node.partitions_total is not None:
+        scanned = node.partitions_total - len(node.pruned_partitions)
+        lines.append(
+            f"{detail_indent}Partitions: {scanned}/{node.partitions_total} scanned"
+        )
     if isinstance(node, ScanNode) and node.filters:
         rendered = " AND ".join(render_conjunct(f) for f in node.filters)
         lines.append(f"{detail_indent}Filter (pushed down): {rendered}")

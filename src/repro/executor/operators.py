@@ -58,6 +58,35 @@ __all__ = [
 ]
 
 
+def _gather_partition_columns(
+    table, pruned_partitions: Sequence[int]
+) -> Tuple[List[List[object]], int]:
+    """Column lists of a partitioned table's unpruned shards, in shard order.
+
+    Returns ``(data, rows_fetched)``.  The gather order is the table's
+    global row-id order restricted to the surviving shards, so every engine
+    scanning through this helper produces the same deterministic row order.
+    No pruning reuses the table's cached full gather; a single surviving
+    shard hands out its column lists directly — both zero-copy.
+    """
+    pruned = set(pruned_partitions)
+    if not pruned:
+        return table.column_data(), table.row_count
+    kept = [
+        partition
+        for index, partition in enumerate(table.partitions())
+        if index not in pruned
+    ]
+    rows_fetched = sum(partition.row_count for partition in kept)
+    if len(kept) == 1:
+        return kept[0].column_data(), rows_fetched
+    data: List[List[object]] = [[] for _ in table.schema.columns]
+    for partition in kept:
+        for position, values in enumerate(partition.column_data()):
+            data[position].extend(values)
+    return data, rows_fetched
+
+
 def scan_table(
     catalog: Catalog,
     alias: str,
@@ -66,24 +95,34 @@ def scan_table(
     index_column: Optional[str] = None,
     index_filter=None,
     observed: Optional[Dict[str, int]] = None,
+    pruned_partitions: Optional[Sequence[int]] = None,
 ) -> Tuple[ColumnBatch, int]:
     """Scan a base table column-wise, optionally through an index.
 
     The sequential path hands the table's backing column lists straight into
-    the batch (zero-copy); filtering only builds a selection vector.
-    ``observed`` is part of the operator protocol (the parallel engine
-    records morsel statistics through it); the serial scan has nothing to
-    report.
+    the batch (zero-copy); filtering only builds a selection vector.  For a
+    partitioned table, ``pruned_partitions`` (derived by the executor from
+    the zone maps) drops whole shards before the filter runs.  ``observed``
+    is part of the operator protocol (the parallel engine records morsel
+    statistics through it); the serial scan has nothing to report.
 
     Returns:
         ``(batch, rows_fetched)`` where ``rows_fetched`` is the number of
         rows read from storage before residual filtering (used for work
-        accounting: an index scan reads fewer rows than a sequential scan).
+        accounting: an index scan reads fewer rows than a sequential scan,
+        a pruned partitioned scan fewer than the full table).
     """
     table = catalog.table(table_name)
     columns: List[QualifiedColumn] = [
         (alias, name) for name in table.schema.column_names
     ]
+    if pruned_partitions is not None:
+        data, scanned = _gather_partition_columns(table, pruned_partitions)
+        batch = ColumnBatch(columns, data, length=scanned)
+        predicate = compile_batch_conjunction(list(filters), batch.resolver)
+        if predicate is not None:
+            batch = batch.restrict(predicate(batch))
+        return batch, scanned
     batch = ColumnBatch(columns, table.column_data(), length=table.row_count)
 
     if index_column is not None and index_filter is not None:

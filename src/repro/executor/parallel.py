@@ -158,12 +158,16 @@ class MorselOperators:
         index_column: Optional[str] = None,
         index_filter=None,
         observed: Optional[Dict[str, int]] = None,
+        pruned_partitions: Optional[Sequence[int]] = None,
     ) -> Tuple[ColumnBatch, int]:
         """Morsel-parallel sequential scan with a fused filter kernel.
 
         Index scans, unfiltered scans and filter shapes fusion cannot express
         fall back to the (serial) vectorized scan — output and work
-        accounting are identical either way.
+        accounting are identical either way.  Partitioned tables gather the
+        unpruned shards first (partition order, so the row order is the same
+        deterministic gather every engine produces), then morsel-scan the
+        gathered columns — pruning and parallelism compose.
         """
         if index_column is not None and index_filter is not None:
             self._record(observed, 1, 1)
@@ -177,8 +181,13 @@ class MorselOperators:
             )
         table = catalog.table(table_name)
         columns = [(alias, name) for name in table.schema.column_names]
-        length = table.row_count
-        data = table.column_data()
+        if pruned_partitions is not None:
+            data, length = vectorized._gather_partition_columns(
+                table, pruned_partitions
+            )
+        else:
+            length = table.row_count
+            data = table.column_data()
         batch = ColumnBatch(columns, data, length=length)
         filters = list(filters)
         if not filters:
@@ -187,7 +196,13 @@ class MorselOperators:
         kernel = compile_fused_filter(filters, batch.resolver)
         if kernel is None:
             self._record(observed, 1, 1)
-            return vectorized.scan_table(catalog, alias, table_name, filters)
+            return vectorized.scan_table(
+                catalog,
+                alias,
+                table_name,
+                filters,
+                pruned_partitions=pruned_partitions,
+            )
         spans = self._spans(length)
         if self.workers > 1 and len(spans) > 1:
             pool = _shared_pool(self.workers)

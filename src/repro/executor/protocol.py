@@ -76,6 +76,7 @@ class OperatorSet(Protocol):
         index_column: Optional[str] = None,
         index_filter=None,
         observed: Optional[Dict[str, int]] = None,
+        pruned_partitions: Optional[Sequence[int]] = None,
     ): ...
 
     def join_results(
@@ -122,21 +123,32 @@ def operators_for(
     engine: "str | ExecutionEngine",
     workers: Optional[int] = None,
     morsel_size: Optional[int] = None,
+    memory_budget: Optional[int] = None,
 ) -> OperatorSet:
     """Resolve an engine name to its operator set.
 
     ``workers`` and ``morsel_size`` configure the parallel engine and are
     ignored by the serial ones (their operators have no tuning state).
+    ``memory_budget`` (max in-memory rows per pipeline breaker) wraps the
+    base operators in :class:`~repro.executor.spilling.SpillingOperators`,
+    which reroutes oversized hash-join builds and sorts through grace-hash /
+    external-merge temp files.
     """
     engine = ExecutionEngine.from_name(engine)
     if engine is ExecutionEngine.VECTORIZED:
         import repro.executor.operators as vectorized_operators
 
-        return vectorized_operators
-    if engine is ExecutionEngine.REFERENCE:
+        base: OperatorSet = vectorized_operators
+    elif engine is ExecutionEngine.REFERENCE:
         import repro.executor.reference as reference_operators
 
-        return reference_operators
-    from repro.executor.parallel import MorselOperators
+        base = reference_operators
+    else:
+        from repro.executor.parallel import MorselOperators
 
-    return MorselOperators(workers=workers, morsel_size=morsel_size)
+        base = MorselOperators(workers=workers, morsel_size=morsel_size)
+    if memory_budget is not None:
+        from repro.executor.spilling import SpillingOperators
+
+        return SpillingOperators(base, memory_budget)
+    return base

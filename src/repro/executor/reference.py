@@ -72,11 +72,15 @@ def scan_table(
     index_column: Optional[str] = None,
     index_filter=None,
     observed: Optional[Dict[str, int]] = None,
+    pruned_partitions: Optional[Sequence[int]] = None,
 ) -> Tuple[ResultSet, int]:
     """Scan a base table, optionally through an index.
 
     ``observed`` is part of the operator protocol (the parallel engine
     records morsel statistics through it); the serial scan reports nothing.
+    For a partitioned table, ``pruned_partitions`` drops whole shards before
+    filtering; the surviving shards are read in partition order, matching
+    the table's global row-id order.
 
     Returns:
         ``(result, rows_fetched)`` where ``rows_fetched`` is the number of
@@ -88,6 +92,17 @@ def scan_table(
         (alias, name) for name in table.schema.column_names
     ]
     resolver = ColumnResolver(columns)
+
+    if pruned_partitions is not None:
+        pruned = set(pruned_partitions)
+        candidate_rows: List[Tuple[object, ...]] = []
+        for index, partition in enumerate(table.partitions()):
+            if index not in pruned:
+                candidate_rows.extend(partition.iter_rows())
+        rows_fetched = len(candidate_rows)
+        predicate = compile_conjunction(list(filters), resolver)
+        rows = [row for row in candidate_rows if predicate(row)]
+        return ResultSet(columns, rows), rows_fetched
 
     if index_column is not None and index_filter is not None:
         index = catalog.indexes(table_name).get(index_column)

@@ -27,6 +27,7 @@ from repro.catalog.catalog import Catalog
 from repro.errors import CardinalityError
 from repro.optimizer.injection import CardinalityInjector, NoInjection
 from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.pruning import prune_partitions
 from repro.sql.ast import (
     Between,
     BoolConnective,
@@ -44,6 +45,7 @@ from repro.sql.ast import (
 from repro.sql.binder import BoundJoin, BoundQuery
 from repro.sql.values import is_truthy
 from repro.stats.column_stats import ColumnStats, TableStats
+from repro.storage.partition import PartitionedTable
 
 # Default selectivities used when statistics cannot answer a question,
 # mirroring PostgreSQL's DEFAULT_EQ_SEL / DEFAULT_INEQ_SEL / pattern defaults.
@@ -123,8 +125,18 @@ class SelectivityEstimator:
         return clamp_selectivity(selectivity)
 
     def scan_rows(self, table: str, predicates: List[Expr]) -> float:
-        """Estimated output rows of scanning ``table`` with ``predicates``."""
+        """Estimated output rows of scanning ``table`` with ``predicates``.
+
+        For partitioned tables the zone maps supply a *hard* upper bound: a
+        scan can never return more rows than the unpruned partitions hold,
+        so the statistical estimate is clamped to that bound (tightening the
+        Q-error the adaptive executor's re-optimization triggers fire on).
+        """
         rows = self.table_rows(table) * self.conjunction_selectivity(table, predicates)
+        storage = self._catalog.table(table)
+        if isinstance(storage, PartitionedTable) and predicates:
+            pruned, _total = prune_partitions(storage, predicates)
+            rows = min(rows, float(storage.scanned_rows(pruned)))
         return max(MIN_ROWS, rows)
 
     def column_n_distinct(self, table: str, column: str) -> float:

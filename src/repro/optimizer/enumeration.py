@@ -41,6 +41,7 @@ from repro.optimizer.plan import (
     ScanNode,
     SortNode,
 )
+from repro.optimizer.pruning import prune_partitions
 from repro.sql.ast import (
     AggregateFunc,
     Column,
@@ -52,6 +53,7 @@ from repro.sql.ast import (
     Literal,
 )
 from repro.sql.binder import BoundQuery
+from repro.storage.partition import PartitionedTable
 
 AliasSet = FrozenSet[str]
 
@@ -137,12 +139,27 @@ class JoinEnumerator:
         output_rows = self.estimator.scan_cardinality(alias)
         table_rows = self.estimator.selectivity.table_rows(table)
 
+        # Partition pruning: shards whose zone maps refute the filters are
+        # dropped from the scan, shrinking the CPU term of the seq-scan cost.
+        storage = self._catalog.table(table)
+        partitions_total: Optional[int] = None
+        pruned: Tuple[int, ...] = ()
+        scanned_rows = table_rows
+        if isinstance(storage, PartitionedTable):
+            pruned, partitions_total = prune_partitions(storage, filters)
+            scanned_rows = min(table_rows, float(storage.scanned_rows(pruned)))
+
         seq = ScanNode(
-            alias=alias, table=table, filters=filters, access_path=AccessPath.SEQ_SCAN
+            alias=alias,
+            table=table,
+            filters=filters,
+            access_path=AccessPath.SEQ_SCAN,
+            partitions_total=partitions_total,
+            pruned_partitions=pruned,
         )
         seq.estimated_rows = output_rows
         seq.estimated_cost = self.cost_model.seq_scan_cost(
-            table, table_rows, len(filters)
+            table, scanned_rows, len(filters)
         )
         self.candidates_considered += 1
         best: ScanNode = seq

@@ -77,7 +77,15 @@ class PlanNode:
 
 @dataclass
 class ScanNode(PlanNode):
-    """Scan of a single base table (sequential or through an index)."""
+    """Scan of a single base table (sequential or through an index).
+
+    For partitioned tables, ``partitions_total`` records the shard count and
+    ``pruned_partitions`` the shards whose zone maps refute the pushed-down
+    filters at *plan* time (EXPLAIN's ``Partitions: k/n scanned``).  The
+    executor re-derives the pruning at execution time — table loads do not
+    invalidate cached plans, so the plan-time set is advisory, never a
+    correctness input.
+    """
 
     alias: str
     table: str
@@ -85,6 +93,8 @@ class ScanNode(PlanNode):
     access_path: AccessPath = AccessPath.SEQ_SCAN
     index_column: Optional[str] = None
     index_filter: Optional[Expr] = None
+    partitions_total: Optional[int] = None
+    pruned_partitions: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         super().__post_init__()

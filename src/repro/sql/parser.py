@@ -2,6 +2,16 @@
 
 Grammar (informal)::
 
+    create     := CREATE TABLE ident '(' column_def (',' column_def)* ')'
+                  [partition_by] [';']
+    column_def := ident type [NOT NULL] [PRIMARY KEY]
+                  [REFERENCES ident '(' ident ')']
+    type       := INT | INTEGER | FLOAT | DOUBLE | REAL
+                | TEXT | VARCHAR | STRING
+    partition_by := PARTITION BY HASH '(' ident ')' PARTITIONS number
+                  | PARTITION BY RANGE '(' ident ')'
+                    VALUES '(' bound (',' bound)* ')'
+
     query      := SELECT [DISTINCT] select_list FROM table_list
                   [WHERE expr] [GROUP BY column_list]
                   [ORDER BY order_list] [LIMIT number [OFFSET number]] [';']
@@ -49,6 +59,13 @@ from __future__ import annotations
 
 from typing import List, NoReturn, Optional, Tuple
 
+from repro.catalog.schema import (
+    ColumnDef,
+    ColumnType,
+    ForeignKey,
+    PartitionSpec,
+    TableSchema,
+)
 from repro.errors import ParseError
 from repro.sql.ast import (
     AggregateFunc,
@@ -88,6 +105,20 @@ _TRAILING_CLAUSE_KEYWORDS = ("where", "group", "order", "limit", "offset")
 _ADDITIVE_OPS = {"+": ArithOp.ADD, "-": ArithOp.SUB}
 _MULTIPLICATIVE_OPS = {"/": ArithOp.DIV, "%": ArithOp.MOD}
 
+#: DDL type names → engine column types.  DDL words are matched as *words*
+#: (keyword or identifier tokens) because the SELECT-oriented lexer only
+#: reserves a handful of them.
+_DDL_TYPES = {
+    "int": ColumnType.INT,
+    "integer": ColumnType.INT,
+    "float": ColumnType.FLOAT,
+    "double": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "varchar": ColumnType.TEXT,
+    "string": ColumnType.TEXT,
+}
+
 
 def parse_select(sql: str, name: Optional[str] = None) -> SelectQuery:
     """Parse SQL text into a :class:`~repro.sql.ast.SelectQuery`.
@@ -114,6 +145,26 @@ def parse_expression(sql: str) -> Expr:
     if token.type is not TokenType.EOF:
         parser._fail(f"unexpected trailing input {token.value!r}", token)
     return expr
+
+
+def parse_create_table(sql: str) -> TableSchema:
+    """Parse ``CREATE TABLE`` text into a :class:`~repro.catalog.schema.TableSchema`.
+
+    Supports column types (``INT``/``INTEGER``, ``FLOAT``/``DOUBLE``/``REAL``,
+    ``TEXT``/``VARCHAR``/``STRING``), ``NOT NULL``, ``PRIMARY KEY``,
+    ``REFERENCES table (column)`` foreign keys, and the partitioning clauses
+    ``PARTITION BY HASH (col) PARTITIONS n`` and
+    ``PARTITION BY RANGE (col) VALUES (b1, b2, ...)`` (strictly ascending
+    inclusive lower bounds of partitions 1..n-1).
+
+    Raises:
+        ParseError: if the text is not a supported CREATE TABLE statement.
+        LexerError: if the text cannot be tokenized.
+        CatalogError: if the parsed schema is inconsistent (duplicate
+            columns, bad partition bounds, ...).
+    """
+    parser = _Parser(tokenize(sql), sql)
+    return parser.parse_create_table()
 
 
 class _Parser:
@@ -171,7 +222,162 @@ class _Parser:
                 token,
             )
 
+    def _word(self) -> Optional[str]:
+        """The next token lowered to a word, if it is keyword- or identifier-like.
+
+        DDL words (``hash``, ``partitions``, ``references``, type names, ...)
+        are not reserved by the SELECT-oriented lexer, so they arrive as
+        IDENTIFIER tokens while ``create``/``table``/``by``/``not``/``null``
+        are KEYWORDs; DDL productions match both uniformly.
+        """
+        token = self._peek()
+        if token.type is TokenType.KEYWORD or token.type is TokenType.IDENTIFIER:
+            return token.value.lower()
+        return None
+
+    def _accept_word(self, word: str) -> bool:
+        if self._word() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> Token:
+        if self._word() != word:
+            token = self._peek()
+            self._fail(
+                f"expected {word.upper()!r} but found {token.value!r}", token
+            )
+        return self._advance()
+
     # -- statement productions -------------------------------------------
+
+    def parse_create_table(self) -> TableSchema:
+        """Parse a full CREATE TABLE statement into a schema."""
+        self._expect_word("create")
+        self._expect_word("table")
+        name = self._expect(TokenType.IDENTIFIER).value
+        self._expect(TokenType.LPAREN)
+        columns: List[ColumnDef] = []
+        foreign_keys: List[ForeignKey] = []
+        primary_key: Optional[str] = None
+        while True:
+            column, is_primary, foreign = self._parse_column_def()
+            columns.append(column)
+            if is_primary:
+                if primary_key is not None:
+                    self._fail(
+                        f"table {name!r} declares more than one PRIMARY KEY"
+                    )
+                primary_key = column.name
+            if foreign is not None:
+                foreign_keys.append(foreign)
+            if self._peek().type is TokenType.COMMA:
+                self._advance()
+                continue
+            self._expect(TokenType.RPAREN)
+            break
+        spec = self._parse_partition_by()
+        if self._peek().type is TokenType.SEMICOLON:
+            self._advance()
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self._fail(f"unexpected trailing input {token.value!r}", token)
+        return TableSchema(
+            name=name,
+            columns=tuple(columns),
+            primary_key=primary_key,
+            foreign_keys=tuple(foreign_keys),
+            partition_spec=spec,
+        )
+
+    def _parse_column_def(
+        self,
+    ) -> Tuple[ColumnDef, bool, Optional[ForeignKey]]:
+        name = self._expect(TokenType.IDENTIFIER).value
+        type_token = self._peek()
+        type_word = self._word()
+        if type_word not in _DDL_TYPES:
+            self._fail(
+                f"unknown column type {type_token.value!r}", type_token
+            )
+        self._advance()
+        nullable = True
+        is_primary = False
+        foreign: Optional[ForeignKey] = None
+        while True:
+            if self._accept_word("not"):
+                self._expect_word("null")
+                nullable = False
+            elif self._accept_word("primary"):
+                self._expect_word("key")
+                is_primary = True
+            elif self._accept_word("references"):
+                ref_table = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.LPAREN)
+                ref_column = self._expect(TokenType.IDENTIFIER).value
+                self._expect(TokenType.RPAREN)
+                foreign = ForeignKey(name, ref_table, ref_column)
+            else:
+                break
+        return ColumnDef(name, _DDL_TYPES[type_word], nullable=nullable), (
+            is_primary
+        ), foreign
+
+    def _parse_partition_by(self) -> Optional[PartitionSpec]:
+        if not self._accept_word("partition"):
+            return None
+        self._expect_word("by")
+        if self._accept_word("hash"):
+            self._expect(TokenType.LPAREN)
+            column = self._expect(TokenType.IDENTIFIER).value
+            self._expect(TokenType.RPAREN)
+            self._expect_word("partitions")
+            count_token = self._expect(TokenType.NUMBER)
+            if "." in count_token.value:
+                self._fail(
+                    "PARTITIONS takes an integer count", count_token
+                )
+            return PartitionSpec(
+                method="hash", column=column, partitions=int(count_token.value)
+            )
+        if self._accept_word("range"):
+            self._expect(TokenType.LPAREN)
+            column = self._expect(TokenType.IDENTIFIER).value
+            self._expect(TokenType.RPAREN)
+            self._expect_word("values")
+            self._expect(TokenType.LPAREN)
+            bounds = [self._parse_bound()]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                bounds.append(self._parse_bound())
+            self._expect(TokenType.RPAREN)
+            return PartitionSpec(
+                method="range", column=column, bounds=tuple(bounds)
+            )
+        token = self._peek()
+        self._fail(
+            f"expected HASH or RANGE after PARTITION BY, found {token.value!r}",
+            token,
+        )
+
+    def _parse_bound(self) -> object:
+        """One range-partition bound: a (possibly negated) number or a string."""
+        token = self._peek()
+        negate = False
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            negate = True
+            token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return -value if negate else value
+        if token.type is TokenType.STRING and not negate:
+            self._advance()
+            return token.value
+        self._fail(
+            f"expected a literal partition bound, found {token.value!r}", token
+        )
 
     def parse_query(self) -> SelectQuery:
         """Parse a full SELECT statement."""

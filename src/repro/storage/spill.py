@@ -1,0 +1,102 @@
+"""Temp-file primitives for out-of-memory execution (grace hash, external sort).
+
+:class:`~repro.executor.spilling.SpillingOperators` reroutes oversized
+pipeline breakers through these helpers: a :class:`SpillDir` is one
+operator's scratch directory of *row-index* files — sorted runs for the
+external merge sort, per-bucket build/probe index partitions for the grace
+hash join.  Indices, not row payloads, spill: the engine's batches already
+share column storage zero-copy, so the quantity a memory budget actually
+bounds is the per-breaker working state (a hash table, a sort run), which
+these files replace.
+
+Everything here is deterministic: runs and buckets are written in ascending
+row order, read back in file order, and :class:`Rev` gives descending sort
+keys an exact total-order inverse — which is what lets spilled execution
+reproduce the in-memory engines bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Iterable, Iterator, List
+
+__all__ = ["BucketFiles", "Rev", "SpillDir", "read_run", "write_run"]
+
+
+class Rev:
+    """Order-inverting wrapper: ``Rev(a) < Rev(b)`` iff ``b < a``.
+
+    Wrapping a sort-key component realizes a descending pass inside one
+    composite ascending sort — equivalent to Python's stable
+    ``sort(reverse=True)`` pass when a later tuple element breaks ties.
+    """
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: object) -> None:
+        self.inner = inner
+
+    def __lt__(self, other: "Rev") -> bool:
+        return other.inner < self.inner
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rev) and self.inner == other.inner
+
+
+class SpillDir:
+    """A private temp directory holding one operator's spill files."""
+
+    def __init__(self, prefix: str = "repro-spill-") -> None:
+        self.path = tempfile.mkdtemp(prefix=prefix)
+
+    def file(self, name: str) -> str:
+        """Absolute path of a spill file inside the directory."""
+        return os.path.join(self.path, name)
+
+    def cleanup(self) -> None:
+        """Delete the directory and everything in it."""
+        shutil.rmtree(self.path, ignore_errors=True)
+
+
+def write_run(path: str, indices: Iterable[int]) -> None:
+    """Write a run of row indices, one per line, in iteration order."""
+    with open(path, "w", encoding="ascii") as handle:
+        for index in indices:
+            handle.write(f"{index}\n")
+
+
+def read_run(path: str) -> Iterator[int]:
+    """Stream a run file's row indices back in file order."""
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            yield int(line)
+
+
+class BucketFiles:
+    """Per-bucket row-index files of one grace-hash-join side.
+
+    Rows are appended in scan order, so reading a bucket back yields its
+    indices ascending — exactly the insertion order the in-memory hash build
+    would have used, which preserves the join's deterministic row order.
+    """
+
+    def __init__(self, spill: SpillDir, name: str, buckets: int) -> None:
+        self.paths: List[str] = [
+            spill.file(f"{name}-{bucket}.idx") for bucket in range(buckets)
+        ]
+        self._handles = [open(path, "w", encoding="ascii") for path in self.paths]
+
+    def write(self, bucket: int, index: int) -> None:
+        """Append one row index to a bucket."""
+        self._handles[bucket].write(f"{index}\n")
+
+    def close(self) -> None:
+        """Flush and close all bucket files (call before reading)."""
+        for handle in self._handles:
+            handle.close()
+
+    def read(self, bucket: int) -> Iterator[int]:
+        """Stream one bucket's row indices in append order."""
+        return read_run(self.paths[bucket])

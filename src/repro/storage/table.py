@@ -53,8 +53,14 @@ class Table:
             ) from None
 
     def column_values(self, name: str) -> List[object]:
-        """Return the raw value list of column ``name``."""
-        return self.column(name).values()
+        """Return a copy of column ``name``'s values.
+
+        A copy, not the backing list: handing out live storage lets caller
+        mutations silently corrupt the table (and any statistics or indexes
+        built over it).  Engines needing zero-copy reads use
+        :meth:`column_data` and treat the lists as read-only.
+        """
+        return list(self.column(name).values())
 
     def insert_row(self, values: Sequence[object]) -> int:
         """Insert one row given positionally ordered values.

@@ -52,7 +52,7 @@ import pytest
 from hypothesis import example, given, strategies as st
 
 import repro
-from repro.catalog import ColumnType, make_schema
+from repro.catalog import ColumnType, PartitionSpec, make_schema
 from repro.core.triggers import ReoptimizationPolicy
 from repro.engine import Database, ExecutionEngine
 from repro.engine.settings import EngineSettings
@@ -66,6 +66,14 @@ FUZZ_REOPT_THRESHOLD = 2.0
 FUZZ_ENGINE = ExecutionEngine.from_name(
     os.environ.get("REPRO_FUZZ_ENGINE", "vectorized")
 )
+
+#: Partition count for the fuzz tables (0 = plain single-shard storage).
+#: When set, ``groups`` is range-partitioned on ``id`` and ``records``
+#: hash-partitioned on its (nullable!) ``gid``, every shard is compressed
+#: after loading, and the whole differential stream — scans with zone-map
+#: and routing pruning, joins, re-optimization legs — runs against the
+#: partitioned storage.  CI sets ``REPRO_FUZZ_PARTITIONS=4``.
+FUZZ_PARTITIONS = int(os.environ.get("REPRO_FUZZ_PARTITIONS", "0"))
 
 #: Parallel-leg knobs: a morsel size far below the fuzz table sizes and more
 #: workers than morsels on the smallest tables, so splitting, the worker
@@ -107,13 +115,31 @@ def build_database(g_rows: List[tuple], r_rows: List[tuple]) -> Database:
             engine=FUZZ_ENGINE,
             workers=FUZZ_PARALLEL_WORKERS,
             morsel_size=FUZZ_PARALLEL_MORSEL_SIZE,
+            # In partitioned mode a row budget far below the join fan-outs
+            # forces grace hash joins and external merge sorts on every leg,
+            # so the differential stream also pins spill determinism.
+            memory_budget=8 if FUZZ_PARTITIONS > 1 else None,
         )
     )
+    groups_partition = records_partition = None
+    if FUZZ_PARTITIONS > 1:
+        # Range bounds inside the generators' 1..10 id domain so several
+        # shards are populated; records hash-partitions its nullable FK
+        # (NULL gids route to shard 0).
+        groups_partition = PartitionSpec(
+            method="range",
+            column="id",
+            bounds=tuple(range(2, 1 + FUZZ_PARTITIONS)),
+        )
+        records_partition = PartitionSpec(
+            method="hash", column="gid", partitions=FUZZ_PARTITIONS
+        )
     db.create_table(
         make_schema(
             "groups",
             [("id", ColumnType.INT), ("tag", ColumnType.TEXT), ("score", ColumnType.INT)],
             primary_key="id",
+            partition_by=groups_partition,
         )
     )
     db.create_table(
@@ -127,11 +153,17 @@ def build_database(g_rows: List[tuple], r_rows: List[tuple]) -> Database:
             ],
             primary_key="id",
             foreign_keys=[("gid", "groups", "id")],
+            partition_by=records_partition,
         )
     )
     db.load_rows("groups", g_rows)
     db.load_rows("records", r_rows)
     db.finalize_load()
+    if FUZZ_PARTITIONS > 1:
+        # Exercise the lazy-decode path: the whole stream scans compressed
+        # shards (ANALYZE above saw the plain ones; values are identical).
+        db.catalog.table("groups").compress()
+        db.catalog.table("records").compress()
     return db
 
 

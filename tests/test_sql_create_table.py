@@ -1,0 +1,105 @@
+"""CREATE TABLE parsing: columns, constraints, partitioning clauses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.schema import ColumnType, ForeignKey
+from repro.errors import CatalogError, ParseError
+from repro.sql.parser import parse_create_table
+
+
+def test_parse_columns_types_and_constraints():
+    schema = parse_create_table(
+        """
+        CREATE TABLE trades (
+            id INTEGER NOT NULL PRIMARY KEY,
+            company_id INT REFERENCES company (id),
+            shares int,
+            price DOUBLE,
+            ratio REAL,
+            fee FLOAT,
+            note TEXT,
+            memo VARCHAR,
+            tag STRING
+        );
+        """
+    )
+    assert schema.name == "trades"
+    assert schema.primary_key == "id"
+    assert schema.partition_spec is None
+    types = {c.name: c.col_type for c in schema.columns}
+    assert types == {
+        "id": ColumnType.INT,
+        "company_id": ColumnType.INT,
+        "shares": ColumnType.INT,
+        "price": ColumnType.FLOAT,
+        "ratio": ColumnType.FLOAT,
+        "fee": ColumnType.FLOAT,
+        "note": ColumnType.TEXT,
+        "memo": ColumnType.TEXT,
+        "tag": ColumnType.TEXT,
+    }
+    assert not schema.column("id").nullable
+    assert schema.column("shares").nullable
+    assert schema.foreign_keys == (ForeignKey("company_id", "company", "id"),)
+
+
+def test_parse_hash_partitioning():
+    schema = parse_create_table(
+        "CREATE TABLE r (id INT, gid INT) PARTITION BY HASH (gid) PARTITIONS 8"
+    )
+    spec = schema.partition_spec
+    assert spec is not None
+    assert (spec.method, spec.column, spec.num_partitions) == ("hash", "gid", 8)
+
+
+def test_parse_range_partitioning_bounds():
+    schema = parse_create_table(
+        "CREATE TABLE t (id INT, x FLOAT) "
+        "PARTITION BY RANGE (x) VALUES (-1.5, 0, 10)"
+    )
+    spec = schema.partition_spec
+    assert spec is not None
+    assert spec.method == "range"
+    assert spec.bounds == (-1.5, 0, 10)
+    assert spec.num_partitions == 4
+
+
+def test_parse_range_partitioning_string_bounds():
+    schema = parse_create_table(
+        "CREATE TABLE t (name TEXT) PARTITION BY RANGE (name) VALUES ('h', 'p')"
+    )
+    assert schema.partition_spec.bounds == ("h", "p")
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "CREATE trades (id INT)",  # missing TABLE
+        "CREATE TABLE t (id WIBBLE)",  # unknown type
+        "CREATE TABLE t (id INT PRIMARY)",  # PRIMARY without KEY
+        "CREATE TABLE t (id INT NOT)",  # NOT without NULL
+        "CREATE TABLE t (id INT, gid INT) PARTITION BY MODULO (gid)",
+        "CREATE TABLE t (id INT) PARTITION BY HASH (id) PARTITIONS 2.5",
+        "CREATE TABLE t (id INT) PARTITION BY RANGE (id) VALUES (id)",
+        "CREATE TABLE t (id INT) garbage",
+        "CREATE TABLE t (id INT PRIMARY KEY, gid INT PRIMARY KEY)",
+    ],
+)
+def test_parse_errors(sql):
+    with pytest.raises(ParseError):
+        parse_create_table(sql)
+
+
+def test_invalid_schema_surfaces_catalog_errors():
+    with pytest.raises(CatalogError):
+        # Bounds must ascend strictly: caught by PartitionSpec validation.
+        parse_create_table(
+            "CREATE TABLE t (id INT) PARTITION BY RANGE (id) VALUES (5, 5)"
+        )
+    with pytest.raises(CatalogError):
+        # Partition key must be a declared column.
+        parse_create_table(
+            "CREATE TABLE t (id INT) PARTITION BY HASH (nope) PARTITIONS 2"
+        )
