@@ -20,6 +20,10 @@
 #                  grace hash joins and external merge sorts spill
 #   make guards  - the engine/aggregation/expression-eval/parallel/pruning
 #                  speedup guards
+#   make stress  - the threaded serving layer under churn: the
+#                  writers-vs-readers snapshot stress suite plus the
+#                  1/4/16-client concurrent load driver (every served row
+#                  differentially checked against the serial answer)
 #   make bench   - paper-figure benchmarks plus the speedup guards; set
 #                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
 #                  report, compare with `make bench-compare`
@@ -30,11 +34,11 @@ PYTHON ?= python
 SEED ?= 0
 export PYTHONPATH := src
 
-.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel fuzz-partitioned guards bench bench-compare lint all
+.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel fuzz-partitioned guards stress bench bench-compare lint all
 
 # Mirrors the CI workflow's step sequence exactly (lint job, then the test
-# job's four pytest steps, then the speedup guards).
-ci: lint unit diff fuzz fuzz-parallel fuzz-partitioned guards
+# job's pytest steps, then the speedup guards and the serving stress).
+ci: lint unit diff fuzz fuzz-parallel fuzz-partitioned guards stress
 
 test:
 	$(PYTHON) -m pytest -x -q tests
@@ -62,6 +66,9 @@ fuzz-partitioned:
 
 guards:
 	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py benchmarks/test_partition_pruning.py
+
+stress:
+	$(PYTHON) -m pytest -x -q -s tests/test_server_concurrency.py benchmarks/test_serving_concurrency.py
 
 bench:
 	$(PYTHON) -m pytest -x -q -s benchmarks

@@ -1,0 +1,111 @@
+"""Concurrent load driver for the threaded serving layer.
+
+Drives the same read-only statement mix through a :class:`repro.server.Server`
+at 1, 4 and 16 client threads and reports p50/p99 end-to-end latency and
+served rows/sec per concurrency level.  Every served result is differentially
+checked against the serially computed answer — one corrupted row anywhere
+fails the run, which is the tentpole's zero-cross-session-corruption gate.
+
+Wall-clock metrics land in the trajectory report as ``info`` (reported,
+never gated — shared CI runners make serving latency non-deterministic).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from conftest import print_experiment
+
+from repro.bench.reporting import ExperimentResult
+from repro.server import Server, ServerConfig
+from repro.workloads.stocks import StocksConfig, build_stocks_database
+
+CLIENT_COUNTS = (1, 4, 16)
+STATEMENTS_PER_CLIENT = 12
+
+#: Read-only statement mix every client cycles through.
+STATEMENT_MIX = (
+    "SELECT count(t.id) AS n FROM trades AS t",
+    "SELECT c.symbol AS s, count(t.id) AS n FROM company AS c, trades AS t "
+    "WHERE c.id = t.company_id GROUP BY c.symbol ORDER BY n DESC, s LIMIT 10",
+    "SELECT c.symbol AS s, sum(t.shares) AS v FROM company AS c, trades AS t "
+    "WHERE c.id = t.company_id AND t.shares > 5000 "
+    "GROUP BY c.symbol ORDER BY v DESC, s LIMIT 10",
+    "SELECT t.company_id AS cid, count(t.id) AS n FROM trades AS t "
+    "WHERE t.shares > 2500 GROUP BY t.company_id ORDER BY n DESC, cid LIMIT 20",
+)
+
+
+def _drive(server, expected, clients: int):
+    """Run the mix from ``clients`` threads; return (wall_seconds, errors)."""
+    errors = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client() -> None:
+        try:
+            session = server.session()
+            barrier.wait()
+            for i in range(STATEMENTS_PER_CLIENT):
+                sql = STATEMENT_MIX[i % len(STATEMENT_MIX)]
+                result = session.execute(sql, timeout=60)
+                # Differential check: served rows must match the serial
+                # answer exactly (order included).
+                assert list(result.rows) == expected[sql], sql
+        except BaseException as exc:  # pragma: no cover - fails the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start, errors
+
+
+def test_serving_concurrency_latency_and_throughput(recorder):
+    database = build_stocks_database(
+        StocksConfig(num_companies=200, num_trades=5000)
+    )
+    expected = {sql: database.run(sql).rows for sql in STATEMENT_MIX}
+
+    result = ExperimentResult(
+        experiment_id="serving-concurrency",
+        title="threaded serving: latency/throughput vs client count "
+        f"({STATEMENTS_PER_CLIENT} statements per client)",
+        headers=["clients", "statements", "p50_ms", "p99_ms", "rows_per_sec"],
+    )
+
+    for clients in CLIENT_COUNTS:
+        server = Server(
+            database,
+            ServerConfig(workers=4, queue_depth=128, admission_timeout=10.0),
+        )
+        with server:
+            wall, errors = _drive(server, expected, clients)
+        assert errors == [], errors
+        stats = server.stats
+        assert stats.statements == clients * STATEMENTS_PER_CLIENT
+        assert stats.errors == 0 and stats.shed == 0
+        rows_per_sec = stats.rows_returned / max(wall, 1e-9)
+        p50_ms = stats.p50_seconds * 1e3
+        p99_ms = stats.p99_seconds * 1e3
+        result.add_row(
+            clients,
+            stats.statements,
+            f"{p50_ms:.2f}",
+            f"{p99_ms:.2f}",
+            f"{rows_per_sec:.0f}",
+        )
+        recorder.record(f"serving.c{clients}.p50_ms", p50_ms, direction="info")
+        recorder.record(f"serving.c{clients}.p99_ms", p99_ms, direction="info")
+        recorder.record(
+            f"serving.c{clients}.rows_per_sec", rows_per_sec, direction="info"
+        )
+
+    result.add_note(
+        "every served result differentially checked against the serial answer"
+    )
+    print_experiment(result)

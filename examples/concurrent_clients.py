@@ -1,0 +1,122 @@
+"""Many concurrent clients over one shared database, with writer churn.
+
+Demonstrates the threaded serving layer (:mod:`repro.server`):
+
+* client threads each open a :class:`~repro.server.ServerSession` and serve
+  a read-only statement mix through the bounded worker pool;
+* a writer thread concurrently churns the shared database with bulk loads
+  and ANALYZE — every statement pins a copy-on-write snapshot, so readers
+  never block and never observe a torn batch;
+* all sessions share one process-wide plan cache keyed on SQL + catalog
+  epoch, so the writer's epoch bumps invalidate stale plans for everyone.
+
+Run with::
+
+    python examples/concurrent_clients.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.server import Server, ServerConfig
+from repro.workloads.stocks import StocksConfig, build_stocks_database
+
+CLIENTS = 8
+STATEMENTS_PER_CLIENT = 20
+
+#: Every load is exactly this many rows; a reader seeing a trade count that
+#: is not a multiple of it would have observed a torn batch.
+BATCH = 500
+
+STATEMENT_MIX = (
+    "SELECT count(t.id) AS n FROM trades AS t",
+    "SELECT c.symbol AS s, count(t.id) AS n FROM company AS c, trades AS t "
+    "WHERE c.id = t.company_id GROUP BY c.symbol ORDER BY n DESC, s LIMIT 5",
+    "SELECT c.symbol AS s, sum(t.shares) AS v FROM company AS c, trades AS t "
+    "WHERE c.id = t.company_id AND t.shares > 5000 "
+    "GROUP BY c.symbol ORDER BY v DESC, s LIMIT 5",
+)
+
+
+def main() -> None:
+    print("building the synthetic stocks database...")
+    database = build_stocks_database(
+        StocksConfig(num_companies=200, num_trades=BATCH * 10)
+    )
+    num_companies = database.run(
+        "SELECT count(c.id) AS n FROM company AS c"
+    ).rows[0][0]
+
+    server = Server(
+        database,
+        ServerConfig(workers=4, queue_depth=64, admission_timeout=5.0),
+    )
+    stop = threading.Event()
+
+    def writer() -> None:
+        """Churn the shared database: constant-size loads plus ANALYZE."""
+        session = server.session()
+        next_id = database.catalog.table("trades").row_count
+        while not stop.is_set():
+            session.load_rows(
+                "trades",
+                [
+                    (next_id + i, (next_id + i) % num_companies + 1, 1000 + i)
+                    for i in range(BATCH)
+                ],
+            )
+            next_id += BATCH
+            session.analyze(["trades"])
+            stop.wait(0.005)
+
+    def client(worker: int, tallies: list) -> None:
+        session = server.session()
+        for i in range(STATEMENTS_PER_CLIENT):
+            sql = STATEMENT_MIX[i % len(STATEMENT_MIX)]
+            result = session.execute(sql, timeout=60)
+            if sql is STATEMENT_MIX[0]:
+                count = result.rows[0][0]
+                assert count % BATCH == 0, f"torn batch observed: {count}"
+        tallies.append(worker)
+
+    print(
+        f"serving {CLIENTS} clients x {STATEMENTS_PER_CLIENT} statements "
+        "against a churning writer...\n"
+    )
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    tallies: list = []
+    threads = [
+        threading.Thread(target=client, args=(w, tallies)) for w in range(CLIENTS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    stop.set()
+    writer_thread.join()
+    server.close()
+
+    stats = server.stats
+    cache = server.plan_cache.stats
+    print(f"clients finished        : {len(tallies)}/{CLIENTS}")
+    print(f"statements served       : {stats.statements}")
+    print(f"errors / shed           : {stats.errors} / {stats.shed}")
+    print(f"wall time               : {wall:.2f} s")
+    print(f"rows served per second  : {stats.rows_returned / wall:,.0f}")
+    print(f"p50 / p99 latency       : {stats.p50_seconds * 1e3:.2f} ms / "
+          f"{stats.p99_seconds * 1e3:.2f} ms")
+    print(f"shared plan cache       : {cache.hits} hit(s), {cache.misses} miss(es), "
+          f"{cache.stale_evictions} stale eviction(s)")
+    final = database.catalog.table("trades").row_count
+    print(f"final trades row count  : {final:,} (every load atomic, "
+          f"multiple of {BATCH})")
+    assert final % BATCH == 0
+
+
+if __name__ == "__main__":
+    main()

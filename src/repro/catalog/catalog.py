@@ -12,7 +12,8 @@ executor share.  It maps table names to:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, TYPE_CHECKING
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.catalog.schema import TableSchema
 from repro.errors import CatalogError
@@ -49,11 +50,28 @@ class Catalog:
     re-optimizer's temporary tables), ANALYZE refreshing statistics, and
     index creation.  The plan cache keys entries on the epoch, so stale
     plans simply miss instead of needing explicit invalidation hooks.
+
+    Every mutation (registration, drop, epoch bump, statistics/index
+    attachment — including the transient pseudo-table handover of the
+    adaptive executor) runs under :attr:`lock`, a reentrant lock that the
+    :class:`~repro.engine.database.Database` write paths also hold across
+    their compound operations.  Readers of individual entries stay lock-free
+    (single dict probes are atomic); multi-entry readers that need a
+    consistent point-in-time view take a snapshot via
+    :meth:`~repro.engine.database.Database.snapshot` instead of locking.
     """
 
     def __init__(self) -> None:
         self._entries: Dict[str, CatalogEntry] = {}
         self._epoch = 0
+        #: Guards every catalog mutation; reentrant so compound Database
+        #: write operations (ANALYZE over many tables, index builds) can
+        #: hold it across their internal catalog calls.
+        self.lock = threading.RLock()
+        # Storage snapshots reused across snapshot() calls while a table's
+        # identity and row count are unchanged, so the lazy pinned-column
+        # copies amortize over every statement between two writes.
+        self._table_snapshots: Dict[str, Tuple[object, int, object]] = {}
 
     @property
     def epoch(self) -> int:
@@ -62,8 +80,9 @@ class Catalog:
 
     def bump_epoch(self) -> int:
         """Advance the epoch, invalidating every plan cached against it."""
-        self._epoch += 1
-        return self._epoch
+        with self.lock:
+            self._epoch += 1
+            return self._epoch
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -76,7 +95,8 @@ class Catalog:
 
     def table_names(self) -> List[str]:
         """Names of all registered tables, in registration order."""
-        return list(self._entries)
+        with self.lock:
+            return list(self._entries)
 
     def register(self, schema: TableSchema, table: "Table") -> CatalogEntry:
         """Register a table.
@@ -84,12 +104,13 @@ class Catalog:
         Raises:
             CatalogError: if a table with the same name already exists.
         """
-        if schema.name in self._entries:
-            raise CatalogError(f"table {schema.name!r} already exists")
-        entry = CatalogEntry(schema, table)
-        self._entries[schema.name] = entry
-        self.bump_epoch()
-        return entry
+        with self.lock:
+            if schema.name in self._entries:
+                raise CatalogError(f"table {schema.name!r} already exists")
+            entry = CatalogEntry(schema, table)
+            self._entries[schema.name] = entry
+            self.bump_epoch()
+            return entry
 
     def register_transient(self, schema: TableSchema, table: "Table") -> CatalogEntry:
         """Register a pseudo-table *without* bumping the epoch.
@@ -104,11 +125,12 @@ class Catalog:
         Raises:
             CatalogError: if a table with the same name already exists.
         """
-        if schema.name in self._entries:
-            raise CatalogError(f"table {schema.name!r} already exists")
-        entry = CatalogEntry(schema, table, transient=True)
-        self._entries[schema.name] = entry
-        return entry
+        with self.lock:
+            if schema.name in self._entries:
+                raise CatalogError(f"table {schema.name!r} already exists")
+            entry = CatalogEntry(schema, table, transient=True)
+            self._entries[schema.name] = entry
+            return entry
 
     def drop_transient(self, name: str) -> None:
         """Remove a transient pseudo-table without bumping the epoch.
@@ -116,12 +138,13 @@ class Catalog:
         Raises:
             CatalogError: if the table does not exist or is not transient.
         """
-        entry = self.entry(name)
-        if not entry.transient:
-            raise CatalogError(
-                f"table {name!r} is not transient; use drop() for real tables"
-            )
-        del self._entries[name]
+        with self.lock:
+            entry = self.entry(name)
+            if not entry.transient:
+                raise CatalogError(
+                    f"table {name!r} is not transient; use drop() for real tables"
+                )
+            del self._entries[name]
 
     def drop(self, name: str) -> None:
         """Remove a table from the catalog.
@@ -129,10 +152,11 @@ class Catalog:
         Raises:
             CatalogError: if the table does not exist.
         """
-        if name not in self._entries:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._entries[name]
-        self.bump_epoch()
+        with self.lock:
+            if name not in self._entries:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._entries[name]
+            self.bump_epoch()
 
     def entry(self, name: str) -> CatalogEntry:
         """Return the :class:`CatalogEntry` for ``name``.
@@ -159,8 +183,9 @@ class Catalog:
 
     def set_stats(self, name: str, stats: "TableStats") -> None:
         """Attach ANALYZE statistics to table ``name`` (bumps the epoch)."""
-        self.entry(name).stats = stats
-        self.bump_epoch()
+        with self.lock:
+            self.entry(name).stats = stats
+            self.bump_epoch()
 
     def add_index(self, table_name: str, index: "Index") -> None:
         """Register a secondary index on ``table_name`` keyed by its column.
@@ -168,10 +193,49 @@ class Catalog:
         Bumps the epoch: an index changes the access paths available to the
         planner, so previously cached plans may no longer be optimal.
         """
-        entry = self.entry(table_name)
-        entry.indexes[index.column] = index
-        self.bump_epoch()
+        with self.lock:
+            entry = self.entry(table_name)
+            entry.indexes[index.column] = index
+            self.bump_epoch()
 
     def indexes(self, table_name: str) -> Dict[str, "Index"]:
         """Return the indexes of ``table_name`` keyed by column name."""
         return self.entry(table_name).indexes
+
+    def snapshot(self) -> "Catalog":
+        """Pin a consistent point-in-time view of the whole catalog.
+
+        Returns a :class:`~repro.catalog.snapshot.CatalogSnapshot`: the
+        current epoch plus one frozen entry per (non-transient) table —
+        schema and stats by reference, a private copy of the index dict,
+        and a read-only storage snapshot.  Storage snapshots are reused
+        across calls while a table's identity and row count are unchanged;
+        transient pseudo-tables belong to a statement mid-flight on some
+        other session and are excluded.
+        """
+        from repro.catalog.snapshot import CatalogSnapshot
+        from repro.storage.snapshot import take_snapshot
+
+        with self.lock:
+            cache: Dict[str, Tuple[object, int, object]] = {}
+            frozen: Dict[str, CatalogEntry] = {}
+            for name, entry in self._entries.items():
+                if entry.transient:
+                    continue
+                table = entry.table
+                prior = self._table_snapshots.get(name)
+                if (
+                    prior is not None
+                    and prior[0] is table
+                    and prior[1] == table.row_count
+                ):
+                    snap_table = prior[2]
+                else:
+                    snap_table = take_snapshot(table)
+                cache[name] = (table, table.row_count, snap_table)
+                frozen_entry = CatalogEntry(entry.schema, snap_table)
+                frozen_entry.stats = entry.stats
+                frozen_entry.indexes = dict(entry.indexes)
+                frozen[name] = frozen_entry
+            self._table_snapshots = cache
+            return CatalogSnapshot(self._epoch, frozen)

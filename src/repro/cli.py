@@ -148,6 +148,44 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--max-rows", type=int, default=20, help="rows printed per result (default 20)"
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "drive a concurrent demo load through the threaded serving loop "
+            "(snapshot-isolated sessions, shared plan cache, admission control)"
+        ),
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads (default 4)"
+    )
+    serve.add_argument(
+        "--statements",
+        type=int,
+        default=25,
+        help="statements per client (default 25)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="server worker threads (default 4)"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission queue capacity (default 32)",
+    )
+    serve.add_argument(
+        "--admission-timeout",
+        type=float,
+        default=0.5,
+        help="seconds to wait for a queue slot before shedding (default 0.5)",
+    )
+    serve.add_argument(
+        "--writer-churn",
+        action="store_true",
+        help="run a background ANALYZE/load loop to exercise snapshot isolation",
+    )
+    serve.add_argument("--seed", type=int, default=13, help="dataset seed")
     return parser
 
 
@@ -314,11 +352,106 @@ def run_sql(args, stdin: Optional[TextIO] = None) -> int:
     return 1 if failures else 0
 
 
+def run_serve(args) -> int:
+    """The ``serve`` command: a concurrent demo load through the server."""
+    import threading
+
+    from repro.server import Server, ServerConfig
+    from repro.workloads.stocks import StocksConfig, build_stocks_database, example_query
+
+    print(f"# building the trading database (seed={args.seed})...", flush=True)
+    database = build_stocks_database(StocksConfig(seed=args.seed))
+    statements = [
+        example_query("APPL"),
+        example_query("GOOG"),
+        (
+            "SELECT t.venue, COUNT(t.id) AS n FROM trades AS t "
+            "GROUP BY t.venue ORDER BY n DESC"
+            if _has_column(database, "trades", "venue")
+            else "SELECT COUNT(trades.id) AS n FROM trades"
+        ),
+        (
+            "SELECT c.sector, SUM(t.shares) AS volume FROM company AS c, trades AS t "
+            "WHERE c.id = t.company_id GROUP BY c.sector ORDER BY volume DESC LIMIT 5"
+            if _has_column(database, "company", "sector")
+            else "SELECT COUNT(company.id) AS n FROM company"
+        ),
+    ]
+    config = ServerConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        admission_timeout=args.admission_timeout,
+    )
+    errors: List[str] = []
+    with Server(database, config) as server:
+        stop = threading.Event()
+
+        def churn() -> None:
+            while not stop.is_set():
+                database.analyze(["trades"])
+                stop.wait(0.01)
+
+        writer = threading.Thread(target=churn, daemon=True)
+        if args.writer_churn:
+            writer.start()
+
+        def client(n: int) -> None:
+            session = server.session()
+            for i in range(args.statements):
+                try:
+                    session.execute(statements[(n + i) % len(statements)])
+                except ReproError as error:
+                    errors.append(str(error))
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client, args=(n,)) for n in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if args.writer_churn:
+            stop.set()
+            writer.join()
+        stats = server.stats
+        cache = server.plan_cache.stats
+        print(
+            f"# {args.clients} client(s) x {args.statements} statement(s) "
+            f"on {args.workers} worker(s) in {elapsed:.2f}s wall"
+        )
+        print(
+            f"#   served {stats.statements}, shed {stats.shed}, "
+            f"errors {stats.errors + len(errors)}, "
+            f"rows/sec {stats.rows_returned / elapsed:.0f}"
+        )
+        print(
+            f"#   latency p50 {stats.p50_seconds * 1000:.2f}ms, "
+            f"p99 {stats.p99_seconds * 1000:.2f}ms (end-to-end)"
+        )
+        print(
+            f"#   plan cache: {cache.hits} hit(s) / {cache.misses} miss(es), "
+            f"{cache.stale_evictions} stale eviction(s)"
+        )
+    return 1 if errors else 0
+
+
+def _has_column(database, table: str, column: str) -> bool:
+    """Whether ``table.column`` exists (demo statements adapt to the schema)."""
+    return (
+        table in database.catalog
+        and database.catalog.schema(table).has_column(column)
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     if args.command == "sql":
         return run_sql(args)
+    if args.command == "serve":
+        return run_serve(args)
     if args.command == "list":
         width = max(len(key) for key in EXPERIMENTS)
         for key, (description, _, _) in EXPERIMENTS.items():

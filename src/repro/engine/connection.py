@@ -15,6 +15,7 @@ DB-API compatibility and do nothing.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import ColumnType
@@ -158,6 +159,10 @@ class Connection:
             chain.append(ReoptimizationInterceptor(self.policy, adaptive=adaptive))
         self.pipeline = QueryPipeline(self.database, chain)
         self._closed = False
+        # Outstanding cursors/prepared statements, invalidated on close();
+        # weak references so dropped handles do not accumulate here.
+        self._cursors: "weakref.WeakSet[Cursor]" = weakref.WeakSet()
+        self._statements: "weakref.WeakSet[PreparedStatement]" = weakref.WeakSet()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -167,8 +172,20 @@ class Connection:
         return self._closed
 
     def close(self) -> None:
-        """Close the connection; further statements raise InterfaceError."""
+        """Close the connection; further statements raise InterfaceError.
+
+        Every outstanding :class:`Cursor` and :class:`PreparedStatement` is
+        invalidated too, so a handle created before the close raises a clean
+        :class:`~repro.errors.InterfaceError` instead of acting on a dead
+        database.  Idempotent.
+        """
+        if self._closed:
+            return
         self._closed = True
+        for cursor in list(self._cursors):
+            cursor.close()
+        for statement in list(self._statements):
+            statement.close()
         self.plan_cache.clear()
 
     def commit(self) -> None:
@@ -252,6 +269,7 @@ class Cursor:
         self._rows: List[tuple] = []
         self._position = 0
         self._description: Optional[List[ColumnDescription]] = None
+        connection._cursors.add(self)
 
     # -- execution ----------------------------------------------------------
 
@@ -345,11 +363,17 @@ class Cursor:
 
     # -- lifecycle ----------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` was called (or the connection closed)."""
+        return self._closed
+
     def close(self) -> None:
-        """Close the cursor; further use raises InterfaceError."""
+        """Close the cursor; further use raises InterfaceError. Idempotent."""
         self._closed = True
         self._rows = []
         self._context = None
+        self._description = None
 
     def _check_open(self) -> None:
         if self._closed:
@@ -376,21 +400,35 @@ class PreparedStatement:
     ) -> None:
         self.connection = connection
         self.sql = sql
+        self._closed = False
         self._template = connection.database.binder.bind(parse_select(sql, name=name))
+        connection._statements.add(self)
 
     @property
     def param_count(self) -> int:
         """Number of ``?`` placeholders in the statement."""
         return self._template.param_count
 
+    @property
+    def closed(self) -> bool:
+        """True once the statement (or its connection) was closed."""
+        return self._closed
+
+    def close(self) -> None:
+        """Invalidate the statement; further execution raises InterfaceError."""
+        self._closed = True
+
     def execute(self, params: Sequence[object] = ()) -> Cursor:
         """Execute with the given parameter values; returns a fresh cursor."""
+        ctx = self._run(params)
         cursor = Cursor(self.connection)
-        cursor._install(self._run(params))
+        cursor._install(ctx)
         return cursor
 
     def _run(self, params: Sequence[object]) -> QueryContext:
         """Substitute parameters into the template and run the pipeline."""
+        if self._closed:
+            raise InterfaceError("prepared statement is closed")
         self.connection._check_open()
         bound = bind_parameters(self._template, params)
         return self.connection.pipeline.run(bound=bound)

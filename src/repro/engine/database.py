@@ -11,6 +11,7 @@ the operations the workloads, examples and the re-optimization driver need:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -62,11 +63,26 @@ class QueryRun:
 
 
 class Database:
-    """An in-memory analytic database instance."""
+    """An in-memory analytic database instance.
 
-    def __init__(self, settings: Optional[EngineSettings] = None) -> None:
+    One instance may be shared by many threads through the serving layer
+    (:mod:`repro.server`): every write path (DDL, loading, ANALYZE, index
+    builds) runs under the catalog lock, and readers pin a consistent
+    point-in-time view with :meth:`snapshot` instead of locking.
+
+    ``catalog`` lets :class:`~repro.engine.snapshot.SnapshotDatabase` build
+    the same facade over a pinned catalog snapshot; normal construction
+    leaves it ``None`` and owns a fresh catalog.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[EngineSettings] = None,
+        *,
+        catalog: Optional[Catalog] = None,
+    ) -> None:
         self.settings = settings or EngineSettings()
-        self.catalog = Catalog()
+        self.catalog = catalog if catalog is not None else Catalog()
         self.optimizer = Optimizer(
             self.catalog,
             cost_params=self.settings.cost,
@@ -82,7 +98,9 @@ class Database:
             memory_budget=self.settings.memory_budget,
         )
         self.binder = Binder(self.catalog)
-        self._temp_counter = 0
+        # itertools.count.__next__ is atomic in CPython, so concurrent
+        # sessions never mint the same temporary-table name.
+        self._temp_ids = itertools.count(1)
 
     def executor_for(
         self,
@@ -158,21 +176,26 @@ class Database:
                 columns[position].append(value)
             count += 1
         if count:
-            table.load_columns(columns)
+            # Under the catalog lock so a concurrent snapshot() pins either
+            # none or all of the batch, never a torn prefix.
+            with self.catalog.lock:
+                table.load_columns(columns)
         return count
 
     def build_indexes(self, table_name: Optional[str] = None) -> None:
         """Build primary/foreign-key hash indexes (all tables by default)."""
-        names = [table_name] if table_name else self.catalog.table_names()
-        for name in names:
-            table = self.catalog.table(name)
-            for index in build_foreign_key_indexes(table):
-                self.catalog.add_index(name, index)
+        with self.catalog.lock:
+            names = [table_name] if table_name else self.catalog.table_names()
+            for name in names:
+                table = self.catalog.table(name)
+                for index in build_foreign_key_indexes(table):
+                    self.catalog.add_index(name, index)
 
     def create_index(self, table_name: str, column: str) -> None:
         """Build an additional hash index on ``table_name.column``."""
-        table = self.catalog.table(table_name)
-        self.catalog.add_index(table_name, HashIndex(table, column))
+        with self.catalog.lock:
+            table = self.catalog.table(table_name)
+            self.catalog.add_index(table_name, HashIndex(table, column))
 
     def analyze(self, tables: Optional[Iterable[str]] = None) -> None:
         """Run ANALYZE over ``tables`` (default: all tables).
@@ -180,15 +203,19 @@ class Database:
         Partitioned tables additionally refresh their per-partition zone
         maps, re-deriving min/max/null-count exactly from storage.
         """
-        names = list(tables) if tables is not None else self.catalog.table_names()
-        for name in names:
-            entry = self.catalog.entry(name)
-            refresh = getattr(entry.table, "refresh_zone_maps", None)
-            if refresh is not None:
-                refresh()
-            self.catalog.set_stats(
-                name, analyze_table(entry.table, self.settings.statistics_target)
+        with self.catalog.lock:
+            names = (
+                list(tables) if tables is not None else self.catalog.table_names()
             )
+            for name in names:
+                entry = self.catalog.entry(name)
+                refresh = getattr(entry.table, "refresh_zone_maps", None)
+                if refresh is not None:
+                    refresh()
+                self.catalog.set_stats(
+                    name,
+                    analyze_table(entry.table, self.settings.statistics_target),
+                )
 
     def finalize_load(self) -> None:
         """Convenience: build configured indexes and ANALYZE everything."""
@@ -247,9 +274,8 @@ class Database:
     # -- temporary tables (re-optimization support) ------------------------------
 
     def next_temp_table_name(self, base: str = "temp") -> str:
-        """Generate a fresh temporary table name."""
-        self._temp_counter += 1
-        return f"__{base}{self._temp_counter}"
+        """Generate a fresh temporary table name (thread-safe)."""
+        return f"__{base}{next(self._temp_ids)}"
 
     def create_temp_table_from_result(
         self,
@@ -290,13 +316,16 @@ class Database:
             column_defs.append(ColumnDef(new_name, col_type))
             column_data.append(values)
         schema = TableSchema(name=name, columns=tuple(column_defs))
-        table = self.create_table(schema)
-        table.load_columns(column_data)
-        do_analyze = self.settings.analyze_temp_tables if analyze is None else analyze
-        if do_analyze:
-            self.catalog.set_stats(
-                name, analyze_table(table, self.settings.statistics_target)
+        with self.catalog.lock:
+            table = self.create_table(schema)
+            table.load_columns(column_data)
+            do_analyze = (
+                self.settings.analyze_temp_tables if analyze is None else analyze
             )
+            if do_analyze:
+                self.catalog.set_stats(
+                    name, analyze_table(table, self.settings.statistics_target)
+                )
         return table
 
 
@@ -340,6 +369,20 @@ class Database:
     def drop_intermediate(self, name: str) -> None:
         """Drop a transient pseudo-table (no epoch bump)."""
         self.catalog.drop_transient(name)
+
+    # -- snapshots (serving support) ----------------------------------------------
+
+    def snapshot(self) -> "Database":
+        """Pin a read-only point-in-time view of this database.
+
+        Returns a :class:`~repro.engine.snapshot.SnapshotDatabase`: the same
+        facade over a :meth:`~repro.catalog.catalog.Catalog.snapshot` of the
+        catalog, so a statement executing against it never blocks — and is
+        never torn by — concurrent ANALYZE, loads or DDL on this instance.
+        """
+        from repro.engine.snapshot import SnapshotDatabase
+
+        return SnapshotDatabase(self)
 
 
 def _infer_type(values: Iterable[object]) -> ColumnType:

@@ -11,10 +11,19 @@ drops every entry from older epochs (counted in
 :attr:`PlanCacheStats.stale_evictions`), so dead plans do not squat in the
 LRU capacity and push out live ones — a tiny cache stays fully usable across
 ANALYZE/DDL churn.
+
+The cache is **thread-safe**: one process-wide instance can back every
+session of the concurrent serving layer (:mod:`repro.server`).  All probes,
+inserts and prunes run under an internal lock, so concurrent churn can
+neither lose entries, corrupt the LRU order, nor double-count stats.  Epoch
+pruning is additionally monotonic: a session still executing against an
+*older* pinned snapshot may probe with its older epoch without clobbering
+entries cached by sessions already at the newer epoch.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Optional, Tuple, TYPE_CHECKING
@@ -64,9 +73,15 @@ class PlanCache:
             "OrderedDict[CacheKey, Tuple[PlannedQuery, Optional[Hashable]]]"
         ) = OrderedDict()
         self._epoch: Optional[Hashable] = None
+        # Guards _entries, _epoch and the stats counters: get/put interleave
+        # an unlocked OrderedDict probe with move_to_end/popitem mutations,
+        # which concurrent sessions would corrupt (lost entries, broken LRU
+        # links, double-counted stats) without mutual exclusion.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def enabled(self) -> bool:
@@ -74,8 +89,20 @@ class PlanCache:
         return self.capacity > 0
 
     def _prune_stale(self, epoch: Optional[Hashable]) -> None:
-        """Drop entries from older epochs on the first probe after a bump."""
+        """Drop entries from older epochs on the first probe after a bump.
+
+        Must be called with the lock held.  The prune is monotonic: a probe
+        carrying an epoch *older* than the one already observed (a session
+        still serving a statement against an earlier pinned snapshot) leaves
+        the cache untouched instead of evicting the newer entries.
+        """
         if epoch is None or epoch == self._epoch:
+            return
+        if (
+            isinstance(epoch, int)
+            and isinstance(self._epoch, int)
+            and epoch < self._epoch
+        ):
             return
         stale = [
             key
@@ -95,14 +122,15 @@ class PlanCache:
         ``epoch`` is the caller's current catalog epoch; passing it lets the
         cache prune entries stranded by an epoch bump before the lookup.
         """
-        self._prune_stale(epoch)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[0]
+        with self._lock:
+            self._prune_stale(epoch)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
 
     def put(
         self,
@@ -113,13 +141,15 @@ class PlanCache:
         """Insert (or refresh) a plan, evicting the least recently used."""
         if not self.enabled:
             return
-        self._prune_stale(epoch)
-        self._entries[key] = (planned, epoch)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._prune_stale(epoch)
+            self._entries[key] = (planned, epoch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (the stats counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

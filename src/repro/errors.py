@@ -101,6 +101,14 @@ class InterfaceError(ReproError):
     """Misuse of the Connection/Cursor serving API (e.g. after close())."""
 
 
+class ServerError(ReproError):
+    """Misuse or failure of the threaded serving layer (:mod:`repro.server`)."""
+
+
+class AdmissionError(ServerError):
+    """A statement was shed by admission control (queue full / timed out)."""
+
+
 class PlanningError(ReproError):
     """The optimizer could not produce a plan for a bound query."""
 

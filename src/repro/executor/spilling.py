@@ -25,8 +25,10 @@ results to the in-memory engines.
   and k-way merges with ``heapq.merge`` — equal to the serial sort by
   construction.
 
-Spill directories are created per operation and removed in a ``finally``;
-``spill_dirs`` keeps the paths so tests can assert the cleanup happened.
+Spill directories are context managers created per operation; leaving the
+``with`` block — on success or a mid-spill failure — closes any open spill
+file handles and removes the directory.  ``spill_dirs`` keeps the paths so
+tests can assert the cleanup happened.
 """
 
 from __future__ import annotations
@@ -103,10 +105,9 @@ class SpillingOperators:
         probe_keys = _key_rows(probe, probe_positions)
         buckets = max(2, -(-len(build) // self.memory_budget))
 
-        spill = SpillDir(prefix="repro-spill-join-")
-        self.spill_dirs.append(spill.path)
         pairs: List[Tuple[int, int]] = []
-        try:
+        with SpillDir(prefix="repro-spill-join-") as spill:
+            self.spill_dirs.append(spill.path)
             build_files = BucketFiles(spill, "build", buckets)
             for i, key in enumerate(build_keys):
                 if not _key_is_null(key, composite):
@@ -128,8 +129,6 @@ class SpillingOperators:
                     matches = table.get(probe_keys[i])
                     if matches:
                         pairs.extend((i, m) for m in matches)
-        finally:
-            spill.cleanup()
 
         # One probe key lives in exactly one bucket, so a probe row's matches
         # are contiguous and build-ordered already; the stable sort restores
@@ -194,9 +193,8 @@ class SpillingOperators:
             parts.append(i)
             return tuple(parts)
 
-        spill = SpillDir(prefix="repro-spill-sort-")
-        self.spill_dirs.append(spill.path)
-        try:
+        with SpillDir(prefix="repro-spill-sort-") as spill:
+            self.spill_dirs.append(spill.path)
             runs: List[str] = []
             budget = self.memory_budget
             for start in range(0, len(batch), budget):
@@ -210,6 +208,4 @@ class SpillingOperators:
             order = list(
                 heapq.merge(*(read_run(path) for path in runs), key=key_of)
             )
-        finally:
-            spill.cleanup()
         return batch.restrict(order)

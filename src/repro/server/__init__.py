@@ -1,0 +1,29 @@
+"""Threaded serving layer: many client sessions over one shared database.
+
+Quick start::
+
+    from repro.server import Server, ServerConfig
+
+    server = Server(database, ServerConfig(workers=4, queue_depth=32))
+    with server:
+        session = server.session()
+        result = session.execute("SELECT COUNT(*) FROM trades")
+        print(result.rows, result.latency_seconds)
+
+See :mod:`repro.server.server` for the serving loop,
+:mod:`repro.server.session` for snapshot semantics, and
+:mod:`repro.server.admission` for the admission-control knobs.
+"""
+
+from repro.server.admission import AdmissionQueue, ServerConfig
+from repro.server.server import Server, ServerStats
+from repro.server.session import ServerSession, StatementResult
+
+__all__ = [
+    "AdmissionQueue",
+    "Server",
+    "ServerConfig",
+    "ServerSession",
+    "ServerStats",
+    "StatementResult",
+]

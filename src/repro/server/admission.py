@@ -1,0 +1,91 @@
+"""Serving-loop configuration and admission control.
+
+Admission control is a bounded FIFO in front of the worker pool: a
+statement either takes a queue slot (possibly waiting up to
+``admission_timeout``) or is *shed* with
+:class:`~repro.errors.AdmissionError` — the server never builds an
+unbounded backlog, so tail latency under overload stays bounded and the
+client gets an immediate, retryable signal instead of a hang.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import AdmissionError
+
+__all__ = ["AdmissionQueue", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of a :class:`~repro.server.server.Server`.
+
+    Attributes:
+        workers: statement-executing worker threads.
+        queue_depth: bounded admission queue capacity; statements beyond
+            ``workers + queue_depth`` in flight are shed.
+        admission_timeout: seconds a submission may wait for a queue slot
+            before being shed; ``0`` sheds immediately when the queue is
+            full.
+        plan_cache_size: capacity of the process-wide shared plan cache
+            (``None`` uses the engine default, ``0`` disables caching).
+        reoptimize: serve statements through the re-optimization loop.
+        adaptive: operator-level adaptive execution (``None`` follows the
+            database's ``adaptive`` setting).
+    """
+
+    workers: int = 4
+    queue_depth: int = 32
+    admission_timeout: float = 0.0
+    plan_cache_size: Optional[int] = None
+    reoptimize: bool = True
+    adaptive: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("server needs at least one worker")
+        if self.queue_depth < 1:
+            raise ValueError("admission queue depth must be positive")
+        if self.admission_timeout < 0:
+            raise ValueError("admission timeout must be non-negative")
+
+
+class AdmissionQueue:
+    """A bounded FIFO that sheds instead of blocking indefinitely."""
+
+    def __init__(self, depth: int, timeout: float = 0.0) -> None:
+        self._queue: "queue.Queue" = queue.Queue(maxsize=depth)
+        self.timeout = timeout
+
+    def admit(self, item) -> None:
+        """Enqueue ``item`` or raise :class:`AdmissionError`.
+
+        Waits up to the configured admission timeout for a slot; with a
+        zero timeout a full queue sheds immediately.
+        """
+        try:
+            if self.timeout > 0:
+                self._queue.put(item, timeout=self.timeout)
+            else:
+                self._queue.put_nowait(item)
+        except queue.Full:
+            raise AdmissionError(
+                "admission queue is full; statement shed "
+                f"(depth={self._queue.maxsize}, timeout={self.timeout}s)"
+            ) from None
+
+    def force_put(self, item) -> None:
+        """Enqueue bypassing the bound (used for worker shutdown sentinels)."""
+        # queue.Queue has no unbounded put on a bounded queue; blocking is
+        # fine here because workers are draining towards shutdown.
+        self._queue.put(item)
+
+    def get(self):
+        """Blocking take (worker side)."""
+        return self._queue.get()
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

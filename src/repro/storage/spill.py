@@ -46,17 +46,40 @@ class Rev:
 
 
 class SpillDir:
-    """A private temp directory holding one operator's spill files."""
+    """A private temp directory holding one operator's spill files.
+
+    Use as a context manager: exiting the ``with`` block — normally or via
+    an exception raised mid-spill — closes every file handle opened through
+    :meth:`open` and removes the directory, so failed operators can never
+    leak scratch directories or descriptors.
+    """
 
     def __init__(self, prefix: str = "repro-spill-") -> None:
         self.path = tempfile.mkdtemp(prefix=prefix)
+        self._handles: List[object] = []
+
+    def __enter__(self) -> "SpillDir":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cleanup()
 
     def file(self, name: str) -> str:
         """Absolute path of a spill file inside the directory."""
         return os.path.join(self.path, name)
 
+    def open(self, name: str, mode: str = "w"):
+        """Open a spill file, tracking the handle for :meth:`cleanup`."""
+        handle = open(self.file(name), mode, encoding="ascii")
+        self._handles.append(handle)
+        return handle
+
     def cleanup(self) -> None:
-        """Delete the directory and everything in it."""
+        """Close tracked handles and delete the directory (idempotent)."""
+        for handle in self._handles:
+            if not handle.closed:
+                handle.close()
+        self._handles.clear()
         shutil.rmtree(self.path, ignore_errors=True)
 
 
@@ -83,10 +106,10 @@ class BucketFiles:
     """
 
     def __init__(self, spill: SpillDir, name: str, buckets: int) -> None:
-        self.paths: List[str] = [
-            spill.file(f"{name}-{bucket}.idx") for bucket in range(buckets)
-        ]
-        self._handles = [open(path, "w", encoding="ascii") for path in self.paths]
+        names = [f"{name}-{bucket}.idx" for bucket in range(buckets)]
+        self.paths: List[str] = [spill.file(n) for n in names]
+        # Opened through the spill dir so a mid-spill failure closes them.
+        self._handles = [spill.open(n) for n in names]
 
     def write(self, bucket: int, index: int) -> None:
         """Append one row index to a bucket."""

@@ -102,6 +102,59 @@ class TestConnectionLifecycle:
             connection.execute(SIMPLE_SQL)
         assert connection.closed
 
+    def test_close_invalidates_outstanding_cursors(self, stock_db):
+        connection = connect(stock_db, reoptimize=False)
+        cursor = connection.execute(SIMPLE_SQL)
+        other = connection.cursor()
+        connection.close()
+        assert cursor.closed and other.closed
+        with pytest.raises(InterfaceError):
+            cursor.fetchone()
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+        with pytest.raises(InterfaceError):
+            other.execute(SIMPLE_SQL)
+        assert cursor.description is None
+
+    def test_close_invalidates_outstanding_prepared_statements(self, stock_db):
+        connection = connect(stock_db, reoptimize=False)
+        statement = connection.prepare(
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = ?"
+        )
+        statement.execute(("tech",))
+        connection.close()
+        assert statement.closed
+        with pytest.raises(InterfaceError):
+            statement.execute(("tech",))
+
+    def test_close_ordering_is_idempotent_and_safe(self, stock_db):
+        connection = connect(stock_db, reoptimize=False)
+        cursor = connection.execute(SIMPLE_SQL)
+        statement = connection.prepare(
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = ?"
+        )
+        # Closing a resource before the connection, then the connection,
+        # then the resource again must never raise.
+        cursor.close()
+        connection.close()
+        connection.close()
+        cursor.close()
+        statement.close()
+        with pytest.raises(InterfaceError):
+            statement.execute(("tech",))
+
+    def test_explicitly_closed_statement_rejects_before_connection_close(
+        self, conn
+    ):
+        statement = conn.prepare(
+            "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = ?"
+        )
+        statement.close()
+        with pytest.raises(InterfaceError):
+            statement.execute(("tech",))
+        # The connection itself is still open and serving.
+        assert conn.execute(SIMPLE_SQL).rowcount >= 0
+
     def test_commit_rollback_are_noops(self, conn):
         conn.commit()
         conn.rollback()

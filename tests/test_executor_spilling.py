@@ -4,6 +4,9 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
+import repro.executor.spilling as spilling_module
 from repro.catalog.schema import ColumnType, make_schema
 from repro.engine import Database
 from repro.engine.settings import EngineSettings
@@ -95,3 +98,49 @@ def test_under_budget_queries_never_spill():
     assert db.executor._ops.spilled_joins == 0
     assert db.executor._ops.spilled_sorts == 0
     assert db.executor._ops.spill_dirs == []
+
+
+def test_spill_dirs_removed_when_join_fails_mid_spill(monkeypatch):
+    db = build_stocks_database(SMALL_STOCKS)
+    planned = db.plan(STOCKS_SQL)
+    spilling = db.executor_for(ExecutionEngine.VECTORIZED, memory_budget=64)
+
+    # Blow up partway through bucketing the join inputs, after spill files
+    # have already been opened and written to.
+    calls = {"n": 0}
+    real_hash = spilling_module.stable_hash
+
+    def exploding_hash(value):
+        calls["n"] += 1
+        if calls["n"] > 50:
+            raise RuntimeError("disk on fire")
+        return real_hash(value)
+
+    monkeypatch.setattr(spilling_module, "stable_hash", exploding_hash)
+    with pytest.raises(RuntimeError, match="disk on fire"):
+        spilling.execute(planned.plan)
+
+    ops = spilling._ops
+    assert ops.spilled_joins >= 1
+    assert ops.spill_dirs, "the join must have created its spill directory"
+    assert all(not os.path.exists(path) for path in ops.spill_dirs)
+
+
+def test_spill_dirs_removed_when_sort_fails_mid_spill(monkeypatch):
+    db = build_stocks_database(SMALL_STOCKS)
+    planned = db.plan(STOCKS_SQL)
+    spilling = db.executor_for(ExecutionEngine.VECTORIZED, memory_budget=64)
+
+    # Let the join spill complete, then fail while writing a sort run file.
+    def exploding_write_run(path, run):
+        raise RuntimeError("run file torn")
+
+    monkeypatch.setattr(spilling_module, "write_run", exploding_write_run)
+    with pytest.raises(RuntimeError, match="run file torn"):
+        spilling.execute(planned.plan)
+
+    ops = spilling._ops
+    assert ops.spilled_sorts >= 1
+    # Both the completed join spill and the failed sort spill are cleaned up.
+    assert len(ops.spill_dirs) >= 2
+    assert all(not os.path.exists(path) for path in ops.spill_dirs)
