@@ -27,6 +27,10 @@
 #   make bench   - paper-figure benchmarks plus the speedup guards; set
 #                  REPRO_BENCH_REPORT=BENCH_pr.json to emit the trajectory
 #                  report, compare with `make bench-compare`
+#   make experiments - the estimator-strategy x workload matrix (Q-error
+#                  distributions and re-plan counts per strategy, two runs);
+#                  emits estimators.* info metrics into the trajectory
+#                  report when REPRO_BENCH_REPORT is set
 #   make lint    - ruff check (same invocation as the CI lint job)
 #   make all     - everything
 
@@ -34,7 +38,7 @@ PYTHON ?= python
 SEED ?= 0
 export PYTHONPATH := src
 
-.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel fuzz-partitioned guards stress bench bench-compare lint all
+.PHONY: ci test unit diff fuzz fuzz-nightly fuzz-parallel fuzz-partitioned guards stress bench bench-compare experiments lint all
 
 # Mirrors the CI workflow's step sequence exactly (lint job, then the test
 # job's pytest steps, then the speedup guards and the serving stress).
@@ -75,6 +79,9 @@ bench:
 
 bench-compare:
 	$(PYTHON) -m repro.bench.compare BENCH_baseline.json BENCH_pr.json --max-regression 0.20
+
+experiments:
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_estimator_matrix.py
 
 lint:
 	ruff check .

@@ -22,8 +22,6 @@ from repro.core import (
     ReoptimizationInterceptor,
     ReoptimizationPolicy,
     ReoptimizationReport,
-    ReoptimizationSimulator,
-    ReoptimizingSession,
     TrueCardinalityOracle,
     q_error,
 )
@@ -44,15 +42,20 @@ from repro.engine import (
     paramstyle,
     threadsafety,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
+from repro.optimizer.estimators import CardinalityStrategy, strategy_names
+from repro.optimizer.feedback import FeedbackStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CardinalityStrategy",
+    "ConfigError",
     "Connection",
     "Cursor",
     "Database",
     "EngineSettings",
+    "FeedbackStore",
     "PlanCache",
     "PlanCacheStats",
     "PreparedStatement",
@@ -63,8 +66,6 @@ __all__ = [
     "ReoptimizationInterceptor",
     "ReoptimizationPolicy",
     "ReoptimizationReport",
-    "ReoptimizationSimulator",
-    "ReoptimizingSession",
     "ReproError",
     "TrueCardinalityOracle",
     "__version__",
@@ -72,5 +73,6 @@ __all__ = [
     "connect",
     "paramstyle",
     "q_error",
+    "strategy_names",
     "threadsafety",
 ]

@@ -28,8 +28,8 @@ from repro.bench.regimes import (
 from repro.bench.reporting import ExperimentResult
 from repro.core.feedback import FeedbackLoop
 from repro.core.interceptor import ReoptimizationInterceptor
-from repro.core.triggers import ReoptimizationPolicy
-from repro.engine.pipeline import QueryPipeline
+from repro.core.triggers import ReoptimizationPolicy, q_error
+from repro.engine.pipeline import FeedbackHarvestInterceptor, QueryPipeline
 from repro.core.oracle import TrueCardinalityOracle
 from repro.optimizer.optimizer import Optimizer
 from repro.workloads.job import table_count_distribution
@@ -574,4 +574,88 @@ def ablation_midquery(
     for regime in (simulated, pipelined):
         execution, planning = total_seconds(matrix[regime.name])
         result.add_row(regime.name, execution, planning)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Estimator-strategy matrix (estimator x workload, two passes)
+# ---------------------------------------------------------------------------
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def estimator_matrix(
+    context: WorkloadContext,
+    queries: int = 12,
+    threshold: float = 8.0,
+) -> ExperimentResult:
+    """Estimator-strategy x workload matrix: Q-error and re-plan counts.
+
+    Runs a slice of the multi-join workload queries twice under each
+    cardinality-estimation strategy (``repro.optimizer.estimators``).  Each
+    query takes two passes per run:
+
+    1. a re-optimizing pass (threshold ``threshold``, no plan cache) whose
+       materialize-and-re-plan step count is the re-plan metric, and
+    2. a plain pass that collects the join Q-errors of the executed plan and
+       harvests true cardinalities into the database's feedback store.
+
+    Under the ``feedback`` strategy run 2 plans with the cardinalities
+    harvested in run 1, so both its re-plan count and its join Q-error tail
+    drop; the statistics-only strategies are deterministic across runs.
+    """
+    db = context.database
+    names = [q.name for q in context.job_queries if q.num_tables >= 4][:queries]
+    from repro.optimizer.estimators import strategy_names
+
+    result = ExperimentResult(
+        experiment_id="estimators",
+        title=(
+            f"Estimator strategies over {len(names)} multi-join queries, "
+            f"two runs (re-plan threshold {threshold:g})"
+        ),
+        headers=["estimator", "run", "replans", "qerr_p50", "qerr_p90", "qerr_max"],
+    )
+    result.metadata["query_names"] = names
+
+    saved_estimator = db.settings.estimator
+    try:
+        for estimator in strategy_names():
+            db.set_estimator(estimator)
+            db.feedback.clear()
+            reopt_pipeline = QueryPipeline(
+                db,
+                [ReoptimizationInterceptor(
+                    ReoptimizationPolicy(threshold=threshold), adaptive=False
+                )],
+            )
+            plain_pipeline = QueryPipeline(db, [FeedbackHarvestInterceptor()])
+            for run in (1, 2):
+                replans = 0
+                errors: List[float] = []
+                for name in names:
+                    report = reopt_pipeline.run(bound=context.query(name)).report
+                    replans += len(report.steps)
+                    ctx = plain_pipeline.run(bound=context.query(name))
+                    for node in ctx.planned.plan.join_nodes():
+                        if node.actual_rows is not None:
+                            errors.append(q_error(node.estimated_rows, node.actual_rows))
+                result.add_row(
+                    estimator,
+                    run,
+                    replans,
+                    _percentile(errors, 50.0),
+                    _percentile(errors, 90.0),
+                    max(errors) if errors else 0.0,
+                )
+    finally:
+        db.set_estimator(saved_estimator)
+        db.feedback.clear()
     return result

@@ -28,7 +28,7 @@ from repro.bench.harness import WorkloadContext, build_context
 from repro.bench.reporting import ExperimentResult
 from repro.core.triggers import ReoptimizationPolicy
 from repro.engine.connection import Connection, connect
-from repro.engine.settings import EngineSettings
+from repro.engine.settings import ESTIMATOR_NAMES, EngineSettings
 from repro.errors import ReproError
 from repro.executor.executor import ExecutionEngine
 from repro.workloads.imdb import ImdbConfig, build_imdb_database
@@ -50,6 +50,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-site": ("lowest vs highest trigger join", True, exp.ablation_trigger_site),
     "ablation-stats": ("ANALYZE vs no ANALYZE on temp tables", True, exp.ablation_temp_table_stats),
     "ablation-midquery": ("materializing vs pipelined re-optimization", True, exp.ablation_midquery),
+    "estimators": ("estimator-strategy x workload matrix (Q-error, re-plans)", True, exp.estimator_matrix),
 }
 
 
@@ -96,6 +97,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="rows per morsel for --engine parallel (default 4096)",
     )
+    run.add_argument(
+        "--estimator",
+        choices=list(ESTIMATOR_NAMES),
+        default=None,
+        help=(
+            "cardinality-estimation strategy (default 'stats', the paper's "
+            "PostgreSQL-style model; see repro.optimizer.estimators)"
+        ),
+    )
     run.add_argument("--output", type=str, default=None, help="also write results to this file")
 
     sql = subparsers.add_parser(
@@ -121,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="rows per morsel for --engine parallel (default 4096)",
+    )
+    sql.add_argument(
+        "--estimator",
+        choices=list(ESTIMATOR_NAMES),
+        default=None,
+        help="cardinality-estimation strategy (default 'stats')",
     )
     sql.add_argument(
         "--execute",
@@ -202,18 +218,23 @@ def _engine_settings(
     engine: Optional[str],
     workers: Optional[int] = None,
     morsel_size: Optional[int] = None,
+    estimator: Optional[str] = None,
 ) -> Optional[EngineSettings]:
-    """Settings for the CLI's engine knobs (None when all are default)."""
-    if engine is None and workers is None and morsel_size is None:
+    """Settings for the CLI's engine knobs (None when all are default).
+
+    Lowers the flags onto the defaults through
+    :meth:`~repro.engine.settings.EngineSettings.resolve` — the same
+    precedence rule ``connect()`` and ``Server`` use.
+    """
+    if engine is None and workers is None and morsel_size is None and estimator is None:
         return None
-    settings = EngineSettings()
-    if engine is not None:
-        settings.engine = ExecutionEngine.from_name(engine)
-    if workers is not None:
-        settings.workers = workers
-    if morsel_size is not None:
-        settings.morsel_size = morsel_size
-    return settings
+    return EngineSettings.resolve(
+        None,
+        engine=engine,
+        workers=workers,
+        morsel_size=morsel_size,
+        estimator=estimator,
+    )
 
 
 def run_experiments(
@@ -224,11 +245,12 @@ def run_experiments(
     engine: Optional[str] = None,
     workers: Optional[int] = None,
     morsel_size: Optional[int] = None,
+    estimator: Optional[str] = None,
     emit: Callable[[str], None] = print,
 ) -> List[ExperimentResult]:
     """Run the requested experiments and emit their text artifacts."""
     ids = _resolve_ids(ids)
-    settings = _engine_settings(engine, workers, morsel_size)
+    settings = _engine_settings(engine, workers, morsel_size, estimator)
     context: Optional[WorkloadContext] = None
     results: List[ExperimentResult] = []
     for experiment_id in ids:
@@ -310,7 +332,9 @@ def _print_statement(
 
 def run_sql(args, stdin: Optional[TextIO] = None) -> int:
     """The ``sql`` command: a Connection-backed statement shell."""
-    settings = _engine_settings(args.engine, args.workers, args.morsel_size)
+    settings = _engine_settings(
+        args.engine, args.workers, args.morsel_size, args.estimator
+    )
     print(
         f"# building the synthetic IMDB database (scale={args.scale})...",
         flush=True,
@@ -472,6 +496,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine=args.engine,
         workers=args.workers,
         morsel_size=args.morsel_size,
+        estimator=args.estimator,
         emit=emit,
     )
     if args.output:

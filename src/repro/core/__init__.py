@@ -6,10 +6,8 @@ from repro.core.midquery import MidQueryReoptimizer
 from repro.core.oracle import TrueCardinalityOracle
 from repro.core.reoptimizer import (
     ReoptimizationReport,
-    ReoptimizationSimulator,
     ReoptimizationStep,
 )
-from repro.core.session import ReoptimizingSession, SessionQueryResult
 from repro.core.triggers import (
     DEFAULT_THRESHOLD,
     ReoptimizationPolicy,
@@ -27,10 +25,7 @@ __all__ = [
     "ReoptimizationInterceptor",
     "ReoptimizationPolicy",
     "ReoptimizationReport",
-    "ReoptimizationSimulator",
     "ReoptimizationStep",
-    "ReoptimizingSession",
-    "SessionQueryResult",
     "TrueCardinalityOracle",
     "find_trigger_join",
     "q_error",

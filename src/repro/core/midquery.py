@@ -11,7 +11,8 @@ benchmarks that compare the simulation against the discounted accounting
 keep their published numbers, pinned by the differential tests.
 
 :class:`MidQueryReoptimizer` models that cheaper variant: the control flow is
-identical to :class:`~repro.core.reoptimizer.ReoptimizationSimulator`, but
+identical to the materialize-and-rewrite loop of
+:class:`~repro.core.interceptor.ReoptimizationInterceptor`, but
 
 * the materialization surcharge is dropped (the intermediate stays in
   memory), and
@@ -26,17 +27,14 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.reoptimizer import (
-    ReoptimizationReport,
-    ReoptimizationSimulator,
-)
+from repro.core.reoptimizer import ReoptimizationReport
 from repro.core.triggers import ReoptimizationPolicy
 from repro.engine.database import Database
 from repro.optimizer.injection import CardinalityInjector
 from repro.sql.binder import BoundQuery
 
 
-class MidQueryReoptimizer(ReoptimizationSimulator):
+class MidQueryReoptimizer:
     """Re-optimization without the materialization surcharge."""
 
     def __init__(
@@ -44,7 +42,8 @@ class MidQueryReoptimizer(ReoptimizationSimulator):
         database: Database,
         policy: Optional[ReoptimizationPolicy] = None,
     ) -> None:
-        super().__init__(database, policy)
+        self._database = database
+        self.policy = policy or ReoptimizationPolicy()
 
     def reoptimize(
         self,
@@ -52,10 +51,20 @@ class MidQueryReoptimizer(ReoptimizationSimulator):
         injector: Optional[CardinalityInjector] = None,
         keep_temp_tables: bool = False,
     ) -> ReoptimizationReport:
-        """Run the pipelined re-optimization variant on one bound query."""
-        report = super().reoptimize(
-            query, injector=injector, keep_temp_tables=keep_temp_tables
+        """Run the pipelined re-optimization variant on one bound query.
+
+        Drives the standard materialize-and-re-plan loop through a one-off
+        :class:`~repro.engine.pipeline.QueryPipeline` and then discounts the
+        accounting a pipelined system would not pay.
+        """
+        from repro.core.interceptor import ReoptimizationInterceptor
+        from repro.engine.pipeline import QueryPipeline
+
+        pipeline = QueryPipeline(
+            self._database,
+            [ReoptimizationInterceptor(self.policy, keep_temp_tables=keep_temp_tables)],
         )
+        report = pipeline.run(bound=query, injector=injector).report
         return self._discount(report)
 
     def _discount(self, report: ReoptimizationReport) -> ReoptimizationReport:

@@ -1,24 +1,20 @@
-"""Re-optimization reports and the legacy simulator entry point.
+"""Re-optimization reports.
 
 The materialize-and-re-plan loop itself (paper Section V) lives in
 :class:`repro.core.interceptor.ReoptimizationInterceptor`, where it wraps
-the execute stage of the query-lifecycle pipeline.  This module keeps the
-report dataclasses the loop produces — every experiment and the mid-query
-ablation consume them — and a thin :class:`ReoptimizationSimulator` shim
-that preserves the pre-pipeline API (deprecated; connect with
-:func:`repro.connect` instead).
+the execute stage of the query-lifecycle pipeline; run statements through
+:func:`repro.connect` (or a one-off
+:class:`~repro.engine.pipeline.QueryPipeline` with the interceptor) to
+drive it.  This module keeps the report dataclasses the loop produces —
+every experiment and the mid-query ablation consume them.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.core.triggers import ReoptimizationPolicy
-from repro.engine.database import Database
 from repro.executor.executor import ExecutionResult, WORK_UNITS_PER_SECOND
-from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.optimizer import PLANNING_UNITS_PER_SECOND, PlannedQuery
 from repro.sql.binder import BoundQuery
 
@@ -90,56 +86,3 @@ class ReoptimizationReport:
         if self.final_query is not None:
             parts.append(self.final_query.to_sql())
         return "\n\n".join(parts)
-
-
-class ReoptimizationSimulator:
-    """Deprecated pre-pipeline driver for the re-optimization loop.
-
-    Preserved as a thin shim: each :meth:`reoptimize` call runs a one-off
-    :class:`~repro.engine.pipeline.QueryPipeline` whose execute stage is
-    wrapped by the :class:`~repro.core.interceptor.ReoptimizationInterceptor`.
-    New code should use ``repro.connect(database, policy=...)`` and run SQL
-    through a cursor instead.
-    """
-
-    def __init__(
-        self,
-        database: Database,
-        policy: Optional[ReoptimizationPolicy] = None,
-    ) -> None:
-        if type(self) is ReoptimizationSimulator:
-            warnings.warn(
-                "ReoptimizationSimulator is deprecated; use repro.connect() "
-                "(re-optimization is an interceptor on the connection's "
-                "query pipeline)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        self._database = database
-        self.policy = policy or ReoptimizationPolicy()
-
-    def reoptimize(
-        self,
-        query: BoundQuery,
-        injector: Optional[CardinalityInjector] = None,
-        keep_temp_tables: bool = False,
-    ) -> ReoptimizationReport:
-        """Run the re-optimization scheme on one bound query.
-
-        Args:
-            query: the original bound query.
-            injector: optional cardinality injector applied to every planning
-                round (used by the Figure 8 perfect-(n) + re-optimization
-                experiment).
-            keep_temp_tables: keep the temporary tables in the catalog after
-                returning (the examples use this to inspect them); by default
-                they are dropped.
-        """
-        from repro.core.interceptor import ReoptimizationInterceptor
-        from repro.engine.pipeline import QueryPipeline
-
-        pipeline = QueryPipeline(
-            self._database,
-            [ReoptimizationInterceptor(self.policy, keep_temp_tables=keep_temp_tables)],
-        )
-        return pipeline.run(bound=query, injector=injector).report

@@ -13,6 +13,7 @@ from repro.engine.database import Database, QueryRun
 from repro.engine.pipeline import (
     ConnectionMetrics,
     ExplainCaptureInterceptor,
+    FeedbackHarvestInterceptor,
     MetricsInterceptor,
     PlanCacheInterceptor,
     QueryContext,
@@ -31,6 +32,7 @@ __all__ = [
     "EngineSettings",
     "ExecutionEngine",
     "ExplainCaptureInterceptor",
+    "FeedbackHarvestInterceptor",
     "MetricsInterceptor",
     "PlanCache",
     "PlanCacheInterceptor",

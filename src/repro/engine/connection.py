@@ -23,6 +23,7 @@ from repro.engine.database import Database
 from repro.engine.pipeline import (
     ConnectionMetrics,
     ExplainCaptureInterceptor,
+    FeedbackHarvestInterceptor,
     MetricsInterceptor,
     PlanCacheInterceptor,
     QueryContext,
@@ -32,7 +33,6 @@ from repro.engine.pipeline import (
 from repro.engine.plancache import PlanCache, PlanCacheStats
 from repro.engine.settings import EngineSettings
 from repro.errors import InterfaceError
-from repro.executor.protocol import ExecutionEngine
 from repro.optimizer.injection import CardinalityInjector
 from repro.sql.ast import AggregateFunc, ColumnRef
 from repro.sql.binder import BoundQuery
@@ -64,16 +64,25 @@ def connect(
     plan_cache_size: Optional[int] = None,
     interceptors: Sequence[QueryInterceptor] = (),
     capture_explain: bool = False,
-    engine=None,
-    workers: Optional[int] = None,
-    morsel_size: Optional[int] = None,
+    **overrides: object,
 ) -> "Connection":
     """Open a connection (the package-level entry point of the serving API).
+
+    Engine configuration follows one precedence order — explicit keyword >
+    ``settings`` object > defaults (see
+    :meth:`~repro.engine.settings.EngineSettings.resolve`): any
+    :class:`~repro.engine.settings.EngineSettings` field may be passed as a
+    keyword (``connect(engine="parallel", workers=8, estimator="feedback")``)
+    and is lowered onto ``settings``.  Unknown keywords raise
+    :class:`~repro.errors.ConfigError` naming the nearest valid field.  When
+    ``database`` is an existing instance, the resolved settings are applied
+    to it (its executor and estimation strategy are rebuilt).
 
     Args:
         database: an existing engine instance; a fresh empty one is created
             when omitted.
-        settings: engine settings for a freshly created database.
+        settings: the engine configuration object; keyword overrides lower
+            onto it.
         policy: :class:`~repro.core.triggers.ReoptimizationPolicy` for the
             re-optimization interceptor.
         reoptimize: disable to serve statements without the
@@ -82,19 +91,15 @@ def connect(
             execution (stage-wise executor, in-memory intermediate handover),
             ``False`` with the paper's materialize-and-rewrite simulation;
             default follows the engine's ``adaptive`` setting.
-        plan_cache_size: LRU capacity (defaults to the engine settings;
-            0 disables caching).
+        plan_cache_size: LRU capacity for *this connection's* plan cache
+            (defaults to the engine settings; 0 disables caching).
         interceptors: extra middleware, run between the bundled interceptors
             and the re-optimization loop.
         capture_explain: record EXPLAIN ANALYZE text of every statement on
             its cursor (``Cursor.explain_text``).
-        engine: execution engine name or :class:`ExecutionEngine` overriding
-            the settings (``"vectorized"``, ``"reference"``, ``"parallel"``).
-        workers: worker-pool size for the parallel engine (default 4).
-        morsel_size: rows per scan/join morsel for the parallel engine
-            (default 4096).  ``engine``/``workers``/``morsel_size`` rebuild
-            the database's executor, so they also apply to an existing
-            ``database``.
+        **overrides: :class:`EngineSettings` fields — ``engine``, ``workers``,
+            ``morsel_size``, ``memory_budget``, ``estimator``, ... — applied
+            at the highest precedence.
     """
     return Connection(
         database,
@@ -105,9 +110,7 @@ def connect(
         plan_cache_size=plan_cache_size,
         interceptors=interceptors,
         capture_explain=capture_explain,
-        engine=engine,
-        workers=workers,
-        morsel_size=morsel_size,
+        **overrides,
     )
 
 
@@ -125,25 +128,27 @@ class Connection:
         plan_cache_size: Optional[int] = None,
         interceptors: Sequence[QueryInterceptor] = (),
         capture_explain: bool = False,
-        engine=None,
-        workers: Optional[int] = None,
-        morsel_size: Optional[int] = None,
+        **overrides: object,
     ) -> None:
-        # Imported here, not at module level: repro.core builds its session
-        # shim on this class, so a top-level import would be circular.
+        # Imported here, not at module level: repro.core's interceptor is
+        # layered on the pipeline this class drives, so a top-level import
+        # would be circular.
         from repro.core.interceptor import ReoptimizationInterceptor
         from repro.core.triggers import ReoptimizationPolicy
 
-        self.database = database if database is not None else Database(settings)
-        if engine is not None or workers is not None or morsel_size is not None:
-            db_settings = self.database.settings
-            if engine is not None:
-                db_settings.engine = ExecutionEngine.from_name(engine)
-            if workers is not None:
-                db_settings.workers = workers
-            if morsel_size is not None:
-                db_settings.morsel_size = morsel_size
-            self.database.executor = self.database.executor_for(db_settings.engine)
+        supplied = {k: v for k, v in overrides.items() if v is not None}
+        if database is None:
+            self.database = Database(EngineSettings.resolve(settings, **overrides))
+        else:
+            self.database = database
+            if settings is not None or supplied:
+                base = settings if settings is not None else database.settings
+                resolved = EngineSettings.resolve(base, **overrides)
+                database.settings = resolved
+                database.executor = database.executor_for(resolved.engine)
+                database.optimizer.strategy = database._build_strategy(
+                    resolved.estimator
+                )
         if plan_cache_size is None:
             plan_cache_size = self.database.settings.plan_cache_size
         self.metrics = ConnectionMetrics()
@@ -155,6 +160,10 @@ class Connection:
         if capture_explain:
             chain.append(ExplainCaptureInterceptor())
         chain.extend(interceptors)
+        # Outside the re-optimization loop so it sees the final report; the
+        # store accumulates under every strategy, so switching to
+        # ``estimator="feedback"`` later benefits from earlier statements.
+        chain.append(FeedbackHarvestInterceptor())
         if reoptimize:
             chain.append(ReoptimizationInterceptor(self.policy, adaptive=adaptive))
         self.pipeline = QueryPipeline(self.database, chain)

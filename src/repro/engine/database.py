@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import ColumnDef, ColumnType, TableSchema
@@ -23,6 +23,7 @@ from repro.executor.executor import ExecutionEngine, ExecutionResult, Executor
 from repro.executor.explain import explain_plan
 from repro.executor.operators import ResultSet
 from repro.optimizer.cost import CostModel
+from repro.optimizer.feedback import FeedbackStore
 from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.optimizer import Optimizer, PlannedQuery
 from repro.sql.binder import Binder, BoundQuery
@@ -32,6 +33,9 @@ from repro.storage.index import HashIndex, build_foreign_key_indexes
 from repro.storage.intermediate import IntermediateTable
 from repro.storage.partition import PartitionedTable
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.optimizer.estimators import CardinalityStrategy
 
 
 @dataclass
@@ -80,13 +84,24 @@ class Database:
         settings: Optional[EngineSettings] = None,
         *,
         catalog: Optional[Catalog] = None,
+        feedback: Optional[FeedbackStore] = None,
     ) -> None:
         self.settings = settings or EngineSettings()
         self.catalog = catalog if catalog is not None else Catalog()
+        # One feedback store per database, shared by every connection, server
+        # session and snapshot (snapshots pass their base's store in), so
+        # observations harvested anywhere seed plans everywhere.
+        if feedback is not None:
+            self.feedback = feedback
+        else:
+            self.feedback = FeedbackStore(self.settings.feedback_capacity)
+            if self.settings.feedback_path is not None:
+                self.feedback.load(self.settings.feedback_path)
         self.optimizer = Optimizer(
             self.catalog,
             cost_params=self.settings.cost,
             planner_config=self.settings.planner,
+            strategy=self._build_strategy(self.settings.estimator),
         )
         self.cost_model = CostModel(self.catalog, self.settings.cost)
         self.executor = Executor(
@@ -101,6 +116,29 @@ class Database:
         # itertools.count.__next__ is atomic in CPython, so concurrent
         # sessions never mint the same temporary-table name.
         self._temp_ids = itertools.count(1)
+
+    def _build_strategy(self, name: str) -> "CardinalityStrategy":
+        from repro.optimizer.estimators import create_strategy
+
+        return create_strategy(name, self.catalog, feedback=self.feedback)
+
+    @property
+    def estimator_strategy(self) -> "CardinalityStrategy":
+        """The active cardinality-estimation strategy."""
+        return self.optimizer.strategy
+
+    def set_estimator(self, name: str) -> "CardinalityStrategy":
+        """Switch the active estimation strategy (``"stats"``, ``"feedback"``...).
+
+        Rebuilds the strategy over this database's catalog and feedback
+        store and installs it on the optimizer; subsequently planned
+        statements use it.  Updates ``settings.estimator`` so snapshots and
+        derived connections inherit the choice.
+        """
+        strategy = self._build_strategy(name)
+        self.settings.estimator = name
+        self.optimizer.strategy = strategy
+        return strategy
 
     def executor_for(
         self,
@@ -180,6 +218,7 @@ class Database:
             # none or all of the batch, never a torn prefix.
             with self.catalog.lock:
                 table.load_columns(columns)
+                self.feedback.invalidate_table(table_name)
         return count
 
     def build_indexes(self, table_name: Optional[str] = None) -> None:
@@ -214,8 +253,13 @@ class Database:
                     refresh()
                 self.catalog.set_stats(
                     name,
-                    analyze_table(entry.table, self.settings.statistics_target),
+                    analyze_table(
+                        entry.table,
+                        self.settings.statistics_target,
+                        sample_target=self.settings.sample_rows,
+                    ),
                 )
+                self.feedback.invalidate_table(name)
 
     def finalize_load(self) -> None:
         """Convenience: build configured indexes and ANALYZE everything."""
@@ -226,6 +270,7 @@ class Database:
     def drop_table(self, name: str) -> None:
         """Drop a table (used to clean up temporary tables)."""
         self.catalog.drop(name)
+        self.feedback.invalidate_table(name)
 
     # -- querying -------------------------------------------------------------
 
@@ -324,8 +369,14 @@ class Database:
             )
             if do_analyze:
                 self.catalog.set_stats(
-                    name, analyze_table(table, self.settings.statistics_target)
+                    name,
+                    analyze_table(
+                        table,
+                        self.settings.statistics_target,
+                        sample_target=self.settings.sample_rows,
+                    ),
                 )
+            self.feedback.invalidate_table(name)
         return table
 
 

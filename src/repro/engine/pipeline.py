@@ -271,6 +271,56 @@ class PlanCacheInterceptor(QueryInterceptor):
         return ctx
 
 
+class FeedbackHarvestInterceptor(QueryInterceptor):
+    """Records observed cardinalities into the database's feedback store.
+
+    After the execute stage (including any re-optimization rounds wrapped
+    inside it), the true cardinalities the executor observed — scan outputs,
+    join outputs, and every re-optimization trigger's materialized subtree —
+    are normalized (:func:`repro.optimizer.feedback.subset_key`) and recorded
+    in ``database.feedback``, where the ``feedback`` estimation strategy
+    seeds future plans with them.  Subsets mentioning pseudo-aliases
+    (``__temp*`` re-optimization tables, adaptive intermediates) are skipped:
+    they are not subtrees of the original statement.
+
+    Place it *outside* the re-optimization interceptor so it observes the
+    final report.
+    """
+
+    name = "feedback-harvest"
+
+    def around_execute(self, ctx: QueryContext, proceed: Proceed) -> QueryContext:
+        ctx = proceed(ctx)
+        self._harvest(ctx)
+        return ctx
+
+    def _harvest(self, ctx: QueryContext) -> None:
+        from repro.optimizer.provenance import harvest_observations
+
+        bound = ctx.bound
+        store = getattr(ctx.database, "feedback", None)
+        if bound is None or store is None:
+            return
+        valid = set(bound.aliases)
+        observed: Dict[frozenset, float] = {}
+        if ctx.report is not None:
+            for step in ctx.report.steps:
+                subset = frozenset(step.trigger_aliases)
+                if subset and subset <= valid:
+                    observed[subset] = float(step.actual_rows)
+        plan = None
+        if ctx.report is not None and ctx.report.final_planned is not None:
+            plan = ctx.report.final_planned.plan
+        elif ctx.planned is not None and ctx.execution is not None:
+            plan = ctx.planned.plan
+        if plan is not None:
+            for subset, rows in harvest_observations(plan).items():
+                if subset <= valid:
+                    observed[subset] = rows
+        for subset, rows in observed.items():
+            store.record(bound, subset, rows)
+
+
 class ExplainCaptureInterceptor(QueryInterceptor):
     """Captures EXPLAIN ANALYZE text of the final plan after execution."""
 

@@ -25,7 +25,13 @@ class SnapshotDatabase(Database):
     """One statement's consistent view of a shared :class:`Database`."""
 
     def __init__(self, base: Database) -> None:
-        super().__init__(base.settings, catalog=base.catalog.snapshot())
+        # Share the base's feedback store: observations harvested on one
+        # session's snapshot must seed plans on every other session.  The
+        # estimation strategy itself is rebuilt over the *snapshot* catalog
+        # so statistics reads stay pinned to this statement's view.
+        super().__init__(
+            base.settings, catalog=base.catalog.snapshot(), feedback=base.feedback
+        )
         #: The shared database this snapshot was pinned from.
         self.base = base
 

@@ -97,6 +97,10 @@ class ParameterError(SQLError):
     """A ``?`` placeholder was bound with the wrong arity or value type."""
 
 
+class ConfigError(ReproError):
+    """Invalid engine configuration (unknown setting, out-of-range value)."""
+
+
 class InterfaceError(ReproError):
     """Misuse of the Connection/Cursor serving API (e.g. after close())."""
 

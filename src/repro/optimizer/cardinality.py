@@ -21,7 +21,7 @@ join size, which reproduces Table I of the paper.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, List, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.errors import CardinalityError
@@ -47,6 +47,9 @@ from repro.sql.values import is_truthy
 from repro.stats.column_stats import ColumnStats, TableStats
 from repro.storage.partition import PartitionedTable
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.optimizer.estimators import CardinalityStrategy
+
 # Default selectivities used when statistics cannot answer a question,
 # mirroring PostgreSQL's DEFAULT_EQ_SEL / DEFAULT_INEQ_SEL / pattern defaults.
 DEFAULT_EQ_SELECTIVITY = 0.005
@@ -61,6 +64,24 @@ DEFAULT_N_DISTINCT = 200.0
 def clamp_selectivity(value: float) -> float:
     """Clamp a selectivity into ``[MIN_SELECTIVITY, 1.0]``."""
     return max(MIN_SELECTIVITY, min(1.0, value))
+
+
+def scan_upper_bound(
+    catalog: Catalog, table: str, predicates: List[Expr]
+) -> Optional[float]:
+    """Hard upper bound on a filtered scan's output, or ``None`` if unbounded.
+
+    For partitioned tables the zone maps give a *guaranteed* bound: the scan
+    can never return more rows than the partitions surviving pruning hold.
+    Unpartitioned tables (or scans without predicates) have no bound tighter
+    than the table itself, so ``None`` is returned and callers fall back to
+    the row count.
+    """
+    storage = catalog.table(table)
+    if isinstance(storage, PartitionedTable) and predicates:
+        pruned, _total = prune_partitions(storage, predicates)
+        return float(storage.scanned_rows(pruned))
+    return None
 
 
 class SelectivityEstimator:
@@ -133,10 +154,9 @@ class SelectivityEstimator:
         Q-error the adaptive executor's re-optimization triggers fire on).
         """
         rows = self.table_rows(table) * self.conjunction_selectivity(table, predicates)
-        storage = self._catalog.table(table)
-        if isinstance(storage, PartitionedTable) and predicates:
-            pruned, _total = prune_partitions(storage, predicates)
-            rows = min(rows, float(storage.scanned_rows(pruned)))
+        bound = scan_upper_bound(self._catalog, table, predicates)
+        if bound is not None:
+            rows = min(rows, bound)
         return max(MIN_ROWS, rows)
 
     def column_n_distinct(self, table: str, column: str) -> float:
@@ -358,6 +378,7 @@ class CardinalityEstimator:
         query: BoundQuery,
         graph: Optional[JoinGraph] = None,
         injector: Optional[CardinalityInjector] = None,
+        strategy: Optional["CardinalityStrategy"] = None,
     ) -> None:
         self._catalog = catalog
         self.query = query
@@ -365,10 +386,13 @@ class CardinalityEstimator:
         # "injector or ..." would discard an *empty* DictInjection (len() == 0
         # makes it falsy), so compare against None explicitly.
         self.injector = injector if injector is not None else NoInjection()
+        self.strategy = strategy
         self.selectivity = SelectivityEstimator(catalog)
         self._memo: Dict[FrozenSet[str], float] = {}
         self.estimates_by_size: Counter = Counter()
         self.estimate_calls = 0
+        if strategy is not None:
+            strategy.setup_for_query(query)
 
     # -- public API --------------------------------------------------------
 
@@ -392,11 +416,21 @@ class CardinalityEstimator:
         self.estimates_by_size[len(subset)] += 1
         injected = self.injector.lookup(self.query, subset)
         if injected is not None:
-            rows = max(MIN_ROWS, float(injected))
-        elif len(subset) == 1:
-            rows = self._estimate_scan(next(iter(subset)))
+            rows: Optional[float] = max(MIN_ROWS, float(injected))
         else:
-            rows = self._estimate_join(subset)
+            # The active strategy is consulted after injectors (perfect-(n)
+            # and runtime re-optimization feedback stay authoritative) and
+            # may decline with ``None``, deferring to the built-in model.
+            rows = None
+            if self.strategy is not None:
+                answer = self.strategy.estimate_subset(self.query, subset)
+                if answer is not None:
+                    rows = max(MIN_ROWS, float(answer))
+            if rows is None:
+                if len(subset) == 1:
+                    rows = self._estimate_scan(next(iter(subset)))
+                else:
+                    rows = self._estimate_join(subset)
         self._memo[subset] = rows
         return rows
 

@@ -11,7 +11,7 @@ considered, simulated planning time).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.catalog.catalog import Catalog
 from repro.optimizer.cardinality import CardinalityEstimator
@@ -21,6 +21,9 @@ from repro.optimizer.injection import CardinalityInjector
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plan import PlanNode
 from repro.sql.binder import BoundQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.optimizer.estimators import CardinalityStrategy
 
 # Planning effort is converted into "simulated planning seconds" so that the
 # benchmark reports have the same units as the paper's figures.  The constant
@@ -71,10 +74,14 @@ class Optimizer:
         catalog: Catalog,
         cost_params: Optional[CostParameters] = None,
         planner_config: Optional[PlannerConfig] = None,
+        strategy: Optional["CardinalityStrategy"] = None,
     ) -> None:
         self._catalog = catalog
         self.cost_model = CostModel(catalog, cost_params)
         self.config = planner_config or PlannerConfig()
+        #: Active estimation strategy (``None`` = built-in statistics only);
+        #: reassigned by ``Database.set_estimator``.
+        self.strategy = strategy
 
     def plan(
         self,
@@ -90,7 +97,11 @@ class Optimizer:
         """
         graph = JoinGraph(query)
         estimator = CardinalityEstimator(
-            self._catalog, query, graph=graph, injector=injector
+            self._catalog,
+            query,
+            graph=graph,
+            injector=injector,
+            strategy=self.strategy,
         )
         enumerator = JoinEnumerator(
             self._catalog, query, estimator, self.cost_model, self.config

@@ -10,11 +10,13 @@ client gets an immediate, retryable signal instead of a hang.
 
 from __future__ import annotations
 
+import dataclasses
+import difflib
 import queue
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ConfigError
 
 __all__ = ["AdmissionQueue", "ServerConfig"]
 
@@ -46,11 +48,39 @@ class ServerConfig:
 
     def __post_init__(self) -> None:
         if self.workers < 1:
-            raise ValueError("server needs at least one worker")
+            raise ConfigError("server needs at least one worker")
         if self.queue_depth < 1:
-            raise ValueError("admission queue depth must be positive")
+            raise ConfigError("admission queue depth must be positive")
         if self.admission_timeout < 0:
-            raise ValueError("admission timeout must be non-negative")
+            raise ConfigError("admission timeout must be non-negative")
+
+    def replace(self, **overrides: object) -> "ServerConfig":
+        """A validated copy with ``overrides`` applied.
+
+        Mirrors :meth:`repro.engine.settings.EngineSettings.replace`:
+        unknown field names raise :class:`~repro.errors.ConfigError` naming
+        the nearest valid field.
+        """
+        valid = {f.name for f in dataclasses.fields(self)}
+        for key in overrides:
+            if key not in valid:
+                close = difflib.get_close_matches(key, sorted(valid), n=1)
+                hint = f"; did you mean {close[0]!r}?" if close else ""
+                raise ConfigError(f"unknown server setting {key!r}{hint}")
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def resolve(
+        cls, config: "Optional[ServerConfig]" = None, **overrides: object
+    ) -> "ServerConfig":
+        """Lower keyword overrides onto ``config`` (or the defaults).
+
+        The same precedence rule as ``connect()``: explicit (non-``None``)
+        keyword > config object > defaults.
+        """
+        base = config if config is not None else cls()
+        supplied = {k: v for k, v in overrides.items() if v is not None}
+        return base.replace(**supplied)
 
 
 class AdmissionQueue:

@@ -98,9 +98,18 @@ class Server:
         self,
         database: Optional[Database] = None,
         config: Optional[ServerConfig] = None,
+        **overrides: object,
     ) -> None:
+        """Start the serving loop.
+
+        Configuration follows the same precedence rule as ``connect()``:
+        any :class:`~repro.server.admission.ServerConfig` field may be
+        passed as a keyword (``Server(db, workers=8)``) and lowers onto
+        ``config``; unknown keywords raise
+        :class:`~repro.errors.ConfigError` naming the nearest valid field.
+        """
         self.database = database if database is not None else Database()
-        self.config = config or ServerConfig()
+        self.config = ServerConfig.resolve(config, **overrides)
         cache_size = self.config.plan_cache_size
         if cache_size is None:
             cache_size = self.database.settings.plan_cache_size

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKIN
 from repro.engine.connection import ColumnDescription, _describe
 from repro.engine.pipeline import (
     ConnectionMetrics,
+    FeedbackHarvestInterceptor,
     MetricsInterceptor,
     PlanCacheInterceptor,
     QueryContext,
@@ -95,6 +96,10 @@ class ServerSession:
         chain: List[QueryInterceptor] = [MetricsInterceptor(self.metrics)]
         if server.plan_cache.enabled:
             chain.append(PlanCacheInterceptor(server.plan_cache))
+        # Outside the re-optimization loop; every session's snapshot shares
+        # the base database's feedback store, so one session's observations
+        # seed every other session's plans.
+        chain.append(FeedbackHarvestInterceptor())
         if reoptimize:
             chain.append(
                 ReoptimizationInterceptor(ReoptimizationPolicy(), adaptive=adaptive)

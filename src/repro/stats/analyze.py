@@ -11,6 +11,7 @@ exact per-column statistics, so every estimation error produced by
 
 from __future__ import annotations
 
+import random
 from typing import Iterable, Optional
 
 from repro.catalog.catalog import Catalog
@@ -24,6 +25,7 @@ from repro.storage.table import Table
 def analyze_table(
     table: Table,
     statistics_target: int = 100,
+    sample_target: int = 100,
 ) -> TableStats:
     """Build :class:`~repro.stats.column_stats.TableStats` for one table.
 
@@ -31,6 +33,8 @@ def analyze_table(
         table: the storage object to analyze.
         statistics_target: maximum MCV entries and histogram buckets per
             column (named after PostgreSQL's ``default_statistics_target``).
+        sample_target: reservoir-sample size (whole rows, schema column
+            order) kept for the sampling estimator; ``0`` disables sampling.
     """
     stats = TableStats(table=table.name, row_count=table.row_count)
     for col_def in table.schema.columns:
@@ -38,7 +42,29 @@ def analyze_table(
         stats.columns[col_def.name] = _analyze_column(
             col_def.name, col_def.col_type, values, statistics_target
         )
+    if sample_target > 0:
+        stats.sample = _reservoir_sample(table, sample_target)
+        stats.sample_rows = table.row_count
     return stats
+
+
+def _reservoir_sample(table: Table, target: int) -> list:
+    """Algorithm-R reservoir sample of ``target`` whole rows.
+
+    Deterministically seeded from the table name and size so repeated
+    ANALYZE runs over unchanged data produce identical samples (and hence
+    identical sampling-estimator plans).
+    """
+    rng = random.Random((table.name, table.row_count).__repr__())
+    reservoir: list = []
+    for index, row in enumerate(table.iter_rows()):
+        if index < target:
+            reservoir.append(row)
+            continue
+        slot = rng.randint(0, index)
+        if slot < target:
+            reservoir[slot] = row
+    return reservoir
 
 
 def _analyze_column(

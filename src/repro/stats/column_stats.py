@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.catalog.schema import ColumnType
 from repro.stats.histogram import EquiDepthHistogram
@@ -45,11 +45,20 @@ class ColumnStats:
 
 @dataclass
 class TableStats:
-    """Statistics for one table."""
+    """Statistics for one table.
+
+    Besides the per-column statistics, ANALYZE maintains a small reservoir
+    sample of whole rows (tuples in schema column order) so the sampling
+    estimator can evaluate arbitrary — including correlated — predicate
+    conjunctions directly.  ``sample_rows`` records how many rows the
+    reservoir was drawn from (the table size at ANALYZE time).
+    """
 
     table: str
     row_count: int
     columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    sample: List[tuple] = field(default_factory=list)
+    sample_rows: int = 0
 
     def column_stats(self, column: str) -> Optional[ColumnStats]:
         """Statistics for ``column`` (``None`` if the column was not analyzed)."""

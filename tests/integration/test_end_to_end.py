@@ -1,14 +1,12 @@
 """Integration tests: the whole stack on the synthetic IMDB workload."""
 
-import pytest
-
 from repro.core import (
+    ReoptimizationInterceptor,
     ReoptimizationPolicy,
-    ReoptimizationSimulator,
-    ReoptimizingSession,
     TrueCardinalityOracle,
     q_error,
 )
+from repro.engine import QueryPipeline, connect
 from repro.executor import explain_plan
 
 
@@ -40,12 +38,15 @@ class TestWorkloadEndToEnd:
     def test_reoptimization_preserves_results_and_helps_bad_queries(
         self, imdb_db, job_queries
     ):
-        simulator = ReoptimizationSimulator(imdb_db, ReoptimizationPolicy(threshold=32))
+        pipeline = QueryPipeline(
+            imdb_db,
+            [ReoptimizationInterceptor(ReoptimizationPolicy(threshold=32))],
+        )
         improvements = []
         for job in job_queries[10:30:4]:
             query = imdb_db.parse(job.sql, name=job.name)
             baseline = imdb_db.run(query)
-            report = simulator.reoptimize(query)
+            report = pipeline.run(bound=query).report
             assert report.rows == baseline.rows, job.name
             if report.reoptimized:
                 improvements.append(
@@ -69,9 +70,11 @@ class TestWorkloadEndToEnd:
         ]
         assert max(errors) >= 1.0
 
-    def test_session_over_workload_slice(self, imdb_db, job_queries):
-        session = ReoptimizingSession(imdb_db, ReoptimizationPolicy(threshold=32))
+    def test_connection_over_workload_slice(self, imdb_db, job_queries):
+        conn = connect(
+            imdb_db, policy=ReoptimizationPolicy(threshold=32), plan_cache_size=0
+        )
         for job in job_queries[:5]:
-            result = session.execute(imdb_db.parse(job.sql, name=job.name))
-            assert len(result.rows) == 1
-        assert len(session.history) == 5
+            context = conn.run_bound(imdb_db.parse(job.sql, name=job.name))
+            assert len(context.rows) == 1
+        assert conn.metrics.statements == 5

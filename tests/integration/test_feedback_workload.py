@@ -1,0 +1,122 @@
+"""Integration: feedback-seeded planning across repeated workloads and serving.
+
+* Run 2 of a repeated workload under ``estimator="feedback"`` re-plans less
+  than run 1 — the harvested cardinalities from run 1 replace the
+  independence model exactly where it was wrong.
+* The threaded server's sessions share the base database's feedback store
+  (snapshots reuse it), and concurrent writers invalidate it through the
+  same epoch-bumping paths without corrupting in-flight statements.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.catalog import ColumnType, make_schema
+from repro.core import ReoptimizationPolicy
+from repro.engine import Database, connect
+from repro.server import Server
+
+
+class TestRepeatedWorkloadReplans:
+    def test_feedback_reduces_replans_on_second_run(self, imdb_db, job_queries):
+        saved = imdb_db.settings.estimator
+        imdb_db.set_estimator("feedback")
+        imdb_db.feedback.clear()
+        try:
+            # Plan cache off: every run must actually re-plan to benefit.
+            conn = connect(
+                imdb_db,
+                policy=ReoptimizationPolicy(threshold=8),
+                plan_cache_size=0,
+            )
+            names = [q for q in job_queries if q.num_tables >= 4][:10]
+            replans = []
+            for _ in (1, 2):
+                total = 0
+                for job in names:
+                    context = conn.run_bound(imdb_db.parse(job.sql, name=job.name))
+                    total += len(context.report.steps)
+                replans.append(total)
+            assert replans[0] > 0, "run 1 must exercise the re-plan loop"
+            assert replans[1] < replans[0]
+        finally:
+            imdb_db.set_estimator(saved)
+            imdb_db.feedback.clear()
+
+    def test_stats_strategy_is_deterministic_across_runs(self, imdb_db, job_queries):
+        conn = connect(
+            imdb_db, policy=ReoptimizationPolicy(threshold=8), plan_cache_size=0
+        )
+        job = next(q for q in job_queries if q.num_tables >= 4)
+        runs = [
+            len(conn.run_bound(imdb_db.parse(job.sql, name=job.name)).report.steps)
+            for _ in (1, 2)
+        ]
+        assert runs[0] == runs[1]
+
+
+def _events_db() -> Database:
+    db = Database()
+    db.create_table(
+        make_schema(
+            "events",
+            [("id", ColumnType.INT), ("grp", ColumnType.INT), ("flag", ColumnType.INT)],
+        )
+    )
+    db.load_rows("events", [(i, i % 10, 1) for i in range(200)])
+    db.finalize_load()
+    return db
+
+
+class TestServerSharedFeedback:
+    SQL = "SELECT count(e.id) AS n FROM events AS e WHERE e.grp = 3"
+
+    def test_sessions_harvest_into_base_store(self):
+        db = _events_db()
+        with Server(db, workers=2) as server:
+            server.execute(self.SQL)
+        assert len(db.feedback) > 0
+        bound = db.parse(self.SQL, name="probe")
+        assert db.feedback.lookup(bound, frozenset(["e"])) is not None
+
+    def test_epoch_bumps_race_with_serving(self):
+        """Writers invalidating feedback mid-serve never corrupt statements."""
+        db = _events_db()
+        errors = []
+        with Server(db, workers=4) as server:
+            barrier = threading.Barrier(3)
+
+            def reader() -> None:
+                try:
+                    barrier.wait()
+                    for _ in range(25):
+                        result = server.execute(self.SQL)
+                        assert result.rowcount == 1
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            def writer() -> None:
+                try:
+                    barrier.wait()
+                    for i in range(25):
+                        db.load_rows("events", [(1000 + i, 3, 1)])
+                except Exception as exc:  # pragma: no cover - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader),
+                threading.Thread(target=reader),
+                threading.Thread(target=writer),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            # One more statement after the writes settle: its harvest records
+            # the current truth, which a lookup must now return verbatim.
+            server.execute(self.SQL)
+        bound = db.parse(self.SQL, name="post-race")
+        actual = sum(1 for row in db.catalog.table("events").iter_rows() if row[1] == 3)
+        assert db.feedback.lookup(bound, frozenset(["e"])) == actual

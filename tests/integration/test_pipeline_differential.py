@@ -1,22 +1,21 @@
-"""Differential checks: the new Connection path vs the legacy surfaces.
+"""Differential checks: the Connection path vs the bare pipeline surfaces.
 
 The api-redesign acceptance criteria:
 
-* the paper's numbers are identical through the new pipeline — the legacy
-  ``ReoptimizingSession`` shim and a re-optimizing ``Connection`` agree on
-  planning/execution accounting and rows for the bundled workload queries;
+* the paper's numbers are identical through the serving surface — a one-off
+  ``QueryPipeline`` with just the re-optimization interceptor and a
+  re-optimizing ``Connection`` agree on planning/execution accounting and
+  rows for the bundled workload queries;
 * the plain ``Database.run`` path and a non-caching Connection agree;
 * a ``PreparedStatement`` with ``?`` parameters returns the same rows as the
   equivalent literal SQL for **every** bundled workload query, and a second
   execution of the same prepared statement hits the plan cache.
 """
 
-import warnings
-
 import pytest
 
-from repro.core import ReoptimizationPolicy, ReoptimizingSession
-from repro.engine import connect
+from repro.core import ReoptimizationInterceptor, ReoptimizationPolicy
+from repro.engine import QueryPipeline, connect
 from repro.sql import parameterize
 
 
@@ -32,19 +31,19 @@ class TestConnectionMatchesDatabaseRun:
             assert context.execution_seconds == old.execution_seconds, job.name
 
 
-class TestSessionShimMatchesConnection:
+class TestBarePipelineMatchesConnection:
     def test_reoptimized_accounting_identical(self, imdb_db, job_queries):
-        policy = ReoptimizationPolicy(threshold=32)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            session = ReoptimizingSession(imdb_db, policy)
+        pipeline = QueryPipeline(
+            imdb_db,
+            [ReoptimizationInterceptor(ReoptimizationPolicy(threshold=32))],
+        )
         connection = connect(
             imdb_db, policy=ReoptimizationPolicy(threshold=32), plan_cache_size=0
         )
         reoptimized = 0
         for job in job_queries[5:45:4]:
             bound = imdb_db.parse(job.sql, name=job.name)
-            old = session.execute(bound)
+            old = pipeline.run(bound=bound).report
             cursor = connection.execute(job.sql)
             context = cursor.context
             assert cursor.fetchall() == old.rows, job.name

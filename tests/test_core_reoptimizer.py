@@ -1,15 +1,15 @@
-"""Unit tests for the re-optimization simulator, mid-query variant,
-feedback loop and session API."""
+"""Unit tests for the re-optimization interceptor, mid-query variant,
+feedback loop and connection accounting."""
 
 import pytest
 
 from repro.core import (
     FeedbackLoop,
     MidQueryReoptimizer,
+    ReoptimizationInterceptor,
     ReoptimizationPolicy,
-    ReoptimizationSimulator,
-    ReoptimizingSession,
 )
+from repro.engine import QueryPipeline, connect
 
 SKEWED_SQL = (
     "SELECT count(t.id) AS n FROM company AS c, trades AS t "
@@ -25,10 +25,26 @@ def expected_count(db, company_id):
     return sum(1 for row in db.catalog.table("trades").iter_rows() if row[1] == company_id)
 
 
-class TestReoptimizationSimulator:
+def reoptimize(db, query, policy, keep_temp_tables=False):
+    """Drive the materialize-and-rewrite loop through a one-off pipeline."""
+    pipeline = QueryPipeline(
+        db,
+        [
+            ReoptimizationInterceptor(
+                policy, keep_temp_tables=keep_temp_tables, adaptive=False
+            )
+        ],
+    )
+    return pipeline.run(bound=query).report
+
+
+class TestReoptimizationPipeline:
     def test_triggers_on_skewed_query(self, stock_db):
-        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
-        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="skewed"))
+        report = reoptimize(
+            stock_db,
+            stock_db.parse(SKEWED_SQL, name="skewed"),
+            ReoptimizationPolicy(threshold=4),
+        )
         assert report.reoptimized
         assert report.rows == [(expected_count(stock_db, 1),)]
         assert report.total_execution_work > 0
@@ -41,15 +57,20 @@ class TestReoptimizationSimulator:
         assert step.temp_table not in stock_db.catalog
 
     def test_does_not_trigger_on_well_estimated_query(self, stock_db):
-        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=32))
-        report = simulator.reoptimize(stock_db.parse(UNSKEWED_SQL, name="plain"))
+        report = reoptimize(
+            stock_db,
+            stock_db.parse(UNSKEWED_SQL, name="plain"),
+            ReoptimizationPolicy(threshold=32),
+        )
         assert not report.reoptimized
         assert report.rows == [(expected_count(stock_db, 99),)]
 
     def test_keep_temp_tables(self, stock_db):
-        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
-        report = simulator.reoptimize(
-            stock_db.parse(SKEWED_SQL, name="kept"), keep_temp_tables=True
+        report = reoptimize(
+            stock_db,
+            stock_db.parse(SKEWED_SQL, name="kept"),
+            ReoptimizationPolicy(threshold=4),
+            keep_temp_tables=True,
         )
         assert report.reoptimized
         assert report.steps[0].temp_table in stock_db.catalog
@@ -57,32 +78,36 @@ class TestReoptimizationSimulator:
 
     def test_min_query_seconds_skips_short_queries(self, stock_db):
         policy = ReoptimizationPolicy(threshold=4, min_query_seconds=1e9)
-        simulator = ReoptimizationSimulator(stock_db, policy)
-        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="short"))
+        report = reoptimize(
+            stock_db, stock_db.parse(SKEWED_SQL, name="short"), policy
+        )
         assert not report.reoptimized
 
     def test_rewritten_sql_script(self, stock_db):
-        simulator = ReoptimizationSimulator(stock_db, ReoptimizationPolicy(threshold=4))
-        report = simulator.reoptimize(stock_db.parse(SKEWED_SQL, name="script"))
+        report = reoptimize(
+            stock_db,
+            stock_db.parse(SKEWED_SQL, name="script"),
+            ReoptimizationPolicy(threshold=4),
+        )
         script = report.rewritten_sql()
         assert "CREATE TEMP TABLE" in script
         assert script.strip().endswith(";")
 
     def test_results_match_plain_execution_on_workload(self, imdb_db, job_queries):
         """Re-optimized queries return exactly the same rows as plain execution."""
-        simulator = ReoptimizationSimulator(imdb_db, ReoptimizationPolicy(threshold=8))
+        policy = ReoptimizationPolicy(threshold=8)
         for job in job_queries[:6]:
             query = imdb_db.parse(job.sql, name=job.name)
             plain = imdb_db.run(query)
-            report = simulator.reoptimize(query)
+            report = reoptimize(imdb_db, query, policy)
             assert report.rows == plain.rows, job.name
 
 
 class TestMidQueryReoptimizer:
     def test_cheaper_than_materializing_simulation(self, stock_db):
         policy = ReoptimizationPolicy(threshold=4)
-        simulated = ReoptimizationSimulator(stock_db, policy).reoptimize(
-            stock_db.parse(SKEWED_SQL, name="mat")
+        simulated = reoptimize(
+            stock_db, stock_db.parse(SKEWED_SQL, name="mat"), policy
         )
         pipelined = MidQueryReoptimizer(stock_db, policy).reoptimize(
             stock_db.parse(SKEWED_SQL, name="pipe")
@@ -108,62 +133,66 @@ class TestFeedbackLoop:
         assert result.iterations[0].corrected_subset is None
 
 
-class TestReoptimizingSession:
-    def test_session_runs_and_records_history(self, stock_db):
-        session = ReoptimizingSession(stock_db, ReoptimizationPolicy(threshold=4))
-        first = session.execute(SKEWED_SQL)
-        second = session.execute(UNSKEWED_SQL)
-        assert first.reoptimized
-        assert not second.reoptimized
-        assert first.rows == [(expected_count(stock_db, 1),)]
-        assert len(session.history) == 2
-        assert session.total_execution_seconds() > 0
-        assert session.total_planning_seconds() > 0
+class TestReoptimizingConnection:
+    def test_connection_runs_and_records_metrics(self, stock_db):
+        conn = connect(
+            stock_db, policy=ReoptimizationPolicy(threshold=4), plan_cache_size=0
+        )
+        first = conn.execute(SKEWED_SQL)
+        first_rows = first.fetchall()
+        second = conn.execute(UNSKEWED_SQL)
+        assert first.context.reoptimized
+        assert not second.context.reoptimized
+        assert first_rows == [(expected_count(stock_db, 1),)]
+        assert conn.metrics.statements == 2
+        assert conn.metrics.execution_seconds > 0
+        assert conn.metrics.planning_seconds > 0
 
-    def test_session_comparison_helper(self, stock_db):
-        session = ReoptimizingSession(stock_db)
-        run = session.execute_without_reoptimization(UNSKEWED_SQL)
-        assert run.rows == [(expected_count(stock_db, 99),)]
+    def test_connection_without_reoptimization(self, stock_db):
+        conn = connect(stock_db, reoptimize=False, plan_cache_size=0)
+        rows = conn.execute(UNSKEWED_SQL).fetchall()
+        assert rows == [(expected_count(stock_db, 99),)]
 
-    def test_history_totals_equal_per_query_sums(self, stock_db):
-        """Session totals must be the exact sum of per-query accounting.
+    def test_metrics_totals_equal_per_query_sums(self, stock_db):
+        """Connection totals must be the exact sum of per-query accounting.
 
         The mix deliberately includes a re-optimized run (multiple planning
         rounds, temp-table surcharge), a plain run, and a single-table query
         (never re-optimized), so the totals cover both accounting paths.
         """
-        session = ReoptimizingSession(stock_db, ReoptimizationPolicy(threshold=4))
+        conn = connect(
+            stock_db, policy=ReoptimizationPolicy(threshold=4), plan_cache_size=0
+        )
         statements = [
             SKEWED_SQL,
             UNSKEWED_SQL,
             "SELECT count(c.id) AS n FROM company AS c WHERE c.sector = 'tech'",
             SKEWED_SQL,
         ]
-        for sql in statements:
-            session.execute(sql)
+        contexts = [conn.execute(sql).context for sql in statements]
 
-        assert len(session.history) == len(statements)
-        reoptimized = [r for r in session.history if r.reoptimized]
-        plain = [r for r in session.history if not r.reoptimized]
+        assert conn.metrics.statements == len(statements)
+        reoptimized = [ctx for ctx in contexts if ctx.reoptimized]
+        plain = [ctx for ctx in contexts if not ctx.reoptimized]
         assert reoptimized and plain  # genuinely mixed
 
-        execution_sum = sum(r.execution_seconds for r in session.history)
-        planning_sum = sum(r.planning_seconds for r in session.history)
-        assert session.total_execution_seconds() == pytest.approx(execution_sum)
-        assert session.total_planning_seconds() == pytest.approx(planning_sum)
+        execution_sum = sum(ctx.execution_seconds for ctx in contexts)
+        planning_sum = sum(ctx.planning_seconds for ctx in contexts)
+        assert conn.metrics.execution_seconds == pytest.approx(execution_sum)
+        assert conn.metrics.planning_seconds == pytest.approx(planning_sum)
 
         # Each per-query figure is itself the sum of that query's rounds:
         # planning work of every round and execution work of every step
         # plus the final SELECT.
-        for result in session.history:
-            report = result.report
+        for ctx in contexts:
+            report = ctx.report
             step_work = sum(step.charged_work for step in report.steps)
             final_work = report.final_execution.total_work
             assert report.total_execution_work == pytest.approx(step_work + final_work)
             # A re-optimized query planned more than once, so it must charge
             # strictly more planning than its final round alone.
             final_planning = report.final_planned.stats.planning_work
-            if result.reoptimized:
+            if ctx.reoptimized:
                 assert report.total_planning_work > final_planning
             else:
                 assert report.total_planning_work == pytest.approx(final_planning)
