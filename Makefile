@@ -18,8 +18,8 @@
 #                  compressed storage (4 shards per table, zone-map and
 #                  routing pruning live) under a tiny memory budget, so
 #                  grace hash joins and external merge sorts spill
-#   make guards  - the engine/aggregation/expression-eval/parallel/pruning
-#                  speedup guards
+#   make guards  - the engine/aggregation/expression-eval/parallel/pruning/
+#                  late-materialization speedup guards
 #   make stress  - the threaded serving layer under churn: the
 #                  writers-vs-readers snapshot stress suite plus the
 #                  1/4/16-client concurrent load driver (every served row
@@ -69,7 +69,7 @@ fuzz-partitioned:
 	HYPOTHESIS_PROFILE=ci REPRO_FUZZ_PARTITIONS=4 $(PYTHON) -m pytest -x -q tests/property/test_sql_fuzz_differential.py
 
 guards:
-	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py benchmarks/test_partition_pruning.py
+	$(PYTHON) -m pytest -x -q -s benchmarks/test_engine_speedup.py benchmarks/test_aggregate_speedup.py benchmarks/test_expression_eval.py benchmarks/test_parallel_speedup.py benchmarks/test_partition_pruning.py benchmarks/test_late_materialization.py
 
 stress:
 	$(PYTHON) -m pytest -x -q -s tests/test_server_concurrency.py benchmarks/test_serving_concurrency.py

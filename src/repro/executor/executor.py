@@ -84,8 +84,12 @@ class NodeMetrics:
     dispatched) and ``workers`` (pool slots actually usable for them).
     Sequential scans of partitioned tables record ``partitions_scanned`` /
     ``partitions_pruned`` (the zone-map pruning actually applied at
-    execution time).  These runtime statistics feed EXPLAIN ANALYZE and the
-    adaptive re-optimization loop.
+    execution time) plus the late-materialization counters:
+    ``segments_skipped`` (row blocks refuted by sealed min/max/null-count
+    synopses before any kernel ran) and ``columns_decoded`` (distinct
+    columns actually materialized — the projection-pushdown savings).
+    These runtime statistics feed EXPLAIN ANALYZE and the adaptive
+    re-optimization loop.
     """
 
     node_id: int
@@ -100,6 +104,8 @@ class NodeMetrics:
     workers: Optional[int] = None
     partitions_scanned: Optional[int] = None
     partitions_pruned: Optional[int] = None
+    segments_skipped: Optional[int] = None
+    columns_decoded: Optional[int] = None
 
 
 @dataclass
@@ -311,6 +317,8 @@ class Executor:
             workers=observed.get("workers"),
             partitions_scanned=observed.get("partitions_scanned"),
             partitions_pruned=observed.get("partitions_pruned"),
+            segments_skipped=observed.get("segments_skipped"),
+            columns_decoded=observed.get("columns_decoded"),
         )
         if memo is not None:
             memo[node.node_id] = (result, work)
@@ -349,6 +357,7 @@ class Executor:
             index_filter=index_filter,
             observed=observed,
             pruned_partitions=pruned_partitions,
+            columns=node.columns,
         )
         if node.access_path is AccessPath.SEQ_SCAN:
             # ``rows_fetched`` is the storage rows the scan actually read:

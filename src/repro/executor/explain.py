@@ -79,6 +79,10 @@ def _render(
             text += f" partitions_scanned={metrics.partitions_scanned}"
         if metrics.partitions_pruned is not None:
             text += f" partitions_pruned={metrics.partitions_pruned}"
+        if metrics.segments_skipped is not None:
+            text += f" segments_skipped={metrics.segments_skipped}"
+        if metrics.columns_decoded is not None:
+            text += f" columns_decoded={metrics.columns_decoded}"
     elif node.actual_rows is not None:
         text += f" actual_rows={node.actual_rows}"
     text += ")"
@@ -89,6 +93,18 @@ def _render(
         lines.append(
             f"{detail_indent}Partitions: {scanned}/{node.partitions_total} scanned"
         )
+    if (
+        isinstance(node, ScanNode)
+        and node.columns is not None
+        and node.columns_total
+    ):
+        lines.append(
+            f"{detail_indent}Columns: {len(node.columns)}/{node.columns_total} read"
+        )
+    if analyze is not None and node.node_id in analyze.node_metrics:
+        skipped = analyze.node_metrics[node.node_id].segments_skipped
+        if skipped:
+            lines.append(f"{detail_indent}Segments: {skipped} skipped")
     if isinstance(node, ScanNode) and node.filters:
         rendered = " AND ".join(render_conjunct(f) for f in node.filters)
         lines.append(f"{detail_indent}Filter (pushed down): {rendered}")

@@ -59,8 +59,11 @@ BatchPredicate = Callable[[object, Optional[Sequence[int]]], List[int]]
 #: A compiled batch scalar: ``(batch, candidate_indices | None) -> values``.
 BatchScalar = Callable[[object, Optional[Sequence[int]]], List[object]]
 
-#: A fused filter kernel: ``(columns, start, end) -> kept row indices``.
-#: ``columns`` is the batch's raw backing column lists (no selection vector).
+#: A fused filter kernel: ``(columns, start, end[, candidates]) -> kept row
+#: indices``.  ``columns`` is the batch's raw backing column lists (no
+#: selection vector); the optional fourth argument replaces the
+#: ``range(start, end)`` row loop with an explicit candidate-index iterable
+#: (segment skipping hands surviving rows through it).
 FusedFilter = Callable[[Sequence[List[object]], int, int], List[int]]
 
 __all__ = [
@@ -77,6 +80,7 @@ __all__ = [
     "compile_fused_filter",
     "compile_predicate",
     "compile_scalar",
+    "compile_value_predicate",
     "index_probe_keys",
     "like_match",
     "like_pattern_to_regex",
@@ -207,6 +211,32 @@ def compile_predicate(predicate: Expr, resolver: ColumnResolver) -> RowPredicate
     """
     scalar = compile_scalar(predicate, resolver)
     return lambda row: scalar(row) is True
+
+
+def compile_value_predicate(
+    predicate: Expr, alias: str, column: str
+) -> Optional[Callable[[object], bool]]:
+    """Compile a predicate over exactly one column into ``value -> keep``.
+
+    The compressed-domain filter kernels use this to evaluate a conjunct
+    once per dictionary entry or once per RLE run instead of once per row.
+    The closure reuses :func:`compile_predicate` over a one-column row, so
+    its keep/drop decision is — by construction — identical to the row and
+    batch evaluators on the decoded value.  Returns ``None`` when the
+    predicate references anything but ``alias.column`` (or contains a shape
+    the row compiler rejects, e.g. an unbound parameter); callers then fall
+    back to the decode path.
+    """
+    refs = {(ref.alias, ref.column) for ref in predicate.referenced_columns()}
+    if refs != {(alias, column)}:
+        return None
+    try:
+        row_predicate = compile_predicate(
+            predicate, ColumnResolver(((alias, column),))
+        )
+    except ExecutionError:
+        return None
+    return lambda value: row_predicate((value,))
 
 
 def compile_conjunction(
@@ -874,12 +904,13 @@ def _generate_fused_filter(
     for predicate in filters:
         src, _ = emitter.emit(predicate)
         emitter.body.append(f"if {src} is not True: continue")
-    lines = ["def _fused(_columns, _start, _end):"]
+    lines = ["def _fused(_columns, _start, _end, _cand=None):"]
     for position, name in sorted(emitter.loaded.items()):
         lines.append(f"    _col{position} = _columns[{position}]")
     lines.append("    _out = []")
     lines.append("    _keep = _out.append")
-    lines.append("    for _i in range(_start, _end):")
+    lines.append("    _it = range(_start, _end) if _cand is None else _cand")
+    lines.append("    for _i in _it:")
     for statement in emitter.body:
         lines.append(f"        {statement}")
     lines.append("        _keep(_i)")

@@ -36,6 +36,7 @@ from repro.executor.reference import (
     output_columns,
     resolve_join_positions,
 )
+from repro.executor.scan import projected_names, scan_partitioned
 from repro.sql.ast import AggregateFunc, ColumnRef, SelectItem
 from repro.sql.binder import BoundJoin, BoundSortKey
 
@@ -58,35 +59,6 @@ __all__ = [
 ]
 
 
-def _gather_partition_columns(
-    table, pruned_partitions: Sequence[int]
-) -> Tuple[List[List[object]], int]:
-    """Column lists of a partitioned table's unpruned shards, in shard order.
-
-    Returns ``(data, rows_fetched)``.  The gather order is the table's
-    global row-id order restricted to the surviving shards, so every engine
-    scanning through this helper produces the same deterministic row order.
-    No pruning reuses the table's cached full gather; a single surviving
-    shard hands out its column lists directly — both zero-copy.
-    """
-    pruned = set(pruned_partitions)
-    if not pruned:
-        return table.column_data(), table.row_count
-    kept = [
-        partition
-        for index, partition in enumerate(table.partitions())
-        if index not in pruned
-    ]
-    rows_fetched = sum(partition.row_count for partition in kept)
-    if len(kept) == 1:
-        return kept[0].column_data(), rows_fetched
-    data: List[List[object]] = [[] for _ in table.schema.columns]
-    for partition in kept:
-        for position, values in enumerate(partition.column_data()):
-            data[position].extend(values)
-    return data, rows_fetched
-
-
 def scan_table(
     catalog: Catalog,
     alias: str,
@@ -96,15 +68,21 @@ def scan_table(
     index_filter=None,
     observed: Optional[Dict[str, int]] = None,
     pruned_partitions: Optional[Sequence[int]] = None,
+    columns: Optional[Sequence[str]] = None,
 ) -> Tuple[ColumnBatch, int]:
     """Scan a base table column-wise, optionally through an index.
 
     The sequential path hands the table's backing column lists straight into
     the batch (zero-copy); filtering only builds a selection vector.  For a
     partitioned table, ``pruned_partitions`` (derived by the executor from
-    the zone maps) drops whole shards before the filter runs.  ``observed``
-    is part of the operator protocol (the parallel engine records morsel
-    statistics through it); the serial scan has nothing to report.
+    the zone maps) drops whole shards before the filter runs, and the scan
+    goes through the late-materialization pipeline in
+    :mod:`repro.executor.scan` — segment skipping, compressed-domain filter
+    kernels, then decode of only the surviving rows.  ``columns`` is the
+    planner's projection-pushdown set (``None`` = full width); it must
+    include every column the filters reference.  ``observed`` is part of
+    the operator protocol (the parallel engine records morsel statistics
+    through it, partitioned scans their skip/decode counters).
 
     Returns:
         ``(batch, rows_fetched)`` where ``rows_fetched`` is the number of
@@ -113,17 +91,18 @@ def scan_table(
         a pruned partitioned scan fewer than the full table).
     """
     table = catalog.table(table_name)
-    columns: List[QualifiedColumn] = [
-        (alias, name) for name in table.schema.column_names
-    ]
     if pruned_partitions is not None:
-        data, scanned = _gather_partition_columns(table, pruned_partitions)
-        batch = ColumnBatch(columns, data, length=scanned)
-        predicate = compile_batch_conjunction(list(filters), batch.resolver)
-        if predicate is not None:
-            batch = batch.restrict(predicate(batch))
-        return batch, scanned
-    batch = ColumnBatch(columns, table.column_data(), length=table.row_count)
+        return scan_partitioned(
+            table, alias, list(filters), pruned_partitions, columns, observed
+        )
+    names = projected_names(table.schema, columns)
+    qualified: List[QualifiedColumn] = [(alias, name) for name in names]
+    if columns is None:
+        data = table.column_data()
+    else:
+        table_data = table.column_data()
+        data = [table_data[table.schema.column_index(name)] for name in names]
+    batch = ColumnBatch(qualified, data, length=table.row_count)
 
     if index_column is not None and index_filter is not None:
         index = catalog.indexes(table_name).get(index_column)

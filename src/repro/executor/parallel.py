@@ -45,6 +45,7 @@ from repro.executor.batch import ColumnBatch
 from repro.executor.expressions import compile_fused_filter
 from repro.executor.operators import _key_rows
 from repro.executor.reference import resolve_join_positions
+from repro.executor.scan import projected_names, scan_partitioned
 from repro.sql.binder import BoundJoin
 
 DEFAULT_WORKERS = 4
@@ -159,15 +160,19 @@ class MorselOperators:
         index_filter=None,
         observed: Optional[Dict[str, int]] = None,
         pruned_partitions: Optional[Sequence[int]] = None,
+        columns: Optional[Sequence[str]] = None,
     ) -> Tuple[ColumnBatch, int]:
         """Morsel-parallel sequential scan with a fused filter kernel.
 
         Index scans, unfiltered scans and filter shapes fusion cannot express
         fall back to the (serial) vectorized scan — output and work
-        accounting are identical either way.  Partitioned tables gather the
-        unpruned shards first (partition order, so the row order is the same
-        deterministic gather every engine produces), then morsel-scan the
-        gathered columns — pruning and parallelism compose.
+        accounting are identical either way.  Partitioned tables run the
+        shared late-materialization pipeline
+        (:func:`repro.executor.scan.scan_partitioned`) with one shard
+        pipeline per pool task; shard results concatenate in partition
+        order, so the row order is the same deterministic gather every
+        engine produces.  ``columns`` narrows the scan (and the fused
+        kernel's resolver) to the projection-pushdown set.
         """
         if index_column is not None and index_filter is not None:
             self._record(observed, 1, 1)
@@ -178,17 +183,38 @@ class MorselOperators:
                 filters,
                 index_column=index_column,
                 index_filter=index_filter,
+                columns=columns,
             )
         table = catalog.table(table_name)
-        columns = [(alias, name) for name in table.schema.column_names]
         if pruned_partitions is not None:
-            data, length = vectorized._gather_partition_columns(
-                table, pruned_partitions
+            kept_count = len(table.partitions()) - len(set(pruned_partitions))
+            parallel = bool(filters) and self.workers > 1 and kept_count > 1
+            result = scan_partitioned(
+                table,
+                alias,
+                list(filters),
+                pruned_partitions,
+                columns,
+                observed,
+                pool=_shared_pool(self.workers) if parallel else None,
+                workers=self.workers,
             )
-        else:
-            length = table.row_count
+            if parallel:
+                self._record(observed, kept_count, min(self.workers, kept_count))
+            else:
+                self._record(observed, 1, 1)
+            return result
+        names = projected_names(table.schema, columns)
+        qualified = [(alias, name) for name in names]
+        length = table.row_count
+        if columns is None:
             data = table.column_data()
-        batch = ColumnBatch(columns, data, length=length)
+        else:
+            table_data = table.column_data()
+            data = [
+                table_data[table.schema.column_index(name)] for name in names
+            ]
+        batch = ColumnBatch(qualified, data, length=length)
         filters = list(filters)
         if not filters:
             self._record(observed, 1, 1)
@@ -201,7 +227,7 @@ class MorselOperators:
                 alias,
                 table_name,
                 filters,
-                pruned_partitions=pruned_partitions,
+                columns=columns,
             )
         spans = self._spans(length)
         if self.workers > 1 and len(spans) > 1:

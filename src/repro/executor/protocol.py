@@ -63,8 +63,16 @@ class OperatorSet(Protocol):
 
     Operators that run a pipeline breaker accept an ``observed`` dict and
     record runtime statistics into it (``build_rows``/``probe_rows`` for
-    joins; ``morsels``/``workers`` for morsel-parallel scans and joins); the
-    scheduler copies these into the node's :class:`NodeMetrics`.
+    joins; ``morsels``/``workers`` for morsel-parallel scans and joins;
+    ``segments_skipped``/``columns_decoded`` for late-materializing
+    partitioned scans); the scheduler copies these into the node's
+    :class:`NodeMetrics`.
+
+    ``scan_table``'s ``columns`` is the planner's projection-pushdown set
+    (``None`` = full width).  It must include every column the pushed-down
+    ``filters`` (and ``index_filter``) reference — engines evaluate filters
+    against the narrowed batch.  Engines may ignore it (the reference
+    oracle scans full-width on purpose).
     """
 
     def scan_table(
@@ -77,6 +85,7 @@ class OperatorSet(Protocol):
         index_filter=None,
         observed: Optional[Dict[str, int]] = None,
         pruned_partitions: Optional[Sequence[int]] = None,
+        columns: Optional[Sequence[str]] = None,
     ): ...
 
     def join_results(

@@ -73,6 +73,7 @@ def scan_table(
     index_filter=None,
     observed: Optional[Dict[str, int]] = None,
     pruned_partitions: Optional[Sequence[int]] = None,
+    columns: Optional[Sequence[str]] = None,
 ) -> Tuple[ResultSet, int]:
     """Scan a base table, optionally through an index.
 
@@ -80,7 +81,10 @@ def scan_table(
     records morsel statistics through it); the serial scan reports nothing.
     For a partitioned table, ``pruned_partitions`` drops whole shards before
     filtering; the surviving shards are read in partition order, matching
-    the table's global row-id order.
+    the table's global row-id order.  ``columns`` — the planner's
+    projection-pushdown set — is deliberately **ignored**: the oracle always
+    reads full-width decoded rows, so differential tests independently
+    check that late materialization never changes any referenced value.
 
     Returns:
         ``(result, rows_fetched)`` where ``rows_fetched`` is the number of

@@ -53,6 +53,7 @@ from repro.sql.ast import (
     Literal,
 )
 from repro.sql.binder import BoundQuery
+from repro.sql.builder import scan_referenced_columns
 from repro.storage.partition import PartitionedTable
 
 AliasSet = FrozenSet[str]
@@ -149,6 +150,25 @@ class JoinEnumerator:
             pruned, partitions_total = prune_partitions(storage, filters)
             scanned_rows = min(table_rows, float(storage.scanned_rows(pruned)))
 
+        # Projection pushdown: the engines gather/decode only the columns the
+        # rest of the query references.  Full coverage keeps ``columns=None``
+        # so the zero-copy full-width scan paths stay in effect.
+        schema_names = storage.schema.column_names
+        needed = scan_referenced_columns(self.query, alias)
+        scan_columns: Optional[Tuple[str, ...]] = None
+        if needed is not None:
+            # The adaptive re-planner's handover fallback exposes the
+            # table's *first schema column* when nothing above a collapsed
+            # sub-join references it; keep that column materialized so a
+            # mid-query re-plan always finds it (this also keeps every
+            # scan at least one column wide).
+            wanted = set(needed)
+            wanted.add(schema_names[0])
+            if len(wanted) < len(schema_names):
+                scan_columns = tuple(
+                    name for name in schema_names if name in wanted
+                )
+
         seq = ScanNode(
             alias=alias,
             table=table,
@@ -156,6 +176,8 @@ class JoinEnumerator:
             access_path=AccessPath.SEQ_SCAN,
             partitions_total=partitions_total,
             pruned_partitions=pruned,
+            columns=scan_columns,
+            columns_total=len(schema_names),
         )
         seq.estimated_rows = output_rows
         seq.estimated_cost = self.cost_model.seq_scan_cost(
@@ -175,6 +197,8 @@ class JoinEnumerator:
                 access_path=AccessPath.INDEX_SCAN,
                 index_column=column,
                 index_filter=predicate,
+                columns=scan_columns,
+                columns_total=len(schema_names),
             )
             index.estimated_rows = output_rows
             index.estimated_cost = self.cost_model.index_scan_cost(

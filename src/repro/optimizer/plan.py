@@ -85,6 +85,14 @@ class ScanNode(PlanNode):
     executor re-derives the pruning at execution time — table loads do not
     invalidate cached plans, so the plan-time set is advisory, never a
     correctness input.
+
+    ``columns`` is the projection-pushdown set: the schema-ordered columns
+    the rest of the query can reference (select expressions, the pushed-down
+    filters themselves, join keys, residuals, sort/group keys).  ``None``
+    means full width — ``SELECT *`` queries, or a referenced set covering
+    every column — and keeps the engines' zero-copy full-width paths.
+    ``columns_total`` is the table's schema width (EXPLAIN's
+    ``Columns: k/n read``).
     """
 
     alias: str
@@ -95,6 +103,8 @@ class ScanNode(PlanNode):
     index_filter: Optional[Expr] = None
     partitions_total: Optional[int] = None
     pruned_partitions: Tuple[int, ...] = ()
+    columns: Optional[Tuple[str, ...]] = None
+    columns_total: Optional[int] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -45,7 +45,7 @@ from repro.sql.ast import (
 )
 from repro.storage.partition import PartitionedTable, ZoneMap
 
-__all__ = ["prune_partitions"]
+__all__ = ["may_match", "prune_partitions"]
 
 
 def prune_partitions(
@@ -138,12 +138,22 @@ def _is_key_column(expr: Expr, key_column: str) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _may_match(expr: Expr, zone_map: ZoneMap) -> bool:
-    """Whether ``expr`` (in NNF) may evaluate TRUE for some partition row.
+def may_match(expr: Expr, zone_map: ZoneMap) -> bool:
+    """Whether ``expr`` (in NNF) may evaluate TRUE for some row of a zone.
 
-    ``False`` is a proof of "never TRUE"; ``True`` merely means the zone map
-    cannot refute the conjunct.
+    ``False`` is a proof of "never TRUE"; ``True`` merely means the synopsis
+    cannot refute the conjunct.  ``expr`` must already be in negation normal
+    form (:func:`~repro.optimizer.rewrite.push_not_down`).  Besides whole
+    partitions, the scan layer reuses this against synthetic per-block zone
+    maps for segment skipping — the caller must ensure the zone map carries a
+    real :class:`~repro.storage.partition.ColumnZone` for **every** column
+    the conjunct references, because an auto-created empty zone reads as
+    "all NULL" and would wrongly refute.
     """
+    return _may_match(expr, zone_map)
+
+
+def _may_match(expr: Expr, zone_map: ZoneMap) -> bool:
     if isinstance(expr, BoolExpr):
         parts = [_may_match(operand, zone_map) for operand in expr.operands]
         if expr.op is BoolConnective.AND:

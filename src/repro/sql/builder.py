@@ -12,7 +12,7 @@ Two users of this module:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import BindError
 from repro.sql.ast import (
@@ -378,3 +378,47 @@ def referenced_columns(query: BoundQuery, aliases: Iterable[str]) -> List[Tuple[
             for ref in residual.referenced_columns():
                 add(ref.alias, ref.column)
     return needed
+
+
+def scan_referenced_columns(query: BoundQuery, alias: str) -> Optional[FrozenSet[str]]:
+    """Every column of ``alias`` the rest of the query can touch.
+
+    The planner attaches this set to the alias's scan node so the execution
+    engines gather and decode only referenced columns (late materialization).
+    The union is deliberately complete — select expressions, the alias's own
+    pushed-down filters (the scan batch must carry its filter inputs), join
+    keys on either side, residual join filters, grouping keys and sort keys —
+    so everything downstream of the scan resolves against the narrowed batch.
+
+    Returns ``None`` for ``SELECT *`` queries (empty ``select_items`` means
+    the scan's full width *is* the output) — the scan then stays full-width.
+    """
+    if not query.select_items:
+        return None
+    needed = set()
+    for item in query.select_items:
+        if item.expr is None:
+            continue
+        for ref in item.expr.referenced_columns():
+            if ref.alias == alias:
+                needed.add(ref.column)
+    for predicate in query.filters_for(alias):
+        for ref in predicate.referenced_columns():
+            if ref.alias == alias:
+                needed.add(ref.column)
+    for join in query.joins:
+        if join.left_alias == alias:
+            needed.add(join.left_column)
+        if join.right_alias == alias:
+            needed.add(join.right_column)
+    for residual in query.residuals:
+        for ref in residual.referenced_columns():
+            if ref.alias == alias:
+                needed.add(ref.column)
+    for ref in query.group_by:
+        if ref.alias == alias:
+            needed.add(ref.column)
+    for key in query.order_by:
+        if key.alias == alias:
+            needed.add(key.column)
+    return frozenset(needed)

@@ -29,12 +29,51 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BLOCK_ROWS",
     "DictionarySegment",
     "PlainSegment",
     "RLESegment",
     "Segment",
     "encode_segment",
 ]
+
+#: Rows per statistics block.  Segment-skipping refutes filters one block at
+#: a time, so this is the granularity at which a scan can avoid decoding;
+#: finer than the parallel engine's default morsel (4096) so even a single
+#: mid-sized shard yields several skippable units.
+BLOCK_ROWS = 1024
+
+#: Per-block synopsis: ``(minimum, maximum, null_count)`` over the block's
+#: rows, with ``minimum``/``maximum`` ``None`` when the block holds no
+#: non-NULL value.  A block whose values are mutually incomparable (mixed
+#: types) stores ``None`` instead of a tuple — "no statistics, never skip".
+BlockStats = Optional[Tuple[Optional[object], Optional[object], int]]
+
+
+def compute_block_stats(values: Sequence[object]) -> List[BlockStats]:
+    """Min/max/null-count synopses of ``values`` in :data:`BLOCK_ROWS` blocks."""
+    stats: List[BlockStats] = []
+    for start in range(0, len(values), BLOCK_ROWS):
+        block = values[start : start + BLOCK_ROWS]
+        minimum: Optional[object] = None
+        maximum: Optional[object] = None
+        nulls = 0
+        try:
+            for value in block:
+                if value is None:
+                    nulls += 1
+                    continue
+                if minimum is None or value < minimum:
+                    minimum = value
+                if maximum is None or value > maximum:
+                    maximum = value
+        except TypeError:
+            # Incomparable mix of types: record "no stats" for the block so
+            # the skipping logic conservatively keeps it.
+            stats.append(None)
+            continue
+        stats.append((minimum, maximum, nulls))
+    return stats
 
 
 class Segment:
@@ -49,19 +88,40 @@ class Segment:
         """Decoded value list (lazily materialized, then cached)."""
         raise NotImplementedError
 
+    def gather(self, indices: Sequence[int]) -> List[object]:
+        """Decoded values at the given row positions (late materialization)."""
+        values = self.values()
+        return [values[i] for i in indices]
+
     def encoded_cells(self) -> int:
         """Number of stored cells after encoding (compression accounting)."""
         raise NotImplementedError
+
+    def block_stats(self) -> List[BlockStats]:
+        """Per-:data:`BLOCK_ROWS`-block min/max/null-count synopses.
+
+        Sealed at encode time from the original values (no decode); segments
+        constructed directly compute them lazily on first use and cache.
+        """
+        stats = self._block_stats
+        if stats is None:
+            stats = self._block_stats = compute_block_stats(self.values())
+        return stats
+
+    def seal_block_stats(self, stats: List[BlockStats]) -> None:
+        """Attach precomputed block synopses (called by :func:`encode_segment`)."""
+        self._block_stats = stats
 
 
 class PlainSegment(Segment):
     """Uncompressed segment: the value list verbatim."""
 
     codec = "plain"
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_block_stats")
 
     def __init__(self, values: Sequence[object]) -> None:
         self._values = list(values)
+        self._block_stats: Optional[List[BlockStats]] = None
 
     def __len__(self) -> int:
         return len(self._values)
@@ -81,7 +141,7 @@ class DictionarySegment(Segment):
     """
 
     codec = "dictionary"
-    __slots__ = ("_dictionary", "_codes", "_decoded")
+    __slots__ = ("_dictionary", "_codes", "_decoded", "_block_stats")
 
     def __init__(self, values: Sequence[object]) -> None:
         dictionary: List[object] = []
@@ -96,6 +156,7 @@ class DictionarySegment(Segment):
         self._dictionary = dictionary
         self._codes = codes
         self._decoded: Optional[List[object]] = None
+        self._block_stats: Optional[List[BlockStats]] = None
 
     def __len__(self) -> int:
         return len(self._codes)
@@ -105,11 +166,31 @@ class DictionarySegment(Segment):
         """Number of distinct values in the dictionary."""
         return len(self._dictionary)
 
+    @property
+    def dictionary(self) -> List[object]:
+        """Distinct values in first-appearance order (read-only)."""
+        return self._dictionary
+
+    @property
+    def codes(self) -> List[int]:
+        """Per-row dictionary codes (read-only)."""
+        return self._codes
+
     def values(self) -> List[object]:
         if self._decoded is None:
             dictionary = self._dictionary
             self._decoded = [dictionary[code] for code in self._codes]
         return self._decoded
+
+    def gather(self, indices: Sequence[int]) -> List[object]:
+        # Decode only the requested rows straight off the codes; a full
+        # decode (and its cache) is never forced by a selective gather.
+        decoded = self._decoded
+        if decoded is not None:
+            return [decoded[i] for i in indices]
+        dictionary = self._dictionary
+        codes = self._codes
+        return [dictionary[codes[i]] for i in indices]
 
     def encoded_cells(self) -> int:
         # Codes are narrow integers, not full values; count them as packed
@@ -121,7 +202,7 @@ class RLESegment(Segment):
     """Run-length encoding: ``(value, run_length)`` pairs."""
 
     codec = "rle"
-    __slots__ = ("_runs", "_length", "_decoded")
+    __slots__ = ("_runs", "_length", "_decoded", "_block_stats")
 
     def __init__(self, values: Sequence[object]) -> None:
         runs: List[Tuple[object, int]] = []
@@ -133,6 +214,7 @@ class RLESegment(Segment):
         self._runs = runs
         self._length = len(values)
         self._decoded: Optional[List[object]] = None
+        self._block_stats: Optional[List[BlockStats]] = None
 
     def __len__(self) -> int:
         return self._length
@@ -141,6 +223,11 @@ class RLESegment(Segment):
     def run_count(self) -> int:
         """Number of stored runs."""
         return len(self._runs)
+
+    @property
+    def runs(self) -> List[Tuple[object, int]]:
+        """``(value, run_length)`` pairs in row order (read-only)."""
+        return self._runs
 
     def values(self) -> List[object]:
         if self._decoded is None:
@@ -170,18 +257,25 @@ def encode_segment(values: Sequence[object], codec: str = "auto") -> Segment:
     for nothing.
     """
     values = list(values)
+    segment: Segment
     if codec == "plain":
-        return PlainSegment(values)
-    if codec == "dictionary":
-        return DictionarySegment(values)
-    if codec == "rle":
-        return RLESegment(values)
-    if codec != "auto":
+        segment = PlainSegment(values)
+    elif codec == "dictionary":
+        segment = DictionarySegment(values)
+    elif codec == "rle":
+        segment = RLESegment(values)
+    elif codec != "auto":
         raise ValueError(f"unknown compression codec {codec!r}")
-    if not values:
-        return PlainSegment(values)
-    candidates: List[Segment] = [RLESegment(values), DictionarySegment(values)]
-    best = min(candidates, key=lambda segment: segment.encoded_cells())
-    if best.encoded_cells() < len(values):
-        return best
-    return PlainSegment(values)
+    elif not values:
+        segment = PlainSegment(values)
+    else:
+        candidates: List[Segment] = [
+            RLESegment(values),
+            DictionarySegment(values),
+        ]
+        best = min(candidates, key=lambda candidate: candidate.encoded_cells())
+        segment = best if best.encoded_cells() < len(values) else PlainSegment(values)
+    # Sealed at encode time from the still-plain input: segment-skipping
+    # never has to decode a column just to learn its block min/max.
+    segment.seal_block_stats(compute_block_stats(values))
+    return segment

@@ -185,9 +185,29 @@ class Partition:
                 out.append(self._plain[position])
         return out
 
+    def segment_at(self, position: int) -> Optional[Segment]:
+        """The sealed segment of one column, or ``None`` while it is open."""
+        return self._segments[position]
+
+    def column_at(self, position: int) -> List[object]:
+        """Decoded values of one column by schema position (read-only view).
+
+        Touches only the requested column: a sealed column decodes through
+        its (cached) segment, an open column hands out its backing list.
+        Snapshot subclasses that store neither fall back to the full
+        ``column_data`` pin.
+        """
+        segment = self._segments[position]
+        if segment is not None:
+            return segment.values()
+        values = self._plain[position]
+        if values is not None:
+            return values
+        return self.column_data()[position]
+
     def column_values(self, name: str) -> List[object]:
         """Decoded values of one column (read-only view)."""
-        return self.column_data()[self.schema.column_index(name)]
+        return self.column_at(self.schema.column_index(name))
 
     def iter_rows(self) -> Iterator[Tuple[object, ...]]:
         """Iterate the shard's rows as packed tuples, in storage order."""
@@ -238,6 +258,7 @@ class PartitionedTable:
         self._row_count = 0
         self._offsets: Optional[List[int]] = None
         self._gathered: Optional[List[List[object]]] = None
+        self._gathered_cols: Dict[int, List[object]] = {}
 
     # -- basic surface -------------------------------------------------------
 
@@ -297,6 +318,7 @@ class PartitionedTable:
     def _invalidate(self) -> None:
         self._offsets = None
         self._gathered = None
+        self._gathered_cols = {}
 
     def _coerce_row(self, values: Sequence[object]) -> List[object]:
         if len(values) != len(self.schema.columns):
@@ -419,9 +441,28 @@ class PartitionedTable:
             self._gathered = gathered
         return self._gathered
 
+    def gathered_column(self, position: int) -> List[object]:
+        """One column's gathered values by schema position (read-only view).
+
+        Unlike :meth:`column_data`, this gathers — and caches — only the
+        requested column, so a projection-pushed scan of two columns never
+        pays for a full-width gather.  The full-gather cache is reused when
+        it already exists.
+        """
+        gathered = self._gathered
+        if gathered is not None:
+            return gathered[position]
+        cached = self._gathered_cols.get(position)
+        if cached is None:
+            cached = []
+            for partition in self._partitions:
+                cached.extend(partition.column_at(position))
+            self._gathered_cols[position] = cached
+        return cached
+
     def column_values(self, name: str) -> List[object]:
         """Gathered values of one column (a fresh list, safe to mutate)."""
-        return list(self.column_data()[self.schema.column_index(name)])
+        return list(self.gathered_column(self.schema.column_index(name)))
 
     def row(self, row_id: int) -> Tuple[object, ...]:
         """The packed tuple at a global (partition-gather order) row id."""
@@ -462,8 +503,9 @@ class PartitionedTable:
         for partition in self._partitions:
             partition.compress(codec=codec)
         # Decoded reads still flow through the cached segment decode; drop
-        # the gather cache so it rebuilds from the segments.
+        # the gather caches so they rebuild from the segments.
         self._gathered = None
+        self._gathered_cols = {}
 
     def refresh_zone_maps(self) -> None:
         """Recompute every partition's zone map exactly (ANALYZE hook)."""

@@ -229,6 +229,7 @@ class PartitionedTableSnapshot(PartitionedTable):
         self._row_count = sum(p.row_count for p in self._partitions)
         self._offsets = None
         self._gathered = None
+        self._gathered_cols = {}
 
     # -- mutators (rejected) -------------------------------------------------
 

@@ -100,9 +100,13 @@ class TestDatabaseQuerying:
         run = stock_db.run(
             "SELECT c.id, c.symbol FROM company AS c WHERE c.sector = 'tech'"
         )
-        planned = stock_db.plan("SELECT c.id FROM company AS c WHERE c.sector = 'tech'")
+        planned = stock_db.plan(
+            "SELECT c.id, c.symbol FROM company AS c WHERE c.sector = 'tech'"
+        )
         # Materialize the scan below the final projection, the way the
         # re-optimizer materializes a sub-plan (qualified columns preserved).
+        # The plan must reference every materialized column: projection
+        # pushdown narrows scans to the referenced set.
         execution = stock_db.executor.execute(planned.plan.child)
         name = stock_db.next_temp_table_name()
         table = stock_db.create_temp_table_from_result(
